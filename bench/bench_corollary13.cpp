@@ -1,0 +1,82 @@
+// E5 -- Corollary 13, possibility ends in depth: consensus with
+// (Sigma, Omega) and (n-1)-set agreement with Sigma_{n-1} across crash
+// sets, seeds and adversarial oracles, including the tightness run
+// showing exactly n-1 distinct decisions under the lonely-stress
+// detector history.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/corollary13.hpp"
+
+int main() {
+    using namespace ksa;
+    std::cout << "E5: Corollary 13 possibility trials\n\n";
+
+    bool all = true;
+    std::cout << "k = 1 (paxos + (Sigma, Omega)):\n";
+    std::cout << std::setw(4) << "n" << std::setw(10) << "#dead"
+              << std::setw(10) << "trials" << std::setw(10) << "spec\n";
+    for (int n : {3, 5, 7, 9}) {
+        for (int dead = 0; dead <= (n - 1) / 2; ++dead) {
+            bool ok = true;
+            for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+                std::vector<ProcessId> faulty;
+                for (int i = 0; i < dead; ++i)
+                    faulty.push_back(static_cast<ProcessId>(
+                        (seed + static_cast<std::uint64_t>(i) * 2) % n + 1));
+                std::sort(faulty.begin(), faulty.end());
+                faulty.erase(std::unique(faulty.begin(), faulty.end()),
+                             faulty.end());
+                core::Corollary13Trial t =
+                    core::corollary13_consensus_trial(n, faulty, seed);
+                ok = ok && t.check.ok() && t.distinct_decisions == 1;
+            }
+            all = all && ok;
+            std::cout << std::setw(4) << n << std::setw(10) << dead
+                      << std::setw(10) << 10 << std::setw(10)
+                      << (ok ? "ok" : "FAIL") << "\n";
+        }
+    }
+
+    std::cout << "\nk = n-1 (ranked + Sigma_{n-1}):\n";
+    std::cout << std::setw(4) << "n" << std::setw(10) << "#dead"
+              << std::setw(12) << "worst#" << std::setw(10) << "spec\n";
+    for (int n : {3, 4, 5, 6, 8}) {
+        for (int dead : {0, 1, n - 1}) {
+            int worst = 0;
+            bool ok = true;
+            for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+                std::vector<ProcessId> faulty;
+                for (int i = 0; i < dead; ++i)
+                    faulty.push_back(static_cast<ProcessId>(
+                        (seed + static_cast<std::uint64_t>(i)) % n + 1));
+                std::sort(faulty.begin(), faulty.end());
+                faulty.erase(std::unique(faulty.begin(), faulty.end()),
+                             faulty.end());
+                if (static_cast<int>(faulty.size()) >= n) continue;
+                core::Corollary13Trial t =
+                    core::corollary13_set_trial(n, faulty, seed);
+                worst = std::max(worst, t.distinct_decisions);
+                ok = ok && t.check.ok();
+            }
+            all = all && ok;
+            std::cout << std::setw(4) << n << std::setw(10) << dead
+                      << std::setw(12) << worst << std::setw(10)
+                      << (ok ? "ok" : "FAIL") << "\n";
+        }
+    }
+
+    std::cout << "\ntightness: lonely-stress oracle realizes exactly n-1 "
+                 "values\n";
+    std::cout << std::setw(4) << "n" << std::setw(12) << "#values"
+              << std::setw(12) << "= n-1?\n";
+    for (int n : {3, 4, 5, 6, 7, 8}) {
+        core::Corollary13Trial t = core::corollary13_tightness_trial(n, 1);
+        const bool tight = t.distinct_decisions == n - 1 && t.check.ok();
+        all = all && tight;
+        std::cout << std::setw(4) << n << std::setw(12) << t.distinct_decisions
+                  << std::setw(12) << (tight ? "yes" : "NO") << "\n";
+    }
+    return all ? 0 : 1;
+}

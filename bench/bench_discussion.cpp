@@ -1,0 +1,103 @@
+// E11 -- the Discussion section's design rule, measured.
+//
+// "What can be learned from our result is that, whatever one adds to
+// Sigma_k, it has to allow solving consensus in each partition."
+//
+// The table runs the SAME Theorem-10-style adversary (singleton blocks,
+// leader set split inside D, decision announcements held back) against
+// two protocols:
+//
+//   * quorum-leader-kset on (Sigma_k, Omega_k): the partition detector
+//     lets every block assemble quorums locally -> k+1 values;
+//   * kset-paxos on (Sigma_1, Omega_k): quorums intersect globally, the
+//     singleton blocks starve in isolation, condition (dec-Dbar) is
+//     unsatisfiable -> the trap does not spring, and under benign
+//     completion the protocol meets the k-set spec.
+
+#include <iomanip>
+#include <iostream>
+
+#include "algo/kset_paxos.hpp"
+#include "algo/quorum_leader_kset.hpp"
+#include "core/kset_spec.hpp"
+#include "core/theorem1.hpp"
+#include "core/theorem10.hpp"
+#include "fd/sources.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+int main() {
+    using namespace ksa;
+    std::cout << "E11: what must be added to Sigma_k (Discussion)\n\n";
+    std::cout << std::setw(4) << "n" << std::setw(4) << "k" << std::setw(26)
+              << "(Sigma_k,Omega_k) cand." << std::setw(26)
+              << "(Sigma_1,Omega_k) paxos" << "\n";
+
+    bool all = true;
+    for (int n : {5, 6, 8}) {
+        for (int k = 2; k <= n - 2 && k <= 4; ++k) {
+            // The flawed candidate under the genuine Theorem 10 engine.
+            algo::QuorumLeaderKSet flawed;
+            core::Theorem10Result t10 = core::run_theorem10(flawed, n, k, 4000);
+            std::ostringstream left;
+            left << (t10.certificate.violation ? "DEFEATED: " : "survived: ")
+                 << t10.certificate.violating_values.size() << " values";
+
+            // The strengthened protocol under the same geometry but with
+            // Sigma_1 quorums.
+            algo::KSetPaxos strong(k);
+            std::vector<std::vector<ProcessId>> blocks;
+            for (ProcessId p = 1; p <= k - 1; ++p) blocks.push_back({p});
+            core::Theorem1Inputs in;
+            in.algorithm = &strong;
+            in.spec = core::make_partition_spec(n, k, blocks);
+            in.inputs = distinct_inputs(n);
+            in.stage_budget = 400;
+            in.max_steps = 30000;
+            in.oracle_factory = [&](core::CertRun, const FailurePlan& plan) {
+                return std::unique_ptr<FdOracle>(
+                    std::make_unique<fd::ComposedOracle>(
+                        std::make_unique<fd::CorrectSetQuorum>(n, plan),
+                        std::make_unique<fd::StableLeaders>(
+                            core::theorem10_leader_set(n, k), 0)));
+            };
+            core::Theorem1Certificate cert = core::certify_theorem1(in);
+            std::ostringstream right;
+            right << (cert.condition_b ? "TRAPPED" : "escapes")
+                  << " (dec-Dbar "
+                  << (cert.condition_b ? "satisfiable" : "unsatisfiable")
+                  << ")";
+
+            const bool row_ok = t10.certificate.violation && !cert.condition_b;
+            all = all && row_ok;
+            std::cout << std::setw(4) << n << std::setw(4) << k
+                      << std::setw(26) << left.str() << std::setw(36)
+                      << right.str() << (row_ok ? "" : "  UNEXPECTED") << "\n";
+        }
+    }
+
+    std::cout << "\nAnd the strengthened protocol actually works: benign "
+                 "(Sigma_1, Omega_k) trials\n";
+    std::cout << std::setw(4) << "n" << std::setw(4) << "k" << std::setw(12)
+              << "#values" << std::setw(10) << "spec\n";
+    for (int n : {5, 7}) {
+        for (int k = 2; k <= 3; ++k) {
+            algo::KSetPaxos algorithm(k);
+            FailurePlan plan;
+            std::vector<ProcessId> leaders;
+            for (ProcessId p = 1; p <= k; ++p) leaders.push_back(p);
+            auto oracle = std::make_unique<fd::ComposedOracle>(
+                std::make_unique<fd::CorrectSetQuorum>(n, plan),
+                std::make_unique<fd::StableLeaders>(leaders, 0));
+            RandomScheduler sched(n * 10 + k);
+            Run run = execute_run(algorithm, n, distinct_inputs(n), plan,
+                                  sched, oracle.get());
+            auto check = core::check_kset_agreement(run, k);
+            all = all && check.ok();
+            std::cout << std::setw(4) << n << std::setw(4) << k
+                      << std::setw(12) << run.distinct_decisions().size()
+                      << std::setw(10) << (check.ok() ? "ok" : "FAIL") << "\n";
+        }
+    }
+    return all ? 0 : 1;
+}

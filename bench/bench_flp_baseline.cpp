@@ -1,0 +1,60 @@
+// E8 -- The FLP initial-crash consensus baseline: message and step
+// complexity versus n, plus the effect of the threshold L on divergence.
+//
+// The two-stage protocol sends 2 broadcasts per live process (O(n^2)
+// messages); the table confirms the quadratic shape and shows how the
+// decision count responds to lowering L below the majority (the k-set
+// generalization trading agreement for resilience).
+
+#include <iomanip>
+#include <iostream>
+
+#include "algo/initial_clique.hpp"
+#include "core/kset_spec.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+int main() {
+    using namespace ksa;
+    std::cout << "E8: FLP baseline complexity (fair schedule, no crashes)\n\n";
+    std::cout << std::setw(6) << "n" << std::setw(6) << "L" << std::setw(10)
+              << "steps" << std::setw(12) << "messages" << std::setw(12)
+              << "msgs/n^2" << std::setw(10) << "#values\n";
+
+    for (int n : {3, 5, 7, 9, 13, 17, 25, 33}) {
+        auto algorithm = algo::make_flp_consensus(n);
+        RoundRobinScheduler rr;
+        Run run = execute_run(*algorithm, n, distinct_inputs(n), {}, rr);
+        core::expect_kset_agreement(run, 1);
+        std::cout << std::setw(6) << n << std::setw(6) << (n + 2) / 2
+                  << std::setw(10) << run.steps.size() << std::setw(12)
+                  << run.messages_sent() << std::setw(12) << std::fixed
+                  << std::setprecision(2)
+                  << static_cast<double>(run.messages_sent()) / (n * n)
+                  << std::setw(10) << run.distinct_decisions().size() << "\n";
+    }
+
+    std::cout << "\ntrading agreement for resilience at n = 12 (partitioned "
+                 "adversary, groups of size L):\n";
+    std::cout << std::setw(6) << "L" << std::setw(6) << "f" << std::setw(10)
+              << "k bound" << std::setw(16) << "worst observed\n";
+    const int n = 12;
+    for (int l : {2, 3, 4, 6, 7}) {
+        algo::InitialCliqueKSet algorithm(l);
+        // Worst case: partition into floor(n/L) groups of size >= L.
+        std::vector<std::vector<ProcessId>> blocks;
+        ProcessId next = 1;
+        while (next + l - 1 <= n) {
+            std::vector<ProcessId> b;
+            for (int j = 0; j < l; ++j) b.push_back(next++);
+            blocks.push_back(std::move(b));
+        }
+        for (; next <= n; ++next) blocks.back().push_back(next);
+        PartitionScheduler sched(blocks);
+        Run run = execute_run(algorithm, n, distinct_inputs(n), {}, sched);
+        std::cout << std::setw(6) << l << std::setw(6) << n - l << std::setw(10)
+                  << n / l << std::setw(16) << run.distinct_decisions().size()
+                  << "\n";
+    }
+    return 0;
+}

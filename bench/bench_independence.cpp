@@ -1,0 +1,74 @@
+// E7 -- Section IV: the T-independence matrix of the protocol zoo.
+//
+// For each protocol and each classic progress-condition family, builds
+// the Definition 6 isolation runs and reports whether the protocol is
+// T-independent for that family.  The pattern matches the paper's
+// catalogue: wait-freedom gives 2^Pi-independence (trivial protocol),
+// f-resilience gives {|S| >= n-f}-independence (flooding with threshold
+// n-f), and the FLP protocol is independent exactly for the families
+// whose sets can host L-1 peers.
+
+#include <iomanip>
+#include <iostream>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "core/independence.hpp"
+#include "sim/system.hpp"
+
+int main() {
+    using namespace ksa;
+    const int n = 5;
+    std::cout << "E7: T-independence matrix (n = " << n << ")\n\n";
+
+    struct Family {
+        const char* label;
+        std::vector<std::vector<ProcessId>> sets;
+    };
+    std::vector<Family> families = {
+        {"wait-free (2^Pi)", core::wait_free_family(n)},
+        {"obstruction-free", core::obstruction_free_family(n)},
+        {"1-resilient", core::f_resilient_family(n, 1)},
+        {"2-resilient", core::f_resilient_family(n, 2)},
+        {"3-resilient", core::f_resilient_family(n, 3)},
+        {"asym wait-free p1", core::asymmetric_family(n, 1)},
+    };
+
+    algo::TrivialWaitFree trivial;
+    algo::FloodingKSet flood1(n - 1), flood2(n - 2), flood3(n - 3);
+    algo::InitialCliqueKSet flp_major((n + 2) / 2), flp_small(2);
+    struct Row {
+        const char* label;
+        const Algorithm* algorithm;
+    };
+    std::vector<Row> rows = {
+        {"trivial-wait-free", &trivial},   {"flooding f=1", &flood1},
+        {"flooding f=2", &flood2},         {"flooding f=3", &flood3},
+        {"initial-clique L=4", &flp_major}, {"initial-clique L=2", &flp_small},
+    };
+
+    std::cout << std::left << std::setw(22) << "protocol";
+    for (const Family& f : families) std::cout << std::setw(19) << f.label;
+    std::cout << "\n";
+
+    for (const Row& row : rows) {
+        std::cout << std::left << std::setw(22) << row.label;
+        for (const Family& family : families) {
+            core::FamilyIndependence r = core::check_family_independence(
+                *row.algorithm, n, distinct_inputs(n), {}, family.sets, {},
+                400);
+            int held = 0;
+            for (const auto& w : r.witnesses) held += w.holds;
+            std::ostringstream cell;
+            cell << (r.holds_for_all ? "yes" : " - ") << " (" << held << "/"
+                 << r.witnesses.size() << ")";
+            std::cout << std::setw(19) << cell.str();
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "\n(cells: family holds? (sets-that-held / sets-checked));\n"
+                 "the f-resilient rows hold exactly down to sets of size "
+                 "n-f, matching Section IV's catalogue\n";
+    return 0;
+}

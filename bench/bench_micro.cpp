@@ -1,0 +1,144 @@
+// M1 -- micro-benchmarks of the substrate: simulator step throughput
+// under each scheduler, run-recording overhead, SCC scaling, failure
+// detector query cost and digest computation.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "algo/paxos_consensus.hpp"
+#include "fd/sources.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace ksa;
+
+void BM_SimulatorRoundRobin(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    algo::FloodingKSet algorithm(n);
+    std::size_t steps = 0;
+    for (auto _ : state) {
+        RoundRobinScheduler rr;
+        Run run = execute_run(algorithm, n, distinct_inputs(n), {}, rr);
+        steps += run.steps.size();
+        benchmark::DoNotOptimize(run);
+    }
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorRoundRobin)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SimulatorRandom(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    algo::FloodingKSet algorithm(n);
+    std::size_t steps = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        RandomScheduler sched(seed++);
+        Run run = execute_run(algorithm, n, distinct_inputs(n), {}, sched);
+        steps += run.steps.size();
+        benchmark::DoNotOptimize(run);
+    }
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorRandom)->Arg(4)->Arg(16);
+
+void BM_FlpProtocolEndToEnd(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    auto algorithm = algo::make_flp_consensus(n);
+    for (auto _ : state) {
+        RoundRobinScheduler rr;
+        Run run = execute_run(*algorithm, n, distinct_inputs(n), {}, rr);
+        benchmark::DoNotOptimize(run);
+    }
+}
+BENCHMARK(BM_FlpProtocolEndToEnd)->Arg(5)->Arg(9)->Arg(17)->Arg(25);
+
+void BM_PaxosEndToEnd(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    algo::PaxosConsensus algorithm;
+    FailurePlan plan;
+    for (auto _ : state) {
+        auto oracle = fd::make_benign_sigma_omega(n, plan, {1});
+        RoundRobinScheduler rr;
+        Run run = execute_run(algorithm, n, distinct_inputs(n), plan, rr,
+                              oracle.get());
+        benchmark::DoNotOptimize(run);
+    }
+}
+BENCHMARK(BM_PaxosEndToEnd)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FdQuery(benchmark::State& state) {
+    FailurePlan plan;
+    auto oracle =
+        fd::make_partition_detector(16, 4, {{1, 2, 3, 4},
+                                            {5, 6, 7, 8},
+                                            {9, 10, 11, 12},
+                                            {13, 14, 15, 16}},
+                                    plan, {1, 5, 9, 13}, 100);
+    QueryContext ctx;
+    ctx.querier = 7;
+    ctx.now = 1;
+    for (auto _ : state) {
+        ctx.now++;
+        FdSample s = oracle->query(ctx);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_FdQuery);
+
+void BM_TarjanScc(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    graph::Digraph g = graph::random_gnp(n, 4.0 / n, 99);
+    for (auto _ : state) {
+        graph::SccDecomposition dec(g);
+        benchmark::DoNotOptimize(dec.num_components());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_TarjanScc)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_SourceComponents(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    graph::Digraph g = graph::random_min_indegree(n, 3, 7);
+    for (auto _ : state) {
+        auto sources = graph::source_components(g);
+        benchmark::DoNotOptimize(sources);
+    }
+}
+BENCHMARK(BM_SourceComponents)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DigestComputation(benchmark::State& state) {
+    auto algorithm = algo::make_flp_consensus(15);
+    auto behavior = algorithm->make_behavior(1, 15, 1);
+    StepInput input;  // first step: the stage-1 broadcast
+    behavior->on_step(input);
+    for (auto _ : state) {
+        std::string d = behavior->state_digest();
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_DigestComputation);
+
+void BM_IndistinguishabilityCheck(benchmark::State& state) {
+    algo::FloodingKSet algorithm(8);
+    RoundRobinScheduler rr1, rr2;
+    Run a = execute_run(algorithm, 8, distinct_inputs(8), {}, rr1);
+    Run b = execute_run(algorithm, 8, distinct_inputs(8), {}, rr2);
+    std::vector<ProcessId> all;
+    for (ProcessId p = 1; p <= 8; ++p) all.push_back(p);
+    for (auto _ : state) {
+        bool same = indistinguishable_for_all(a, b, all);
+        benchmark::DoNotOptimize(same);
+    }
+}
+BENCHMARK(BM_IndistinguishabilityCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E9 (extension) -- the round-model landscape the Discussion section
+// points at:
+//
+//   (a) FloodMin under the synchronous f-crash adversary: the classic
+//       floor(f/k)+1 round bound, swept over (n, f, k) and adversarial
+//       crash schedules;
+//   (b) the Theorem-1-style partition argument in the Heard-Of model:
+//       k+1 isolated blocks force k+1 decisions;
+//   (c) the synchronous-window crossover (Alistarh et al. [1],
+//       qualitatively): a window opening before the decision round
+//       rescues agreement, one opening after is too late.
+
+#include <iomanip>
+#include <iostream>
+
+#include "algo/floodmin.hpp"
+#include "core/ho_argument.hpp"
+#include "sim/rounds.hpp"
+#include "sim/system.hpp"
+
+int main() {
+    using namespace ksa;
+    bool all = true;
+
+    std::cout << "E9a: FloodMin with floor(f/k)+1 rounds under staggered "
+                 "crashes\n\n";
+    std::cout << std::setw(4) << "n" << std::setw(4) << "f" << std::setw(4)
+              << "k" << std::setw(8) << "rounds" << std::setw(10) << "trials"
+              << std::setw(10) << "worst#" << std::setw(10) << "bound\n";
+    for (int n : {5, 7, 9, 12}) {
+        for (int f = 1; f < n - 1; f += 2) {
+            for (int k : {1, 2, 3}) {
+                if (k > f) continue;
+                int worst = 0;
+                const int trials = 20;
+                for (int t = 0; t < trials; ++t) {
+                    std::vector<int> rounds;
+                    for (int i = 0; i < f; ++i) rounds.push_back(i / k + 1);
+                    worst = std::max(
+                        worst, core::ho_floodmin_crash_trial(
+                                   n, f, k, rounds,
+                                   static_cast<std::uint64_t>(t) * 97 + 1));
+                }
+                if (worst > k) all = false;
+                std::cout << std::setw(4) << n << std::setw(4) << f
+                          << std::setw(4) << k << std::setw(8)
+                          << algo::FloodMin::rounds_for(f, k) << std::setw(10)
+                          << trials << std::setw(10) << worst << std::setw(7)
+                          << "<= " << k << "\n";
+            }
+        }
+    }
+
+    std::cout << "\nE9b: the partition argument in the HO model (k+1 blocks "
+                 "isolated for ever)\n\n";
+    std::cout << std::setw(4) << "k" << std::setw(6) << "n" << std::setw(12)
+              << "#decided" << std::setw(10) << "indist" << std::setw(12)
+              << "violation\n";
+    for (int k : {1, 2, 3}) {
+        const int group = 2;
+        const int n = (k + 1) * group;
+        std::vector<std::vector<ProcessId>> blocks;
+        for (int i = 0; i <= k; ++i) {
+            std::vector<ProcessId> b;
+            for (int j = 1; j <= group; ++j) b.push_back(i * group + j);
+            blocks.push_back(std::move(b));
+        }
+        algo::FloodMin algorithm(2);
+        core::HoPartitionResult r =
+            core::ho_partition_argument(algorithm, n, k, blocks, 0);
+        all = all && r.violation && r.all_indistinguishable;
+        std::cout << std::setw(4) << k << std::setw(6) << n << std::setw(12)
+                  << r.distinct_decisions << std::setw(10)
+                  << (r.all_indistinguishable ? "yes" : "NO") << std::setw(12)
+                  << (r.violation ? "YES" : "no") << "\n";
+    }
+
+    std::cout << "\nE9c: synchronous-window crossover (n=6, k=2, 3 blocks, "
+                 "FloodMin R=3)\n\n";
+    std::cout << std::setw(18) << "window opens at" << std::setw(12)
+              << "#decided" << std::setw(12) << "violation\n";
+    for (int window : {1, 2, 3, 4, 0}) {
+        algo::FloodMin algorithm(3);
+        core::HoPartitionResult r = core::ho_partition_argument(
+            algorithm, 6, 2, {{1, 2}, {3, 4}, {5, 6}}, window);
+        std::ostringstream label;
+        if (window == 0)
+            label << "never";
+        else
+            label << "round " << window + 1;
+        std::cout << std::setw(18) << label.str() << std::setw(12)
+                  << r.distinct_decisions << std::setw(12)
+                  << (r.violation ? "YES" : "no") << "\n";
+    }
+    std::cout << "\ncrossover: the protocol survives iff the window opens "
+                 "before its decision round -- the paper's border logic in "
+                 "round form\n";
+    return all ? 0 : 1;
+}

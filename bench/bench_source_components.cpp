@@ -1,0 +1,85 @@
+// E6 -- Lemmas 6 and 7: source-component statistics of random digraphs
+// with min in-degree delta, and of FLP stage graphs with threshold L.
+//
+// Confirms, over large random sweeps: every source component has size
+// >= delta+1; the number of source components never exceeds
+// floor(n/(delta+1)); with 2*delta >= n the source component is unique.
+
+#include <iomanip>
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+
+int main() {
+    using namespace ksa::graph;
+    std::cout << "E6: source components of random min-in-degree graphs\n\n";
+    std::cout << std::setw(6) << "n" << std::setw(7) << "delta" << std::setw(9)
+              << "trials" << std::setw(10) << "min|SC|" << std::setw(10)
+              << "max#SC" << std::setw(12) << "bound" << std::setw(10)
+              << "holds\n";
+
+    bool all = true;
+    for (int n : {10, 20, 40, 80}) {
+        for (int delta : {1, 2, n / 4, n / 2, n - 2}) {
+            if (delta < 1 || delta >= n) continue;
+            const int trials = 200;
+            int min_size = n + 1, max_count = 0;
+            bool ok = true;
+            for (int t = 0; t < trials; ++t) {
+                Digraph g = random_min_indegree(
+                    n, delta, static_cast<std::uint64_t>(t) * 1315423911u + 1);
+                auto sources = source_components(g);
+                for (const auto& sc : sources) {
+                    min_size = std::min(min_size, static_cast<int>(sc.size()));
+                    if (static_cast<int>(sc.size()) < delta + 1) ok = false;
+                }
+                max_count =
+                    std::max(max_count, static_cast<int>(sources.size()));
+                if (static_cast<int>(sources.size()) > n / (delta + 1))
+                    ok = false;
+                if (2 * delta >= n && sources.size() != 1) ok = false;
+            }
+            all = all && ok;
+            std::cout << std::setw(6) << n << std::setw(7) << delta
+                      << std::setw(9) << trials << std::setw(10) << min_size
+                      << std::setw(10) << max_count << std::setw(9) << "<="
+                      << n / (delta + 1) << std::setw(10) << (ok ? "yes" : "NO")
+                      << "\n";
+        }
+    }
+
+    std::cout << "\nFLP stage graphs (waiting for L-1 messages, d initially "
+                 "dead):\n";
+    std::cout << std::setw(6) << "n" << std::setw(5) << "L" << std::setw(6)
+              << "dead" << std::setw(10) << "max#SC" << std::setw(16)
+              << "floor(live/L)\n";
+    for (int n : {9, 12, 15}) {
+        for (int l : {2, 3, n / 2}) {
+            for (int dead_count : {0, 2}) {
+                if (l - 1 >= n - dead_count) continue;
+                std::vector<int> dead;
+                for (int i = 0; i < dead_count; ++i) dead.push_back(i);
+                int max_count = 0;
+                for (int t = 0; t < 100; ++t) {
+                    Digraph g = random_stage_graph(
+                        n, l - 1, dead,
+                        static_cast<std::uint64_t>(t) * 2654435761u + 3);
+                    std::vector<int> live;
+                    for (int v = dead_count; v < n; ++v) live.push_back(v);
+                    auto sources = source_components(g.induced(live));
+                    max_count =
+                        std::max(max_count, static_cast<int>(sources.size()));
+                }
+                const int bound = (n - dead_count) / l;
+                if (max_count > bound) all = false;
+                std::cout << std::setw(6) << n << std::setw(5) << l
+                          << std::setw(6) << dead_count << std::setw(10)
+                          << max_count << std::setw(16) << bound << "\n";
+            }
+        }
+    }
+    std::cout << "\n"
+              << (all ? "all bounds hold" : "BOUND VIOLATED") << "\n";
+    return all ? 0 : 1;
+}

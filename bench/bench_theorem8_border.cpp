@@ -1,0 +1,46 @@
+// E3 -- Theorem 8, border side: at k*n = (k+1)*f the problem becomes
+// impossible; the standard partitioning argument produces a crash-free
+// admissible run with k+1 distinct decisions.
+//
+// For each k, takes n = (k+1) * group for several group sizes, builds
+// the k+1-way partition pasting against the generalized FLP protocol,
+// and prints: the number of distinct decisions in the pasted run, the
+// Definition 2 indistinguishability verdict between the isolated runs
+// eps_i and the pasted run eps, and the admissibility verdict.
+
+#include <iomanip>
+#include <iostream>
+
+#include "algo/initial_clique.hpp"
+#include "core/theorem8.hpp"
+
+int main() {
+    using namespace ksa;
+    std::cout << "E3: Theorem 8 border (k*n = (k+1)*f): the k+1-way "
+                 "partition pasting\n\n";
+    std::cout << std::setw(4) << "k" << std::setw(6) << "n" << std::setw(6)
+              << "f" << std::setw(10) << "groups" << std::setw(12)
+              << "#decided" << std::setw(10) << "indist" << std::setw(12)
+              << "violation\n";
+
+    bool all = true;
+    for (int k : {1, 2, 3, 4}) {
+        for (int group : {2, 3}) {
+            const int n = (k + 1) * group;
+            const int f = k * n / (k + 1);
+            auto algorithm = algo::make_flp_kset(n, f);
+            core::Theorem8Border border =
+                core::theorem8_border(*algorithm, n, k);
+            all = all && border.violation;
+            std::cout << std::setw(4) << k << std::setw(6) << n << std::setw(6)
+                      << f << std::setw(10) << k + 1 << std::setw(12)
+                      << border.distinct_decisions << std::setw(10)
+                      << (border.paste.all_indistinguishable ? "yes" : "NO")
+                      << std::setw(12) << (border.violation ? "YES" : "no")
+                      << "\n";
+        }
+    }
+    std::cout << "\nevery row shows k+1 distinct decisions in an admissible "
+                 "crash-free run -> k-agreement violated at the border\n";
+    return all ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// E2 -- Theorem 8, possibility side: k-set agreement with up to f
+// initial crashes is solvable iff k*n > (k+1)*f.
+//
+// For each (n, f), prints the minimal solvable k per the arithmetic,
+// then runs the generalized FLP protocol (L = n-f) over randomized
+// crash sets and schedules and reports the worst observed number of
+// distinct decisions together with the spec verdict.  The observed
+// divergence never exceeds the bound floor(live/L) <= k.
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <random>
+
+#include "core/bounds.hpp"
+#include "core/theorem8.hpp"
+
+int main() {
+    using namespace ksa;
+    std::cout << "E2: Theorem 8 possibility sweep (protocol: initial-clique, "
+                 "L = n-f)\n\n";
+    std::cout << std::setw(4) << "n" << std::setw(4) << "f" << std::setw(8)
+              << "min k" << std::setw(8) << "L" << std::setw(12) << "trials"
+              << std::setw(12) << "worst#" << std::setw(12) << "bound"
+              << std::setw(10) << "spec\n";
+
+    std::mt19937_64 rng(7);
+    bool all_ok = true;
+    for (int n : {4, 6, 8, 10, 12}) {
+        for (int f = 1; f < n; ++f) {
+            const int k = core::theorem8_min_k(n, f);
+            if (k >= n) continue;  // degenerate
+            const int trials = 30;
+            int worst = 0;
+            bool ok = true;
+            for (int t = 0; t < trials; ++t) {
+                std::vector<ProcessId> ids;
+                for (ProcessId p = 1; p <= n; ++p) ids.push_back(p);
+                std::shuffle(ids.begin(), ids.end(), rng);
+                const int crashes = static_cast<int>(rng() % (f + 1));
+                std::vector<ProcessId> dead(ids.begin(), ids.begin() + crashes);
+                core::Theorem8Trial trial =
+                    core::theorem8_trial(n, f, k, dead, rng());
+                worst = std::max(worst, trial.distinct_decisions);
+                ok = ok && trial.check.ok();
+            }
+            all_ok = all_ok && ok;
+            std::cout << std::setw(4) << n << std::setw(4) << f << std::setw(8)
+                      << k << std::setw(8) << n - f << std::setw(12) << trials
+                      << std::setw(12) << worst << std::setw(9) << "<=" << k
+                      << std::setw(10) << (ok ? "ok" : "VIOLATED") << "\n";
+        }
+    }
+    std::cout << "\nk = 1 column reproduces the FLP initial-crash consensus "
+                 "protocol (majority of correct processes).\n";
+    return all_ok ? 0 : 1;
+}

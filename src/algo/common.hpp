@@ -1,0 +1,69 @@
+#pragma once
+// Shared helpers for protocol implementations.
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/behavior.hpp"
+#include "sim/types.hpp"
+
+namespace ksa::algo {
+
+/// Base class for protocol state machines: stores identity, carries the
+/// write-once decision flag and provides digest-rendering helpers.
+class BehaviorBase : public Behavior {
+public:
+    BehaviorBase(ProcessId id, int n, Value input)
+        : id_(id), n_(n), input_(input) {}
+
+protected:
+    ProcessId id() const { return id_; }
+    int n() const { return n_; }
+    Value input() const { return input_; }
+    bool has_decided() const { return decided_; }
+
+    /// Marks the decision in `out`; enforces write-once locally too.
+    void decide(StepOutput& out, Value v) {
+        require(!decided_, "BehaviorBase::decide: already decided");
+        decided_ = true;
+        out.decision = v;
+    }
+
+    /// Sends `payload` to every process except self.
+    void broadcast_others(StepOutput& out, const Payload& payload) const {
+        for (ProcessId q = 1; q <= n_; ++q)
+            if (q != id_) out.send(q, payload);
+    }
+
+    /// Digest fragment for a set of ids/values.
+    template <typename Container>
+    static std::string render(const Container& xs) {
+        std::ostringstream out;
+        out << '{';
+        bool first = true;
+        for (const auto& x : xs) {
+            if (!first) out << ',';
+            first = false;
+            out << x;
+        }
+        out << '}';
+        return out.str();
+    }
+
+private:
+    ProcessId id_;
+    int n_;
+    Value input_;
+    bool decided_ = false;
+};
+
+/// Inserts into a sorted vector, keeping it sorted and duplicate-free.
+inline void insert_sorted_unique(std::vector<int>& v, int x) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+}  // namespace ksa::algo

@@ -1,0 +1,93 @@
+#include "algo/flooding.hpp"
+
+namespace ksa::algo {
+
+namespace {
+
+class FloodingBehavior final : public BehaviorBase {
+public:
+    FloodingBehavior(ProcessId id, int n, Value input, int threshold)
+        : BehaviorBase(id, n, input), threshold_(threshold) {
+        require(threshold_ >= 1 && threshold_ <= n,
+                "FloodingKSet: need 1 <= threshold <= n");
+        seen_[id] = input;
+    }
+
+    StepOutput on_step(const StepInput& in) override {
+        StepOutput out;
+        for (const Message& m : in.delivered)
+            if (m.payload.tag == "VAL")
+                seen_.emplace(m.payload.ints.at(0), m.payload.ints.at(1));
+        if (has_decided()) return out;
+        if (!announced_) {
+            broadcast_others(out, make_payload("VAL", {id(), input()}));
+            announced_ = true;
+        }
+        if (static_cast<int>(seen_.size()) >= threshold_) {
+            Value best = input();
+            for (const auto& [_, v] : seen_) best = std::min(best, v);
+            decide(out, best);
+        }
+        return out;
+    }
+
+    std::string state_digest() const override {
+        std::ostringstream d;
+        d << "FL(p" << id() << ",x=" << input() << ",ann=" << announced_
+          << ",seen={";
+        bool first = true;
+        for (const auto& [q, v] : seen_) {
+            if (!first) d << ',';
+            first = false;
+            d << q << ':' << v;
+        }
+        d << "})";
+        return d.str();
+    }
+
+private:
+    int threshold_;
+    bool announced_ = false;
+    std::map<ProcessId, Value> seen_;
+};
+
+class TrivialBehavior final : public BehaviorBase {
+public:
+    using BehaviorBase::BehaviorBase;
+
+    StepOutput on_step(const StepInput&) override {
+        StepOutput out;
+        if (!has_decided()) decide(out, input());
+        return out;
+    }
+
+    std::string state_digest() const override {
+        std::ostringstream d;
+        d << "TR(p" << id() << ",x=" << input() << ",dec=" << has_decided()
+          << ')';
+        return d.str();
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<Behavior> FloodingKSet::make_behavior(ProcessId id, int n,
+                                                      Value input) const {
+    return std::make_unique<FloodingBehavior>(id, n, input, threshold_);
+}
+
+std::string FloodingKSet::name() const {
+    return "flooding(th=" + std::to_string(threshold_) + ")";
+}
+
+std::unique_ptr<Behavior> TrivialWaitFree::make_behavior(ProcessId id, int n,
+                                                         Value input) const {
+    return std::make_unique<TrivialBehavior>(id, n, input);
+}
+
+std::unique_ptr<Algorithm> make_flooding(int n, int f) {
+    require(f >= 0 && f < n, "make_flooding: need 0 <= f < n");
+    return std::make_unique<FloodingKSet>(n - f);
+}
+
+}  // namespace ksa::algo

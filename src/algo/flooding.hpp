@@ -1,0 +1,57 @@
+#pragma once
+// Flooding-style baselines and strawmen.
+//
+// FloodingKSet is the classic f-resilient baseline: broadcast your
+// proposal, wait for proposals from n-f processes (counting yourself),
+// decide the minimum seen.  It solves (f+1)-set agreement in the
+// asynchronous model with up to f crashes (each decided minimum can
+// "miss" at most f smaller proposals), and nothing better: the paper's
+// Theorem 2 adversary constructs runs with exactly min(f+1, ...) distinct
+// decisions.  It is also the "seemingly promising candidate" on which the
+// remark after Theorem 1 is demonstrated: condition (dec-D) is satisfied
+// in partitioned runs, so the algorithm cannot solve k-set agreement for
+// small k.
+//
+// TrivialWaitFree decides its own proposal immediately: the degenerate
+// wait-free protocol that solves only n-set agreement, used by the
+// T-independence demonstrations of Section IV (it is strongly
+// 2^Pi-independent).
+
+#include <map>
+#include <memory>
+
+#include "algo/common.hpp"
+#include "sim/behavior.hpp"
+
+namespace ksa::algo {
+
+/// Broadcast-and-wait-for-(n-f) baseline; decides the minimum proposal
+/// among the first `threshold` proposals seen (its own included).
+class FloodingKSet final : public Algorithm {
+public:
+    /// `threshold` is the number of proposals (self included) to wait
+    /// for; the f-resilient instance uses threshold = n - f.
+    explicit FloodingKSet(int threshold) : threshold_(threshold) {}
+
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override;
+
+    int threshold() const { return threshold_; }
+
+private:
+    int threshold_;
+};
+
+/// Decides its own proposal in its first step; never communicates.
+class TrivialWaitFree final : public Algorithm {
+public:
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override { return "trivial-wait-free"; }
+};
+
+/// The f-resilient flooding instance (threshold n - f).
+std::unique_ptr<Algorithm> make_flooding(int n, int f);
+
+}  // namespace ksa::algo

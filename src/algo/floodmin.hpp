@@ -1,0 +1,43 @@
+#pragma once
+// FloodMin: the classic synchronous k-set agreement protocol, expressed
+// in the Heard-Of model.
+//
+// Every process keeps an estimate (initially its proposal); each round
+// it sends the estimate to all, adopts the minimum heard, and decides
+// after floor(f/k) + 1 rounds.  Under the synchronous f-crash adversary
+// (sim/rounds.hpp's CrashHo) at most k distinct values survive: each
+// round that fails to "clean" (i.e. in which estimates still diverge)
+// consumes at least k crashes, so f crashes sustain divergence above k
+// for at most floor(f/k) rounds -- the classic bound, which bench E9
+// regenerates as a table.
+//
+// Under the *partitioning* HO adversary the protocol fails for exactly
+// the reason Theorem 1 predicts: isolated blocks keep their own minima
+// for ever, so k+1 blocks yield k+1 decisions (see core/ho_argument.hpp).
+
+#include <memory>
+
+#include "sim/rounds.hpp"
+
+namespace ksa::algo {
+
+/// FloodMin with a fixed number of rounds.  Use rounds = f/k + 1 for the
+/// f-crash synchronous setting.
+class FloodMin final : public ho::RoundAlgorithm {
+public:
+    explicit FloodMin(int rounds) : rounds_(rounds) {}
+
+    std::unique_ptr<ho::RoundBehavior> make_behavior(ProcessId id, int n,
+                                                     Value input) const override;
+    std::string name() const override;
+
+    int rounds() const { return rounds_; }
+
+    /// The round count sufficient for k-set agreement under f crashes.
+    static int rounds_for(int f, int k) { return f / k + 1; }
+
+private:
+    int rounds_;
+};
+
+}  // namespace ksa::algo

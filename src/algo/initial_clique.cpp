@@ -1,0 +1,160 @@
+#include "algo/initial_clique.hpp"
+
+#include <algorithm>
+
+#include "graph/clique.hpp"
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace ksa::algo {
+
+namespace {
+
+/// Per-process state machine of the two-stage protocol.
+class InitialCliqueBehavior final : public BehaviorBase {
+public:
+    InitialCliqueBehavior(ProcessId id, int n, Value input, int l)
+        : BehaviorBase(id, n, input), l_(l) {
+        require(l_ >= 1 && l_ <= n, "InitialCliqueKSet: need 1 <= L <= n");
+    }
+
+    StepOutput on_step(const StepInput& in) override {
+        StepOutput out;
+        ingest(in);
+        if (has_decided()) return out;
+
+        if (phase_ == 0) {
+            // Stage 1: announce ourselves.
+            broadcast_others(out, make_payload("S1", {id()}));
+            phase_ = 1;
+        }
+        if (phase_ == 1 && static_cast<int>(heard_.size()) == l_ - 1) {
+            // Stage 2: publish proposal and heard-list.
+            broadcast_others(out,
+                             make_payload("S2", {id(), input()}, {heard_}));
+            for (int q : heard_) insert_sorted_unique(required_, q);
+            phase_ = 2;
+        }
+        if (phase_ == 2 && closure_complete()) {
+            decide(out, compute_decision());
+            phase_ = 3;
+        }
+        return out;
+    }
+
+    std::string state_digest() const override {
+        std::ostringstream d;
+        d << "IC(p" << id() << ",x=" << input() << ",ph=" << phase_
+          << ",heard=" << render(heard_) << ",req=" << render(required_)
+          << ",known=";
+        d << '{';
+        bool first = true;
+        for (const auto& [q, info] : known_) {
+            if (!first) d << ';';
+            first = false;
+            d << q << ":" << info.first << ":" << render(info.second);
+        }
+        d << "})";
+        return d.str();
+    }
+
+private:
+    void ingest(const StepInput& in) {
+        for (const Message& m : in.delivered) {
+            if (m.payload.tag == "S1") {
+                // Only the first L-1 senders become in-neighbours; later
+                // stage-1 messages are ignored (the graph edge exists only
+                // if the receiver *counted* the message).
+                if (static_cast<int>(heard_.size()) < l_ - 1)
+                    insert_sorted_unique(heard_, m.payload.ints.at(0));
+            } else if (m.payload.tag == "S2") {
+                const int q = m.payload.ints.at(0);
+                const Value x = m.payload.ints.at(1);
+                const std::vector<int>& list = m.payload.lists.at(0);
+                known_[q] = {x, list};
+                for (int u : list) insert_sorted_unique(required_, u);
+            }
+        }
+    }
+
+    /// True when a stage-2 message from every required process arrived.
+    bool closure_complete() const {
+        for (int q : required_)
+            if (q != id() && known_.count(q) == 0) return false;
+        return true;
+    }
+
+    /// Builds the known (in-closed) part of the heard-from graph and
+    /// applies the source-component decision rule.
+    Value compute_decision() const {
+        // Participating vertices: self plus every sender of a stage-2
+        // message we hold.  (0-based for the graph library.)
+        std::vector<int> participants{id() - 1};
+        for (const auto& [q, _] : known_)
+            insert_sorted_unique(participants, q - 1);
+
+        graph::Digraph g(n());
+        for (int u : heard_) g.add_edge(u - 1, id() - 1);
+        for (const auto& [q, info] : known_)
+            for (int u : info.second)
+                if (u != q) g.add_edge(u - 1, q - 1);
+
+        std::vector<int> labels;
+        graph::Digraph sub = g.induced(participants, &labels);
+
+        // Source components of the known subgraph; find those from which
+        // we are reachable and pick the one with the smallest member.
+        auto sources = graph::source_components(sub);
+        invariant(!sources.empty(), "InitialCliqueKSet: no source component");
+        int self_local = -1;
+        for (std::size_t i = 0; i < labels.size(); ++i)
+            if (labels[i] == id() - 1) self_local = static_cast<int>(i);
+        invariant(self_local >= 0, "InitialCliqueKSet: self not a participant");
+
+        int best_member = -1;  // 0-based global id of chosen representative
+        for (const auto& sc : sources) {
+            auto reach = graph::reachable_from(sub, sc);
+            if (!std::binary_search(reach.begin(), reach.end(), self_local))
+                continue;
+            const int member = labels[sc.front()];  // smallest: sc sorted
+            if (best_member == -1 || member < best_member) best_member = member;
+        }
+        invariant(best_member >= 0,
+                  "InitialCliqueKSet: no source component reaches this process");
+
+        const ProcessId rep = best_member + 1;
+        if (rep == id()) return input();
+        auto it = known_.find(rep);
+        invariant(it != known_.end(),
+                  "InitialCliqueKSet: representative's proposal unknown");
+        return it->second.first;
+    }
+
+    int l_;
+    int phase_ = 0;                 // 0 start, 1 stage-1 wait, 2 closure, 3 done
+    std::vector<int> heard_;        // stage-1 in-neighbours (sorted)
+    std::vector<int> required_;     // processes whose stage-2 msg we await
+    std::map<int, std::pair<Value, std::vector<int>>> known_;  // S2 contents
+};
+
+}  // namespace
+
+std::unique_ptr<Behavior> InitialCliqueKSet::make_behavior(ProcessId id, int n,
+                                                           Value input) const {
+    return std::make_unique<InitialCliqueBehavior>(id, n, input, l_);
+}
+
+std::string InitialCliqueKSet::name() const {
+    return "initial-clique(L=" + std::to_string(l_) + ")";
+}
+
+std::unique_ptr<Algorithm> make_flp_consensus(int n) {
+    return std::make_unique<InitialCliqueKSet>((n + 2) / 2);  // ceil((n+1)/2)
+}
+
+std::unique_ptr<Algorithm> make_flp_kset(int n, int f) {
+    require(f >= 0 && f < n, "make_flp_kset: need 0 <= f < n");
+    return std::make_unique<InitialCliqueKSet>(n - f);
+}
+
+}  // namespace ksa::algo

@@ -1,0 +1,69 @@
+#pragma once
+// The two-stage initial-crash protocol of FLP, generalized to k-set
+// agreement exactly as in Section VI of the paper.
+//
+// Stage 1: every process broadcasts a stage-1 message carrying its id,
+// then waits until it has received stage-1 messages from L-1 distinct
+// other processes (its in-neighbours in the "heard-from" graph G).
+//
+// Stage 2: every process broadcasts (id, proposal, heard-list) and waits
+// for a stage-2 message from every process in its heard-list and,
+// transitively, from every process mentioned in any received list.  The
+// knowledge a process ends up with is therefore *in-closed*: it knows
+// every in-edge of every vertex it knows.  Consequently the source
+// components it computes locally are true source components of G, and
+// the source component(s) reaching it are known completely.
+//
+// Decision rule: among the source components of the known subgraph from
+// which the process is reachable, pick the one with the smallest member
+// id and decide the proposal of that smallest member.  Since G has min
+// in-degree L-1 on the live processes, G has at most floor(n_live / L)
+// source components (Lemmas 6 and 7), which bounds the number of
+// distinct decisions; with L-1 >= a majority the source component is
+// unique and the protocol solves consensus -- this is the FLP protocol.
+//
+// The protocol tolerates up to f = n - L *initial* crashes: every live
+// process finds L-1 live senders to hear from, and every process
+// mentioned in a list is live (it sent a stage-1 message).  It is not
+// resilient to crashes at arbitrary times -- exactly the gap that
+// Theorem 2 proves is unavoidable.
+
+#include <map>
+#include <memory>
+
+#include "algo/common.hpp"
+#include "sim/behavior.hpp"
+
+namespace ksa::algo {
+
+/// The Section VI protocol, parameterized by the stage-1 threshold L.
+class InitialCliqueKSet final : public Algorithm {
+public:
+    /// `l` is the paper's L: a process waits for L-1 stage-1 messages.
+    /// Requires 1 <= l <= n (checked when behaviors are created).
+    explicit InitialCliqueKSet(int l) : l_(l) {}
+
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override;
+
+    int l() const { return l_; }
+
+    /// Upper bound floor(n/L) on the number of distinct decisions when
+    /// all processes are live; with d initial deaths the live count
+    /// drops to n-d and the bound becomes floor((n-d)/L).
+    static int max_decisions(int live, int l) { return live / l; }
+
+private:
+    int l_;
+};
+
+/// The FLP consensus instance: L = ceil((n+1)/2), tolerating f < n/2
+/// initial crashes.
+std::unique_ptr<Algorithm> make_flp_consensus(int n);
+
+/// The Theorem 8 instance: L = n - f, solving k-set agreement with up to
+/// f initial crashes whenever k*n > (k+1)*f.
+std::unique_ptr<Algorithm> make_flp_kset(int n, int f);
+
+}  // namespace ksa::algo

@@ -1,0 +1,42 @@
+#pragma once
+// The One-Third-Rule consensus algorithm of the Heard-Of model
+// (Charron-Bost & Schiper, "The Heard-Of model", cited as [8]).
+//
+// Every round, each process sends its estimate to all and then:
+//   * if it heard more than 2n/3 processes, it adopts the smallest
+//     value occurring most often among the heard estimates;
+//   * if additionally some value was heard from more than 2n/3
+//     processes, it decides that value.
+//
+// Safety holds under ANY heard-of assignment (no communication
+// predicate needed): two decided values would each need > 2n/3
+// supporters in their rounds, and the adoption rule preserves a value
+// once > 2n/3 of the processes hold it.  Termination needs eventually
+// "good" rounds (e.g. two consecutive uniform rounds where everybody
+// hears the same > 2n/3 set), which FullHo provides immediately.
+//
+// In this library the algorithm plays two roles: (i) a second,
+// structurally different consensus protocol exercising the HO substrate
+// and (ii) another demonstration of the paper's Discussion claim -- the
+// partitioning adversary cannot make 1/3-rule *disagree* (blocks smaller
+// than 2n/3 never decide), so the Theorem-1-style violation manifests as
+// a termination failure instead: the conditions of Theorem 1 fail at
+// (dec-Dbar), which is exactly how a sound algorithm escapes the trap.
+
+#include <memory>
+
+#include "sim/rounds.hpp"
+
+namespace ksa::algo {
+
+/// See file comment.
+class OneThirdRule final : public ho::RoundAlgorithm {
+public:
+    /// `max_rounds` bounds how long a behavior keeps trying (the HO
+    /// executor stops earlier once everybody alive decided).
+    std::unique_ptr<ho::RoundBehavior> make_behavior(ProcessId id, int n,
+                                                     Value input) const override;
+    std::string name() const override { return "one-third-rule"; }
+};
+
+}  // namespace ksa::algo

@@ -1,0 +1,36 @@
+#pragma once
+// (Sigma, Omega)-based consensus.
+//
+// The possibility half of Corollary 13 for k = 1: (Sigma_1, Omega_1) is
+// sufficient for consensus (Delporte-Gallet, Fauconnier, Guerraoui).  The
+// protocol here is single-decree Paxos adapted to the Sigma interface:
+// instead of counting majorities, a leader considers a phase complete
+// when the responders cover its *current* Sigma quorum output -- the
+// Intersection property of Sigma is exactly what makes any two completed
+// phases share a responder, which is all the classic Paxos safety
+// argument needs; Liveness of Sigma plus Eventual Leadership of Omega
+// give termination.
+//
+// Contrast with quorum_leader_kset.hpp: this protocol carries ballots
+// and the promise/accept arbitration; the candidate there does not, and
+// that difference is precisely what the Theorem 10 adversary exploits.
+
+#include <memory>
+
+#include "sim/behavior.hpp"
+
+namespace ksa::algo {
+
+/// Single-decree, Sigma/Omega-driven Paxos.  Queries the failure
+/// detector every step; the sample's `quorum` is the Sigma output and
+/// `leaders` the Omega output (the process acts as a proposer iff its
+/// own id is in `leaders`).
+class PaxosConsensus final : public Algorithm {
+public:
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override { return "paxos(Sigma,Omega)"; }
+    bool needs_failure_detector() const override { return true; }
+};
+
+}  // namespace ksa::algo

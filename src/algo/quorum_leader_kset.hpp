@@ -1,0 +1,43 @@
+#pragma once
+// The (Sigma_k, Omega_k) candidate that Theorem 10 defeats.
+//
+// A natural attempt at k-set agreement from (Sigma_k, Omega_k): every
+// process whose id appears in its Omega_k output proposes its estimate;
+// everybody acknowledges every proposal (Sigma_k quorums have no ballot
+// arbitration here -- that is the flaw); a proposer whose acknowledgers
+// cover its current Sigma_k quorum decides its estimate and floods the
+// decision; non-proposers decide on the first decision announcement.
+//
+// Why it *looks* promising: in benign runs at most k processes ever
+// propose (the k stabilized leaders), so at most k values are decided;
+// Liveness of Sigma_k and Eventual Leadership of Omega_k give
+// termination.
+//
+// Why it fails, per the paper: the partition detector (Sigma'_k,
+// Omega'_k) of Definition 7 -- whose histories are admissible for
+// (Sigma_k, Omega_k) by Lemma 9 -- lets the adversary (i) make each of
+// the k-1 singleton blocks D_i decide its own value in isolation
+// (condition (dec-D-bar) of Theorem 1 is satisfiable, which the remark
+// after Theorem 1 already flags as fatal), and (ii) stabilize the leader
+// set so it intersects the remaining block D in *two* processes; both
+// gather quorum acknowledgments (quorums inside D intersect, but without
+// ballots an acknowledger happily serves both), decide their distinct
+// estimates, and the run ends with k+1 distinct decisions.  The engine
+// in core/theorem10.hpp constructs that run mechanically.
+
+#include <memory>
+
+#include "sim/behavior.hpp"
+
+namespace ksa::algo {
+
+/// See file comment.
+class QuorumLeaderKSet final : public Algorithm {
+public:
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override { return "quorum-leader-kset"; }
+    bool needs_failure_detector() const override { return true; }
+};
+
+}  // namespace ksa::algo

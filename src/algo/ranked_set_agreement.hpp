@@ -1,0 +1,47 @@
+#pragma once
+// (n-1)-set agreement from Sigma_{n-1}.
+//
+// The possibility half of Corollary 13 for k = n-1: Sigma_{n-1} is
+// sufficient for (n-1)-set agreement (Bonnet & Raynal).  The protocol is
+// the loneliness-style algorithm:
+//
+//   * broadcast your proposal once;
+//   * if your Sigma_{n-1} quorum output is the singleton {self}, decide
+//     your own proposal ("lonely" decision);
+//   * upon first receiving the proposal of a process with a *smaller id*,
+//     decide that proposal ("ranked" decision);
+//   * upon receiving any decision announcement, copy it (relay once).
+//
+// Safety (at most n-1 distinct decisions): a relayed decision never adds
+// a distinct value, so n distinct decisions would require n *original*
+// deciders.  A ranked decider p_i decides x_j with j < i; a lonely
+// decider decides its own x_i.  Distinctness makes i -> (index decided)
+// injective with sigma(i) <= i and sigma(i) = i exactly for lonely
+// deciders -- an injective map with sigma(i) <= i is the identity, so all
+// n processes must have decided lonely.  That needs n singleton quorums
+// {1}, ..., {n} at n distinct processes, which are pairwise disjoint and
+// violate the Intersection property of Sigma_{n-1}.  Hence at most n-1
+// processes decide lonely and at most n-1 distinct values occur.
+//
+// Termination: let c be the smallest correct id.  Every correct p_j with
+// j > c eventually receives x_c and decides; if some such j exists its
+// decision announcement reaches p_c.  If p_c is the only correct process,
+// Liveness of Sigma_{n-1} eventually outputs a quorum of correct
+// processes only, i.e. the singleton {c}, and p_c decides lonely.
+
+#include <memory>
+
+#include "sim/behavior.hpp"
+
+namespace ksa::algo {
+
+/// See file comment.  Uses only the quorum component of the detector.
+class RankedSetAgreement final : public Algorithm {
+public:
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override { return "ranked-set(Sigma_{n-1})"; }
+    bool needs_failure_detector() const override { return true; }
+};
+
+}  // namespace ksa::algo

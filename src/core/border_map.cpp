@@ -1,0 +1,56 @@
+#include "core/border_map.hpp"
+
+#include "core/bounds.hpp"
+
+namespace ksa::core {
+
+char verdict_char(Verdict v) {
+    switch (v) {
+        case Verdict::kSolvable: return 'S';
+        case Verdict::kImpossibleEasy: return 'X';
+        case Verdict::kImpossibleTopology: return 'x';
+    }
+    return '?';
+}
+
+Verdict initial_crash_verdict(int n, int f, int k) {
+    return theorem8_solvable(n, f, k) ? Verdict::kSolvable
+                                      : Verdict::kImpossibleEasy;
+}
+
+Verdict async_crash_verdict(int n, int f, int k) {
+    if (theorem2_impossible(n, f, k)) return Verdict::kImpossibleEasy;
+    if (k >= flooding_bound(f)) return Verdict::kSolvable;
+    // The gap: truly impossible (k <= f, the topological bound), but the
+    // partitioning reduction does not reach it.
+    invariant(k <= f, "async_crash_verdict: gap cell above the true border");
+    return Verdict::kImpossibleTopology;
+}
+
+Verdict detector_verdict(int n, int k) {
+    return corollary13_solvable(n, k) ? Verdict::kSolvable
+                                      : Verdict::kImpossibleEasy;
+}
+
+std::vector<BorderRow> border_map(int n) {
+    require(n >= 2, "border_map: n must be >= 2");
+    std::vector<BorderRow> rows;
+    for (int f = 1; f < n; ++f) {
+        BorderRow row;
+        row.f = f;
+        for (int k = 1; k < n; ++k) {
+            row.initial += verdict_char(initial_crash_verdict(n, f, k));
+            row.async_ += verdict_char(async_crash_verdict(n, f, k));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::string detector_line(int n) {
+    std::string out;
+    for (int k = 1; k < n; ++k) out += verdict_char(detector_verdict(n, k));
+    return out;
+}
+
+}  // namespace ksa::core

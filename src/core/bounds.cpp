@@ -1,0 +1,51 @@
+#include "core/bounds.hpp"
+
+namespace ksa::core {
+
+bool theorem2_impossible(int n, int f, int k) {
+    require(n >= 1 && k >= 1 && f >= 1 && f <= n,
+            "theorem2_impossible: need n >= 1, k >= 1, 1 <= f <= n");
+    return k * (n - f) <= n - 1;
+}
+
+int theorem2_block_size(int n, int f) { return n - f; }
+
+bool theorem8_solvable(int n, int f, int k) {
+    require(n >= 1 && k >= 1 && f >= 0 && f < n,
+            "theorem8_solvable: need n >= 1, k >= 1, 0 <= f < n");
+    return static_cast<long long>(k) * n > static_cast<long long>(k + 1) * f;
+}
+
+int theorem8_min_k(int n, int f) {
+    for (int k = 1; k <= n; ++k)
+        if (theorem8_solvable(n, f, k)) return k;
+    return n;  // unreachable for f < n
+}
+
+int theorem8_max_f(int n, int k) {
+    int best = 0;
+    for (int f = 0; f < n; ++f)
+        if (theorem8_solvable(n, f, k)) best = f;
+    return best;
+}
+
+int source_component_bound(int live, int l) {
+    require(l >= 1, "source_component_bound: L must be >= 1");
+    return live / l;
+}
+
+int max_source_components(int n, int delta) {
+    require(delta >= 0, "max_source_components: delta must be >= 0");
+    return n / (delta + 1);
+}
+
+int flooding_bound(int f) { return f + 1; }
+
+bool corollary13_solvable(int n, int k) {
+    require(k >= 1 && k <= n - 1, "corollary13_solvable: need 1 <= k <= n-1");
+    return k == 1 || k == n - 1;
+}
+
+bool theorem10_applies(int n, int k) { return k >= 2 && k <= n - 2; }
+
+}  // namespace ksa::core

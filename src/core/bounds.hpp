@@ -1,0 +1,55 @@
+#pragma once
+// The arithmetic of every solvability border in the paper, in one place.
+// Each predicate is documented with the result it encodes; the benches
+// sweep these against the empirical engines to confirm that the borders
+// the constructions realize are exactly the borders the theorems state.
+
+#include "sim/model.hpp"
+#include "sim/types.hpp"
+
+namespace ksa::core {
+
+/// Theorem 2: k-set agreement is impossible with synchronous processes,
+/// asynchronous communication, atomic broadcast and receive+send
+/// atomicity whenever k <= (n-1)/(n-f), i.e. k*(n-f) <= n-1 -- even if
+/// f-1 of the f faults are initial crashes (Corollary 5 extends this to
+/// all weaker models).
+bool theorem2_impossible(int n, int f, int k);
+
+/// The partition geometry of Theorem 2's proof: l = n-f, blocks D_1..
+/// D_{k-1} of size l each, and |D-bar complement| = n - (k-1)l >= l+1
+/// (Lemma 3).  True iff the blocks exist, which is exactly
+/// theorem2_impossible.
+int theorem2_block_size(int n, int f);
+
+/// Theorem 8: with up to f *initial* crashes, k-set agreement is
+/// solvable iff k*n > (k+1)*f (equivalently k > f/(n-f)).
+bool theorem8_solvable(int n, int f, int k);
+
+/// The smallest k solvable with f initial crashes among n processes.
+int theorem8_min_k(int n, int f);
+
+/// The largest number of initial crashes tolerable for k-set agreement
+/// among n processes.
+int theorem8_max_f(int n, int k);
+
+/// Section VI: with stage-1 threshold L, the heard-from graph has at
+/// most floor(live/L) source components, bounding distinct decisions.
+int source_component_bound(int live, int l);
+
+/// Lemma 6: a graph with min in-degree delta has a source component of
+/// size >= delta+1, and hence at most floor(n/(delta+1)) of them.
+int max_source_components(int n, int delta);
+
+/// The classic baseline: flooding with threshold n-f solves exactly
+/// (f+1)-set agreement under up to f crashes.
+int flooding_bound(int f);
+
+/// Corollary 13: (Sigma_k, Omega_k) solves k-set agreement iff k = 1 or
+/// k = n-1 (for 1 <= k <= n-1).
+bool corollary13_solvable(int n, int k);
+
+/// Theorem 10 applies (the impossible band): 2 <= k <= n-2.
+bool theorem10_applies(int n, int k);
+
+}  // namespace ksa::core

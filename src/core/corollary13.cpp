@@ -1,0 +1,106 @@
+#include "core/corollary13.hpp"
+
+#include <algorithm>
+
+#include "algo/paxos_consensus.hpp"
+#include "algo/ranked_set_agreement.hpp"
+#include "fd/sources.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+namespace {
+
+/// The most adversarial legal Sigma_{n-1} quorum history: singletons at
+/// p_2..p_n, and {1,2} at p_1 (any n choices of outputs contain two
+/// members of {2..n}? no -- they contain p_1's {1,2} which meets {2}, or
+/// two singletons of the same process; either way some pair intersects,
+/// so Intersection for k = n-1 holds).
+class LonelyStressQuorum final : public fd::QuorumSource {
+public:
+    std::vector<ProcessId> quorum(const QueryContext& ctx) override {
+        if (ctx.querier == 1) return {1, 2};
+        return {ctx.querier};
+    }
+    std::string name() const override { return "Sigma_{n-1}(lonely-stress)"; }
+};
+
+Corollary13Trial run_trial(const Algorithm& algorithm, int n, int k,
+                           const FailurePlan& plan,
+                           std::unique_ptr<FdOracle> oracle,
+                           std::uint64_t seed) {
+    Corollary13Trial trial;
+    trial.n = n;
+    trial.k = k;
+    trial.algorithm = algorithm.name();
+    RandomScheduler scheduler(seed);
+    trial.run = execute_run(algorithm, n, distinct_inputs(n), plan, scheduler,
+                            oracle.get());
+    trial.check = check_kset_agreement(trial.run, k);
+    trial.distinct_decisions =
+        static_cast<int>(trial.run.distinct_decisions().size());
+    return trial;
+}
+
+}  // namespace
+
+Corollary13Trial corollary13_consensus_trial(
+        int n, const std::vector<ProcessId>& initially_dead,
+        std::uint64_t seed) {
+    FailurePlan plan;
+    plan.set_initially_dead(initially_dead);
+    ProcessId leader = 0;
+    for (ProcessId p = 1; p <= n && leader == 0; ++p)
+        if (!plan.is_faulty(p)) leader = p;
+    require(leader != 0, "corollary13_consensus_trial: nobody correct");
+    ksa::algo::PaxosConsensus algorithm;
+    return run_trial(algorithm, n, 1, plan,
+                     fd::make_benign_sigma_omega(n, plan, {leader}), seed);
+}
+
+Corollary13Trial corollary13_set_trial(
+        int n, const std::vector<ProcessId>& initially_dead,
+        std::uint64_t seed) {
+    FailurePlan plan;
+    plan.set_initially_dead(initially_dead);
+    ksa::algo::RankedSetAgreement algorithm;
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<fd::CorrectSetQuorum>(n, plan), nullptr);
+    return run_trial(algorithm, n, n - 1, plan, std::move(oracle), seed);
+}
+
+Corollary13Trial corollary13_tightness_trial(int n, std::uint64_t) {
+    FailurePlan plan;  // no crashes: the stress is pure oracle adversity
+    ksa::algo::RankedSetAgreement algorithm;
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<LonelyStressQuorum>(), nullptr);
+
+    // Stage 1: everybody steps once with all messages delayed, so
+    // p_2..p_n take their lonely decisions before hearing any smaller-id
+    // proposal.  Stage 2 releases the traffic; p_1 copies a decision.
+    std::vector<ProcessId> all;
+    for (ProcessId p = 1; p <= n; ++p) all.push_back(p);
+    StagedScheduler::Stage mute;
+    mute.active = all;
+    mute.filter = [](const Message&, ProcessId) { return false; };
+    mute.done = [n](const SystemView& v) {
+        for (ProcessId p = 2; p <= n; ++p)
+            if (!v.decided(p)) return false;
+        return true;
+    };
+    StagedScheduler scheduler({mute});
+
+    Corollary13Trial trial;
+    trial.n = n;
+    trial.k = n - 1;
+    trial.algorithm = algorithm.name();
+    trial.run = execute_run(algorithm, n, distinct_inputs(n), plan, scheduler,
+                            oracle.get());
+    trial.check = check_kset_agreement(trial.run, n - 1);
+    trial.distinct_decisions =
+        static_cast<int>(trial.run.distinct_decisions().size());
+    return trial;
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,50 @@
+#pragma once
+// The Corollary 13 possibility drivers: (Sigma_k, Omega_k) *does* solve
+// k-set agreement at the two ends of the band.
+//
+//   k = 1:   (Sigma, Omega) suffices for consensus -- exercised with the
+//            Paxos-style protocol of algo/paxos_consensus.hpp;
+//   k = n-1: Sigma_{n-1} suffices for (n-1)-set agreement -- exercised
+//            with the loneliness-style protocol of
+//            algo/ranked_set_agreement.hpp.
+//
+// Each trial runs the protocol under a seeded random fair schedule with
+// a caller-chosen crash set and validates the run against the k-set
+// spec.  The tightness trial drives the Sigma_{n-1} protocol with the
+// most adversarial *legal* quorum history -- n-1 processes see singleton
+// quorums -- and shows it still produces at most (in fact exactly) n-1
+// distinct decisions: the k = n-1 bound is tight.
+
+#include <cstdint>
+
+#include "core/kset_spec.hpp"
+#include "sim/run.hpp"
+
+namespace ksa::core {
+
+/// Result of one possibility trial.
+struct Corollary13Trial {
+    int n = 0, k = 0;
+    std::string algorithm;
+    KSetCheck check;
+    int distinct_decisions = 0;
+    Run run;
+};
+
+/// k = 1: Paxos under a benign (Sigma, Omega) oracle with the given
+/// initially-dead processes (leader = smallest correct id).
+Corollary13Trial corollary13_consensus_trial(
+        int n, const std::vector<ProcessId>& initially_dead,
+        std::uint64_t seed);
+
+/// k = n-1: the ranked protocol under a benign Sigma_{n-1} oracle.
+Corollary13Trial corollary13_set_trial(
+        int n, const std::vector<ProcessId>& initially_dead,
+        std::uint64_t seed);
+
+/// Tightness: the ranked protocol under the adversarial-but-legal
+/// Sigma_{n-1} history where processes 2..n see singleton quorums; the
+/// run decides exactly n-1 distinct values (and never n).
+Corollary13Trial corollary13_tightness_trial(int n, std::uint64_t seed);
+
+}  // namespace ksa::core

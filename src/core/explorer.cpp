@@ -1,0 +1,174 @@
+#include "core/explorer.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+namespace {
+
+/// Content-based digest of a full configuration: local states, decisions,
+/// crash flags, and buffer contents (sender + payload, in order; message
+/// ids are simulator bookkeeping and intentionally excluded so that
+/// content-equal states reached by different schedules deduplicate).
+std::string configuration_digest(const System& sys, int n) {
+    std::ostringstream out;
+    for (ProcessId p = 1; p <= n; ++p) {
+        out << '|' << (sys.crashed(p) ? "X" : "");
+        auto d = sys.decision_of(p);
+        if (d) out << "D" << *d;
+        out << ';';
+        for (const Message& m : sys.buffer(p))
+            out << m.from << ':' << m.payload.to_string() << ',';
+    }
+    return out.str();
+}
+
+/// Runs `script` on a fresh system; returns the system for inspection.
+std::unique_ptr<System> replay(const Algorithm& algorithm,
+                               const ExploreConfig& cfg,
+                               const std::vector<StepChoice>& script) {
+    auto sys = std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+    for (const StepChoice& c : script) sys->apply_choice(c);
+    return sys;
+}
+
+/// Configuration-state digest *including* the per-process behavior state.
+std::string full_digest(const Algorithm& algorithm, const ExploreConfig& cfg,
+                        const std::vector<StepChoice>& script) {
+    // Behavior digests are recorded per step in the Run; rather than
+    // threading them out of System we reconstruct them by replaying and
+    // finishing a throwaway copy.
+    auto sys = std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+    for (const StepChoice& c : script) sys->apply_choice(c);
+    std::string conf = configuration_digest(*sys, cfg.n);
+    Run run = sys->finish(StopReason::kSchedulerEnded);
+    std::vector<std::string> last(cfg.n);
+    for (const StepRecord& s : run.steps) last[s.process - 1] = s.digest_after;
+    std::ostringstream out;
+    out << conf << '#';
+    for (const std::string& d : last) out << d << '|';
+    return out.str();
+}
+
+bool quiescent(const System& sys, const ExploreConfig& cfg) {
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        if (cfg.plan.is_faulty(p)) {
+            if (sys.can_step(p)) return false;
+        } else {
+            if (!sys.decision_of(p) || !sys.buffer(p).empty()) return false;
+        }
+    }
+    return true;
+}
+
+std::set<Value> decision_set(const System& sys, int n) {
+    std::set<Value> out;
+    for (ProcessId p = 1; p <= n; ++p) {
+        auto d = sys.decision_of(p);
+        if (d) out.insert(*d);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string ExploreResult::summary() const {
+    std::ostringstream out;
+    out << "explored " << states_explored << " states ("
+        << schedules_expanded << " expansions), "
+        << (exhaustive ? "exhaustive" : "TRUNCATED") << ", "
+        << quiescent_outcomes.size() << " quiescent outcomes, "
+        << reachable_decision_sets.size() << " reachable decision sets, "
+        << (violation_found ? "VIOLATION FOUND" : "no violation");
+    return out.str();
+}
+
+ExploreResult explore_schedules(const Algorithm& algorithm,
+                                const ExploreConfig& cfg) {
+    require(!algorithm.needs_failure_detector(),
+            "explore_schedules: detector-using algorithms are not supported");
+    require(static_cast<int>(cfg.inputs.size()) == cfg.n,
+            "explore_schedules: need n inputs");
+
+    ExploreResult result;
+    std::unordered_set<std::string> visited;
+    std::deque<std::vector<StepChoice>> frontier;
+    frontier.push_back({});
+    visited.insert(full_digest(algorithm, cfg, {}));
+
+    while (!frontier.empty()) {
+        if (visited.size() > cfg.max_states) {
+            result.exhaustive = false;
+            break;
+        }
+        std::vector<StepChoice> script = std::move(frontier.front());
+        frontier.pop_front();
+        ++result.schedules_expanded;
+
+        auto sys = replay(algorithm, cfg, script);
+        const std::set<Value> decided = decision_set(*sys, cfg.n);
+        result.reachable_decision_sets.insert(decided);
+        if (static_cast<int>(decided.size()) > cfg.k &&
+            !result.violation_found) {
+            result.violation_found = true;
+            result.witness = script;
+        }
+        if (quiescent(*sys, cfg)) {
+            std::vector<Value> outcome(cfg.n, kNoValue);
+            for (ProcessId p = 1; p <= cfg.n; ++p) {
+                auto d = sys->decision_of(p);
+                if (d) outcome[p - 1] = *d;
+            }
+            result.quiescent_outcomes.insert(std::move(outcome));
+            continue;
+        }
+        if (static_cast<int>(script.size()) >= cfg.max_depth) {
+            result.exhaustive = false;
+            continue;
+        }
+
+        // Children: for every live process, the three delivery modes.
+        for (ProcessId p = 1; p <= cfg.n; ++p) {
+            if (!sys->can_step(p)) continue;
+            const auto& buf = sys->buffer(p);
+            const bool faulty = cfg.plan.is_faulty(p);
+            // Skip steps that provably change nothing: a decided correct
+            // process with an empty buffer.
+            if (!faulty && sys->decision_of(p) && buf.empty()) continue;
+
+            std::vector<StepChoice> modes;
+            {
+                StepChoice none;
+                none.process = p;
+                modes.push_back(none);
+            }
+            if (!buf.empty()) {
+                StepChoice oldest;
+                oldest.process = p;
+                oldest.deliver.push_back(buf.front().id);
+                modes.push_back(oldest);
+                if (buf.size() > 1) {
+                    StepChoice all;
+                    all.process = p;
+                    for (const Message& m : buf) all.deliver.push_back(m.id);
+                    modes.push_back(all);
+                }
+            }
+            for (StepChoice& mode : modes) {
+                std::vector<StepChoice> child = script;
+                child.push_back(mode);
+                std::string digest = full_digest(algorithm, cfg, child);
+                if (visited.insert(std::move(digest)).second)
+                    frontier.push_back(std::move(child));
+            }
+        }
+    }
+    result.states_explored = visited.size();
+    return result;
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,71 @@
+#pragma once
+// Bounded exhaustive schedule exploration.
+//
+// The universal quantifier of an impossibility theorem ("no algorithm")
+// cannot be executed, but for a *fixed* algorithm and small n the dual
+// quantifier ("no schedule violates / some schedule violates") can: this
+// module enumerates every adversarial schedule up to a depth bound,
+// where at each step the adversary picks (a) which live process steps
+// and (b) one of three delivery modes for that step -- nothing, the
+// oldest buffered message, or the whole buffer.  These three modes
+// suffice to realize every schedule the paper's constructions use, while
+// keeping the branching factor at 3n.
+//
+// States reached by different schedules are deduplicated by
+// configuration digest, so the search explores the reachable
+// configuration space rather than the schedule tree.  Results:
+//
+//   * every decision set reachable at quiescence (the "valence" of the
+//     initial configuration);
+//   * a violation witness schedule if some reachable decisive state has
+//     more than k distinct decisions -- the executable form of "this
+//     candidate algorithm allows runs that make k-set agreement
+//     impossible" (the remark after Theorem 1);
+//   * whether the bound was exhaustive (no frontier node hit the depth
+//     cap), in which case the absence of a violation is a *verified*
+//     small-case possibility result for the fixed plan.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/behavior.hpp"
+#include "sim/failure_plan.hpp"
+#include "sim/run.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ksa::core {
+
+/// Exploration parameters.
+struct ExploreConfig {
+    int n = 0;
+    std::vector<Value> inputs;
+    FailurePlan plan;      ///< fixed crash plan (explore plans separately)
+    int k = 1;             ///< violation threshold: > k distinct decisions
+    int max_depth = 12;    ///< schedule length bound
+    std::size_t max_states = 200000;  ///< safety cap on distinct states
+};
+
+/// Exploration outcome.
+struct ExploreResult {
+    std::size_t states_explored = 0;
+    std::size_t schedules_expanded = 0;
+    bool exhaustive = true;  ///< no node was cut off by max_depth/max_states
+    bool violation_found = false;
+    std::vector<StepChoice> witness;  ///< schedule reaching the violation
+    /// All decision-vectors (one optional value per process, kNoValue for
+    /// undecided) observed at quiescent states.
+    std::set<std::vector<Value>> quiescent_outcomes;
+    /// All distinct decision-value sets observed anywhere.
+    std::set<std::set<Value>> reachable_decision_sets;
+
+    std::string summary() const;
+};
+
+/// Runs the exploration for `algorithm` (which must not use a failure
+/// detector -- exploring oracle nondeterminism is out of scope).
+ExploreResult explore_schedules(const Algorithm& algorithm,
+                                const ExploreConfig& config);
+
+}  // namespace ksa::core

@@ -1,0 +1,102 @@
+#include "core/ho_argument.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "algo/floodmin.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+namespace {
+
+/// Adversary of the isolated runs: only one block's members exist; they
+/// hear exactly their block, for ever.
+class BlockOnlyHo final : public ho::HoAdversary {
+public:
+    explicit BlockOnlyHo(std::vector<ProcessId> block)
+        : block_(std::move(block)) {}
+
+    std::vector<ProcessId> heard_of(ProcessId, int, int) override {
+        return block_;
+    }
+    bool alive(ProcessId p, int) override {
+        return std::find(block_.begin(), block_.end(), p) != block_.end();
+    }
+    std::string name() const override { return "block-only"; }
+
+private:
+    std::vector<ProcessId> block_;
+};
+
+}  // namespace
+
+std::string HoPartitionResult::summary() const {
+    std::ostringstream out;
+    out << "HO-partition[n=" << n << ",k=" << k << "]: " << distinct_decisions
+        << " decisions, indist=" << (all_indistinguishable ? "yes" : "NO")
+        << ", violation=" << (violation ? "YES" : "no");
+    return out.str();
+}
+
+HoPartitionResult ho_partition_argument(
+        const ho::RoundAlgorithm& algorithm, int n, int k,
+        const std::vector<std::vector<ProcessId>>& blocks,
+        int isolation_rounds, int max_rounds) {
+    HoPartitionResult result;
+    result.n = n;
+    result.k = k;
+
+    for (const auto& block : blocks) {
+        BlockOnlyHo only(block);
+        result.isolated.push_back(execute_ho(algorithm, n, distinct_inputs(n),
+                                             only, max_rounds));
+    }
+
+    ho::PartitionHo partition(blocks, isolation_rounds);
+    result.partitioned = execute_ho(algorithm, n, distinct_inputs(n),
+                                    partition, max_rounds);
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (ProcessId p : blocks[i]) {
+            if (result.isolated[i].digest_sequence(p) !=
+                result.partitioned.digest_sequence(p))
+                result.all_indistinguishable = false;
+        }
+    }
+    result.distinct_decisions =
+        static_cast<int>(result.partitioned.distinct_decisions().size());
+    result.violation = result.distinct_decisions > k;
+    return result;
+}
+
+int ho_floodmin_crash_trial(int n, int f, int k,
+                            const std::vector<int>& crash_rounds,
+                            std::uint64_t seed) {
+    require(f >= 0 && f < n, "ho_floodmin_crash_trial: need 0 <= f < n");
+    require(static_cast<int>(crash_rounds.size()) == f,
+            "ho_floodmin_crash_trial: need one crash round per fault");
+
+    std::mt19937_64 rng(seed);
+    ho::CrashHo adversary;
+    for (int i = 0; i < f; ++i) {
+        ho::CrashHo::Crash crash;
+        crash.round = crash_rounds[i];
+        // Random subset of receivers sees the crashing round's message.
+        for (ProcessId q = 1; q <= n; ++q)
+            if (rng() % 2 == 0) crash.heard_by.insert(q);
+        adversary.set_crash(static_cast<ProcessId>(i + 1), crash);
+    }
+
+    ksa::algo::FloodMin algorithm(ksa::algo::FloodMin::rounds_for(f, k));
+    ho::HoRun run = execute_ho(algorithm, n, distinct_inputs(n), adversary,
+                               algorithm.rounds() + 2);
+    // Every survivor must have decided.
+    for (ProcessId p = f + 1; p <= n; ++p)
+        invariant(run.decision_of(p).has_value(),
+                  "ho_floodmin_crash_trial: survivor did not decide");
+    return static_cast<int>(run.distinct_decisions().size());
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,54 @@
+#pragma once
+// Theorem 1's partition argument carried into the Heard-Of round model
+// -- the Discussion section's conjecture ("we are confident it can also
+// be used to establish impossibility results in round models"),
+// executed.
+//
+// The structure mirrors the asynchronous engine: pick blocks
+// D_1..D_{k-1} and D; isolate them via heard-of sets (PartitionHo); each
+// block decides its own minimum; pasting is trivial in the round model
+// (HO assignments compose pointwise), and the indistinguishability check
+// compares per-round digests between the all-alone runs and the
+// partitioned run.  The conclusion is the same: an algorithm whose
+// blocks can decide in isolation cannot solve k-set agreement when the
+// adversary can sustain k+1 groups -- e.g. when the synchronous window
+// (Alistarh et al., DISC 2010, cited as [1]) is shorter than the
+// protocol's decision round.
+
+#include <string>
+
+#include "sim/rounds.hpp"
+
+namespace ksa::core {
+
+/// Result of the HO-model partition argument.
+struct HoPartitionResult {
+    int n = 0, k = 0;
+    ho::HoRun partitioned;           ///< run under PartitionHo
+    std::vector<ho::HoRun> isolated;  ///< one run per block, others absent
+    bool all_indistinguishable = true;  ///< per-block digest match
+    int distinct_decisions = 0;
+    bool violation = false;  ///< > k distinct decisions
+    std::string summary() const;
+};
+
+/// Runs the argument for k+1 blocks against `algorithm`.
+/// `isolation_rounds` = 0 isolates for ever (pure asynchrony); a finite
+/// value models a late synchronous window -- the violation occurs iff
+/// the window opens after the algorithm's decision round.
+HoPartitionResult ho_partition_argument(
+        const ho::RoundAlgorithm& algorithm, int n, int k,
+        const std::vector<std::vector<ProcessId>>& blocks,
+        int isolation_rounds, int max_rounds = 64);
+
+/// Validates FloodMin's synchronous guarantee: runs the f-crash
+/// adversary with the given per-round crash schedule and returns the
+/// number of distinct decisions (must be <= k when the protocol runs
+/// floor(f/k)+1 rounds).  `crash_rounds[i]` gives the round in which the
+/// i-th faulty process (ids 1..f) crashes; partial delivery in the crash
+/// round goes to the odd-id half of the receivers.
+int ho_floodmin_crash_trial(int n, int f, int k,
+                            const std::vector<int>& crash_rounds,
+                            std::uint64_t seed);
+
+}  // namespace ksa::core

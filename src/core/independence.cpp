@@ -1,0 +1,132 @@
+#include "core/independence.hpp"
+
+#include <algorithm>
+
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+IndependenceWitness check_set_independence(
+        const Algorithm& algorithm, int n, std::vector<Value> inputs,
+        const FailurePlan& plan, std::vector<ProcessId> s,
+        const OracleFactory& oracle_factory, int budget) {
+    require(!s.empty(), "check_set_independence: S must be non-empty");
+    std::sort(s.begin(), s.end());
+
+    std::unique_ptr<FdOracle> oracle;
+    if (oracle_factory) oracle = oracle_factory(plan);
+
+    PartitionScheduler scheduler({s}, budget);
+    Run run = execute_run(algorithm, n, std::move(inputs), plan, scheduler,
+                          oracle.get());
+
+    IndependenceWitness witness;
+    witness.set = s;
+    witness.run = std::move(run);
+
+    // S held in isolation iff the isolation phase did not stall and every
+    // member of S received nothing from outside S before the release.
+    const bool stalled = !scheduler.stalled_blocks().empty();
+    bool silent = true;
+    std::vector<ProcessId> outsiders;
+    for (ProcessId p = 1; p <= n; ++p)
+        if (!std::binary_search(s.begin(), s.end(), p)) outsiders.push_back(p);
+    for (ProcessId p : s)
+        if (!witness.run.silent_from_until(p, outsiders,
+                                           scheduler.release_time()))
+            silent = false;
+    witness.holds = !stalled && silent;
+    return witness;
+}
+
+IndependenceWitness check_set_strong_independence(
+        const Algorithm& algorithm, int n, std::vector<Value> inputs,
+        const FailurePlan& plan, std::vector<ProcessId> s,
+        const OracleFactory& oracle_factory, int prefix_steps, int budget) {
+    require(!s.empty(), "check_set_strong_independence: S must be non-empty");
+    std::sort(s.begin(), s.end());
+
+    std::unique_ptr<FdOracle> oracle;
+    if (oracle_factory) oracle = oracle_factory(plan);
+
+    // Stage 1: everybody runs with unrestricted delivery for a while (so
+    // "eventually" is not vacuous); stage 2 isolates S.
+    std::vector<ProcessId> all;
+    for (ProcessId p = 1; p <= n; ++p) all.push_back(p);
+    StagedScheduler::Stage open;
+    open.active = all;
+    open.filter = [](const Message&, ProcessId) { return true; };
+    open.done = [prefix_steps](const SystemView& view) {
+        return view.now() > prefix_steps;
+    };
+    open.budget = prefix_steps + 1;
+    StagedScheduler::Stage isolated;
+    isolated.active = s;
+    isolated.budget = budget;
+
+    StagedScheduler scheduler({open, isolated});
+    Run run = execute_run(algorithm, n, std::move(inputs), plan, scheduler,
+                          oracle.get());
+
+    IndependenceWitness witness;
+    witness.set = s;
+    witness.run = std::move(run);
+    // Strong independence held iff the isolation stage (index 1) did not
+    // stall: from its start, members of S received only from S (by the
+    // stage filter) until every correct member decided.
+    bool stage2_stalled = false;
+    for (int idx : scheduler.stalled_stages())
+        if (idx == 1) stage2_stalled = true;
+    witness.holds = !stage2_stalled;
+    return witness;
+}
+
+FamilyIndependence check_family_independence(
+        const Algorithm& algorithm, int n, std::vector<Value> inputs,
+        const FailurePlan& plan,
+        const std::vector<std::vector<ProcessId>>& family,
+        const OracleFactory& oracle_factory, int budget) {
+    FamilyIndependence out;
+    for (const auto& s : family) {
+        out.witnesses.push_back(check_set_independence(
+            algorithm, n, inputs, plan, s, oracle_factory, budget));
+        if (!out.witnesses.back().holds) out.holds_for_all = false;
+    }
+    return out;
+}
+
+std::vector<std::vector<ProcessId>> wait_free_family(int n) {
+    require(n >= 1 && n <= 20, "wait_free_family: n out of sane range");
+    std::vector<std::vector<ProcessId>> out;
+    for (unsigned mask = 1; mask < (1u << n); ++mask) {
+        std::vector<ProcessId> s;
+        for (int p = 1; p <= n; ++p)
+            if (mask & (1u << (p - 1))) s.push_back(p);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<std::vector<ProcessId>> obstruction_free_family(int n) {
+    std::vector<std::vector<ProcessId>> out;
+    for (ProcessId p = 1; p <= n; ++p) out.push_back({p});
+    return out;
+}
+
+std::vector<std::vector<ProcessId>> f_resilient_family(int n, int f) {
+    require(f >= 0 && f < n, "f_resilient_family: need 0 <= f < n");
+    std::vector<std::vector<ProcessId>> out;
+    for (const auto& s : wait_free_family(n))
+        if (static_cast<int>(s.size()) >= n - f) out.push_back(s);
+    return out;
+}
+
+std::vector<std::vector<ProcessId>> asymmetric_family(int n, ProcessId p) {
+    std::vector<std::vector<ProcessId>> out;
+    for (const auto& s : wait_free_family(n))
+        if (std::find(s.begin(), s.end(), p) != s.end()) out.push_back(s);
+    return out;
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,114 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace ksa::core {
+
+namespace {
+
+const char* tick(bool b) { return b ? "witnessed" : "**FAILED**"; }
+
+void render_decisions(std::ostringstream& out, const Run& run) {
+    out << "| process | input | decision | at |\n";
+    out << "| --- | --- | --- | --- |\n";
+    for (ProcessId p = 1; p <= run.n; ++p) {
+        out << "| p" << p << " | " << run.inputs[p - 1] << " | ";
+        auto d = run.decision_of(p);
+        if (d)
+            out << *d << " | t=" << run.decision_time_of(p) << " |\n";
+        else
+            out << (run.plan.is_faulty(p) ? "(faulty)" : "-") << " | - |\n";
+    }
+}
+
+void render_values(std::ostringstream& out, const std::set<Value>& values) {
+    out << "{ ";
+    for (Value v : values) out << v << ' ';
+    out << '}';
+}
+
+}  // namespace
+
+std::string render_certificate_report(const Theorem1Certificate& cert) {
+    std::ostringstream out;
+    out << "### Theorem 1 certificate (n=" << cert.spec.n
+        << ", k=" << cert.spec.k << ")\n\n";
+    out << "Partition: ";
+    for (std::size_t i = 0; i < cert.spec.blocks.size(); ++i) {
+        out << "D_" << i + 1 << "={";
+        for (ProcessId p : cert.spec.blocks[i]) out << 'p' << p << ' ';
+        out << "} ";
+    }
+    out << " D={";
+    for (ProcessId p : cert.spec.d) out << 'p' << p << ' ';
+    out << "}\n\n";
+
+    out << "* condition (A) — a run in R(D) exists (D decides while "
+           "silent from the blocks): "
+        << tick(cert.condition_a) << "\n";
+    out << "* condition (B) — alpha ~_D beta with beta in R(D, Dbar): "
+        << tick(cert.condition_b) << "; block values ";
+    render_values(out, cert.block_values);
+    out << "\n";
+    out << "* condition (D) — A|D runs match blocks-dead runs for D: "
+        << tick(cert.condition_d) << "\n";
+    out << "* consensus split inside <D>: " << tick(cert.consensus_split)
+        << "; D decided ";
+    render_values(out, cert.d_values);
+    out << "\n";
+    out << "* assembled violation: " << tick(cert.violation) << "; values ";
+    render_values(out, cert.violating_values);
+    out << " (admissible="
+        << (cert.violating_admissibility.admissible ? "yes" : "no") << ")\n\n";
+
+    if (cert.violation) {
+        out << "Decisions of the violating run:\n\n";
+        render_decisions(out, cert.violating);
+    }
+    return out.str();
+}
+
+std::string render_report(const Theorem2Result& result) {
+    std::ostringstream out;
+    out << "## Theorem 2 at (n, f, k) = (" << result.n << ", " << result.f
+        << ", " << result.k << ")\n\n";
+    out << "Bound k*(n-f) <= n-1: " << (result.bound_applies ? "holds" : "no")
+        << "; condition (C) via DDS'87 classification: "
+        << (result.condition_c_analytic ? "consensus unsolvable in M'"
+                                        : "**classification disagrees**")
+        << "\n\n";
+    out << render_certificate_report(result.certificate);
+    return out.str();
+}
+
+std::string render_report(const Theorem8Border& border) {
+    std::ostringstream out;
+    out << "## Theorem 8 border at (n, f, k) = (" << border.n << ", "
+        << border.f << ", " << border.k << ")\n\n";
+    out << "k+1 = " << border.k + 1 << " groups pasted; distinct decisions: "
+        << border.distinct_decisions << "; indistinguishability: "
+        << (border.paste.all_indistinguishable ? "verified per Definition 2"
+                                               : "**FAILED**")
+        << "; violation: " << (border.violation ? "yes" : "no") << "\n\n";
+    render_decisions(out, border.paste.pasted);
+    return out.str();
+}
+
+std::string render_report(const Theorem10Result& result) {
+    std::ostringstream out;
+    out << "## Theorem 10 at (n, k) = (" << result.n << ", " << result.k
+        << ")\n\n";
+    out << "Detector history of the violating run: Definition 7 "
+        << (result.partition_validation.ok ? "valid" : "**INVALID**")
+        << "; (Sigma_k, Omega_k) admissible (Lemma 9): "
+        << (result.sigma_omega_validation.ok ? "valid" : "**INVALID**")
+        << "\n\n";
+    for (const auto& v : result.partition_validation.violations)
+        out << "* " << v << "\n";
+    for (const auto& v : result.sigma_omega_validation.violations)
+        out << "* " << v << "\n";
+    out << render_certificate_report(result.certificate);
+    return out.str();
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,32 @@
+#pragma once
+// Human-readable certification reports.
+//
+// Renders the artifacts of the theorem drivers as markdown "proof
+// transcripts": which conditions were witnessed, by which runs, with the
+// decision tables and (for Theorem 10) the detector-history verdicts.
+// Consumed by ksa_cli --report and handy for archiving counterexamples
+// next to their serialized runs.
+
+#include <string>
+
+#include "core/theorem1.hpp"
+#include "core/theorem10.hpp"
+#include "core/theorem2.hpp"
+#include "core/theorem8.hpp"
+
+namespace ksa::core {
+
+/// Markdown report of a Theorem 1 certificate (shared core of the
+/// theorem-specific reports).
+std::string render_certificate_report(const Theorem1Certificate& cert);
+
+/// Markdown report of a full Theorem 2 result.
+std::string render_report(const Theorem2Result& result);
+
+/// Markdown report of a Theorem 8 border construction.
+std::string render_report(const Theorem8Border& border);
+
+/// Markdown report of a full Theorem 10 result.
+std::string render_report(const Theorem10Result& result);
+
+}  // namespace ksa::core

@@ -1,0 +1,68 @@
+#include "core/restriction.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ksa::core {
+
+namespace {
+
+class RestrictedBehavior final : public Behavior {
+public:
+    RestrictedBehavior(std::unique_ptr<Behavior> inner,
+                       const std::vector<ProcessId>* domain)
+        : inner_(std::move(inner)), domain_(domain) {}
+
+    StepOutput on_step(const StepInput& input) override {
+        StepOutput out = inner_->on_step(input);
+        std::erase_if(out.sends, [this](const auto& send) {
+            return !std::binary_search(domain_->begin(), domain_->end(),
+                                       send.first);
+        });
+        return out;
+    }
+
+    std::string state_digest() const override { return inner_->state_digest(); }
+
+private:
+    std::unique_ptr<Behavior> inner_;
+    const std::vector<ProcessId>* domain_;
+};
+
+}  // namespace
+
+RestrictedAlgorithm::RestrictedAlgorithm(const Algorithm& base,
+                                         std::vector<ProcessId> domain)
+    : base_(&base), domain_(std::move(domain)) {
+    require(!domain_.empty(), "RestrictedAlgorithm: domain must be non-empty");
+    std::sort(domain_.begin(), domain_.end());
+    domain_.erase(std::unique(domain_.begin(), domain_.end()), domain_.end());
+}
+
+std::unique_ptr<Behavior> RestrictedAlgorithm::make_behavior(
+        ProcessId id, int n, Value input) const {
+    return std::make_unique<RestrictedBehavior>(
+        base_->make_behavior(id, n, input), &domain_);
+}
+
+std::string RestrictedAlgorithm::name() const {
+    std::ostringstream out;
+    out << base_->name() << "|D(|D|=" << domain_.size() << ")";
+    return out.str();
+}
+
+Run execute_restricted(const Algorithm& algorithm, int n,
+                       const std::vector<ProcessId>& domain,
+                       std::vector<Value> inputs, FailurePlan plan,
+                       Scheduler& scheduler, FdOracle* oracle,
+                       ExecutionLimits limits) {
+    RestrictedAlgorithm restricted(algorithm, domain);
+    for (ProcessId p = 1; p <= n; ++p)
+        if (!std::binary_search(restricted.domain().begin(),
+                                restricted.domain().end(), p))
+            plan.set_initially_dead(p);
+    return execute_run(restricted, n, std::move(inputs), std::move(plan),
+                       scheduler, oracle, limits);
+}
+
+}  // namespace ksa::core

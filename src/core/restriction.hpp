@@ -1,0 +1,59 @@
+#pragma once
+// Restriction of an algorithm (Definition 1).
+//
+// Given an algorithm A for M = <Pi> and a non-empty D subset of Pi, the
+// restricted algorithm A|D for M' = <D> is obtained by dropping, in the
+// message sending function, all messages addressed to processes outside
+// D.  The code of A is not changed in any way -- in particular A|D still
+// believes the system has |Pi| processes.
+//
+// Operationally, M' = <D> is executed as an n-process System in which
+// every process outside D is initially dead and never receives anything
+// (its incoming messages were dropped by the restriction), which is
+// exactly the run correspondence used to discharge condition (D) of
+// Theorem 1: for every run of A|D in M' there is a run of A in M --
+// the one where Pi \ D are initially dead -- that is indistinguishable
+// for all of D.
+
+#include <memory>
+#include <vector>
+
+#include "sim/behavior.hpp"
+#include "sim/run.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+/// A|D: decorates A's behaviors, filtering sends to destinations outside
+/// D.  State digests are forwarded unchanged, so indistinguishability
+/// comparisons between restricted and unrestricted runs are meaningful.
+class RestrictedAlgorithm final : public Algorithm {
+public:
+    /// `base` is borrowed and must outlive this object.
+    RestrictedAlgorithm(const Algorithm& base, std::vector<ProcessId> domain);
+
+    std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                            Value input) const override;
+    std::string name() const override;
+    bool needs_failure_detector() const override {
+        return base_->needs_failure_detector();
+    }
+
+    const std::vector<ProcessId>& domain() const { return domain_; }
+
+private:
+    const Algorithm* base_;
+    std::vector<ProcessId> domain_;  // sorted
+};
+
+/// Executes A|D in the restricted system <D>: an n-process System where
+/// all processes outside D are initially dead (merged into `plan`).
+/// Scheduler and oracle semantics are unchanged.
+Run execute_restricted(const Algorithm& algorithm, int n,
+                       const std::vector<ProcessId>& domain,
+                       std::vector<Value> inputs, FailurePlan plan,
+                       Scheduler& scheduler, FdOracle* oracle = nullptr,
+                       ExecutionLimits limits = {});
+
+}  // namespace ksa::core

@@ -1,0 +1,236 @@
+#include "core/theorem1.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+namespace {
+
+/// Kuhn's bipartite matching: can every block be assigned a distinct
+/// decided value?  (Blocks and candidate values are both tiny here.)
+bool distinct_assignment(const std::vector<std::set<Value>>& per_block,
+                         std::set<Value>* out) {
+    std::vector<Value> values;
+    for (const auto& s : per_block)
+        for (Value v : s)
+            if (std::find(values.begin(), values.end(), v) == values.end())
+                values.push_back(v);
+
+    std::map<Value, int> matched;  // value -> block
+    std::function<bool(int, std::set<Value>&)> try_match =
+        [&](int block, std::set<Value>& visited) -> bool {
+        for (Value v : per_block[block]) {
+            if (visited.count(v) != 0) continue;
+            visited.insert(v);
+            auto it = matched.find(v);
+            if (it == matched.end() || try_match(it->second, visited)) {
+                matched[v] = block;
+                return true;
+            }
+        }
+        return false;
+    };
+    for (int b = 0; b < static_cast<int>(per_block.size()); ++b) {
+        std::set<Value> visited;
+        if (!try_match(b, visited)) return false;
+    }
+    if (out != nullptr) {
+        out->clear();
+        for (const auto& [v, _] : matched) out->insert(v);
+    }
+    return true;
+}
+
+/// Time by which every process of D has decided or crashed (kNever if a
+/// correct member never decides in the prefix).
+Time d_settled_time(const Run& run, const std::vector<ProcessId>& d) {
+    Time settled = 0;
+    for (ProcessId p : d) {
+        Time t = run.decision_time_of(p);
+        if (t == kNever && run.plan.is_faulty(p)) t = run.crash_time_of(p);
+        if (t == kNever) return kNever;
+        settled = std::max(settled, t);
+    }
+    return settled;
+}
+
+}  // namespace
+
+std::vector<ProcessId> PartitionSpec::dbar() const {
+    std::vector<ProcessId> out;
+    for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+PartitionSpec make_partition_spec(int n, int k,
+                                  std::vector<std::vector<ProcessId>> blocks) {
+    require(k >= 1, "make_partition_spec: k must be >= 1");
+    require(static_cast<int>(blocks.size()) == k - 1,
+            "make_partition_spec: need exactly k-1 blocks D_1..D_{k-1}");
+    PartitionSpec spec;
+    spec.n = n;
+    spec.k = k;
+    spec.blocks = std::move(blocks);
+
+    std::vector<bool> taken(n, false);
+    for (const auto& b : spec.blocks) {
+        require(!b.empty(), "make_partition_spec: empty block");
+        for (ProcessId p : b) {
+            require(p >= 1 && p <= n, "make_partition_spec: pid out of range");
+            require(!taken[p - 1], "make_partition_spec: blocks overlap");
+            taken[p - 1] = true;
+        }
+    }
+    for (ProcessId p = 1; p <= n; ++p)
+        if (!taken[p - 1]) spec.d.push_back(p);
+    require(!spec.d.empty(), "make_partition_spec: D must be non-empty");
+    return spec;
+}
+
+bool dec_dbar_holds(const Run& run,
+                    const std::vector<std::vector<ProcessId>>& blocks,
+                    std::set<Value>* out_values) {
+    // Proposals of D-bar members.
+    std::set<Value> dbar_inputs;
+    for (const auto& b : blocks)
+        for (ProcessId p : b) dbar_inputs.insert(run.inputs[p - 1]);
+
+    std::vector<std::set<Value>> per_block;
+    for (const auto& b : blocks) {
+        std::set<Value> decided;
+        for (ProcessId p : b) {
+            auto d = run.decision_of(p);
+            if (d && dbar_inputs.count(*d) != 0) decided.insert(*d);
+        }
+        if (decided.empty()) return false;  // no (eligible) decider in block
+        per_block.push_back(std::move(decided));
+    }
+    return distinct_assignment(per_block, out_values);
+}
+
+bool dec_d_holds(const Run& run, const PartitionSpec& spec) {
+    const Time settled = d_settled_time(run, spec.d);
+    const std::vector<ProcessId> dbar = spec.dbar();
+    for (ProcessId p : spec.d) {
+        // Receptions from D-bar are allowed only strictly after the last
+        // member of D decided (or crashed).
+        const Time deadline = settled == kNever ? kNever : settled + 1;
+        if (!run.silent_from_until(p, dbar, deadline)) return false;
+    }
+    return true;
+}
+
+std::string Theorem1Certificate::summary() const {
+    std::ostringstream out;
+    out << "Theorem1[" << spec.n << " procs, k=" << spec.k << ", |D|="
+        << spec.d.size() << "]: (A)=" << condition_a << " (B)=" << condition_b
+        << " (D)=" << condition_d << " split=" << consensus_split
+        << " violation=" << violation;
+    if (violation)
+        out << " (" << violating_values.size() << " distinct decisions > k="
+            << spec.k << ")";
+    return out.str();
+}
+
+Theorem1Certificate certify_theorem1(const Theorem1Inputs& in) {
+    require(in.algorithm != nullptr, "certify_theorem1: algorithm missing");
+    const Algorithm& algo = *in.algorithm;
+    const PartitionSpec& spec = in.spec;
+    require(static_cast<int>(in.inputs.size()) == spec.n,
+            "certify_theorem1: need n inputs");
+
+    Theorem1Certificate cert;
+    cert.spec = spec;
+    const ExecutionLimits limits{in.max_steps};
+    auto oracle = [&](CertRun kind, const FailurePlan& plan)
+        -> std::unique_ptr<FdOracle> {
+        return in.oracle_factory ? in.oracle_factory(kind, plan) : nullptr;
+    };
+
+    // ---- (A): alpha, a run in R(D): D isolated until decided. ----------
+    {
+        StagedScheduler::Stage d_stage{spec.d, {}, {}, in.stage_budget};
+        StagedScheduler sched({d_stage});
+        auto orc = oracle(CertRun::kAlpha, in.plan);
+        System sys(algo, spec.n, in.inputs, in.plan, orc.get());
+        cert.alpha = sys.execute(sched, limits);
+        cert.condition_a =
+            sched.stalled_stages().empty() && dec_d_holds(cert.alpha, spec);
+    }
+
+    // ---- (B): beta, in R(D, Dbar), alpha ~_D beta. ----------------------
+    {
+        std::vector<StagedScheduler::Stage> stages;
+        for (const auto& b : spec.blocks)
+            stages.push_back({b, {}, {}, in.stage_budget});
+        stages.push_back({spec.d, {}, {}, in.stage_budget});
+        StagedScheduler sched(std::move(stages));
+        auto orc = oracle(CertRun::kBeta, in.plan);
+        System sys(algo, spec.n, in.inputs, in.plan, orc.get());
+        cert.beta = sys.execute(sched, limits);
+        cert.condition_b =
+            sched.stalled_stages().empty() &&
+            dec_dbar_holds(cert.beta, spec.blocks, &cert.block_values) &&
+            dec_d_holds(cert.beta, spec) &&
+            indistinguishable_for_all(cert.alpha, cert.beta, spec.d);
+    }
+
+    // ---- (D): rho' (A|D in M') ~_D rho (A in M, blocks dead). ------------
+    FailurePlan dead_plan = in.plan;
+    for (const auto& b : spec.blocks)
+        for (ProcessId p : b) dead_plan.set_initially_dead(p);
+    {
+        RoundRobinScheduler fair;
+        auto orc = oracle(CertRun::kRestricted, dead_plan);
+        cert.restricted = execute_restricted(algo, spec.n, spec.d, in.inputs,
+                                             in.plan, fair, orc.get(), limits);
+    }
+    {
+        RoundRobinScheduler fair;
+        auto orc = oracle(CertRun::kFullDead, dead_plan);
+        cert.full_dead = execute_run(algo, spec.n, in.inputs, dead_plan, fair,
+                                     orc.get(), limits);
+    }
+    cert.condition_d =
+        indistinguishable_for_all(cert.restricted, cert.full_dead, spec.d);
+
+    if (in.split_stages.empty()) return cert;
+
+    // ---- the consensus split inside <D>: A|D under the split schedule. --
+    {
+        RestrictedAlgorithm restricted(algo, spec.d);
+        StagedScheduler sched(in.split_stages);
+        auto orc = oracle(CertRun::kSplitOnly, dead_plan);
+        System sys(restricted, spec.n, in.inputs, dead_plan, orc.get());
+        cert.split_run = sys.execute(sched, limits);
+        cert.d_values = cert.split_run.distinct_decisions(spec.d);
+        cert.consensus_split = cert.d_values.size() >= 2;
+    }
+
+    // ---- the end-to-end violation: blocks + split in one run. -----------
+    {
+        std::vector<StagedScheduler::Stage> stages;
+        for (const auto& b : spec.blocks)
+            stages.push_back({b, {}, {}, in.stage_budget});
+        for (const auto& s : in.split_stages) stages.push_back(s);
+        StagedScheduler sched(std::move(stages));
+        auto orc = oracle(CertRun::kViolating, in.plan);
+        System sys(algo, spec.n, in.inputs, in.plan, orc.get());
+        cert.violating = sys.execute(sched, limits);
+        cert.violating_values = cert.violating.distinct_decisions();
+        cert.violating_admissibility = check_admissibility(cert.violating);
+        cert.violation =
+            static_cast<int>(cert.violating_values.size()) > spec.k &&
+            cert.violating_admissibility.admissible &&
+            cert.violating_admissibility.conclusive;
+    }
+    return cert;
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,143 @@
+#pragma once
+// The Theorem 1 engine: the paper's generic k-set agreement
+// impossibility argument, executable.
+//
+// Setting (Theorem 1).  Fix disjoint non-empty blocks D_1, ..., D_{k-1}
+// (their union is D-bar) and let D = Pi \ D-bar.  Two run predicates:
+//
+//   (dec-Dbar)  for every D_i, some process in D_i decides v_i, the v_i
+//               are distinct and each was proposed in D-bar;
+//   (dec-D)     every process of D receives no message from D-bar until
+//               after every process in D has decided.
+//
+// R(D) is the set of runs satisfying (dec-D); R(D, Dbar) those
+// satisfying both.  Theorem 1: if
+//   (A) R(D) is non-empty,
+//   (B) every run of R(D) has a D-indistinguishable counterpart in
+//       R(D, Dbar),
+//   (C) consensus is unsolvable in the restricted model M' = <D>, and
+//   (D) every run of the restricted algorithm A|D in M' has a
+//       D-indistinguishable counterpart among A's runs in M,
+// then A does not solve k-set agreement in M.  (The chain: (B) + the
+// k-1 distinct block decisions force all of D to decide ONE common value
+// in every R(D) run -- Fact 1 -- so A|D would solve consensus in M',
+// contradicting (C).)
+//
+// The engine constructs certificate runs for (A), (B) and (D)
+// mechanically and verifies them with the Definition 2 digest
+// comparison.  Condition (C) is discharged analytically (the DDS
+// classification in sim/model.hpp, or the failure-detector hierarchy
+// argument of Theorem 10) and *empirically*: the caller supplies a
+// split schedule under which the concrete candidate algorithm violates
+// consensus inside <D>, and the engine assembles the end-to-end witness
+// run in which the system decides more than k distinct values --
+// the contradiction made concrete.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/restriction.hpp"
+#include "sim/admissibility.hpp"
+#include "sim/behavior.hpp"
+#include "sim/run.hpp"
+#include "sim/schedulers.hpp"
+
+namespace ksa::core {
+
+/// The partition underlying an application of Theorem 1.
+struct PartitionSpec {
+    int n = 0;
+    int k = 0;
+    std::vector<std::vector<ProcessId>> blocks;  ///< D_1 .. D_{k-1}
+    std::vector<ProcessId> d;                    ///< D = Pi \ union(blocks)
+
+    /// All processes of D-bar (the blocks), sorted.
+    std::vector<ProcessId> dbar() const;
+};
+
+/// Builds the spec and computes D; validates disjointness and sizes.
+PartitionSpec make_partition_spec(int n, int k,
+                                  std::vector<std::vector<ProcessId>> blocks);
+
+/// Predicate (dec-Dbar) on a recorded run: every block has a decider,
+/// the per-block values are pairwise distinct and proposed within D-bar.
+/// On success, `out_values` (if non-null) receives the v_i.
+bool dec_dbar_holds(const Run& run,
+                    const std::vector<std::vector<ProcessId>>& blocks,
+                    std::set<Value>* out_values = nullptr);
+
+/// Predicate (dec-D) on a recorded run: every p in D received no message
+/// from D-bar strictly before the time every process of D had decided
+/// (faulty members of D count as "decided" at their crash).
+bool dec_d_holds(const Run& run, const PartitionSpec& spec);
+
+/// Which execution the oracle factory is being asked to serve; lets
+/// drivers pick stabilization times per run (see theorem10.cpp).
+enum class CertRun {
+    kAlpha,       ///< the (A) witness: D isolated, blocks delayed
+    kBeta,        ///< the (B) witness: blocks decide first, then D as in alpha
+    kRestricted,  ///< A|D in M' (blocks dead)
+    kFullDead,    ///< A in M with blocks initially dead
+    kViolating,   ///< blocks decide, then the split schedule on D
+    kSplitOnly,   ///< the split schedule on D alone (blocks dead)
+};
+
+/// Produces the oracle for one certificate run (nullptr = no detector).
+using CertOracleFactory = std::function<std::unique_ptr<FdOracle>(
+        CertRun, const FailurePlan& plan)>;
+
+/// Everything certify_theorem1 produces.
+struct Theorem1Certificate {
+    PartitionSpec spec;
+
+    bool condition_a = false;  ///< alpha exists: R(D) non-empty
+    Run alpha;                 ///< witness for (A)
+
+    bool condition_b = false;  ///< alpha ~_D beta with beta in R(D, Dbar)
+    Run beta;                  ///< witness for (B)
+    std::set<Value> block_values;  ///< the v_i realized in beta
+
+    bool condition_d = false;  ///< rho' ~_D rho
+    Run restricted;            ///< rho': A|D in M'
+    Run full_dead;             ///< rho: A in M, blocks initially dead
+
+    bool consensus_split = false;  ///< split schedule breaks consensus in <D>
+    Run split_run;                 ///< the A|D run deciding >= 2 values in D
+    std::set<Value> d_values;      ///< D's decisions in split_run
+
+    bool violation = false;  ///< the end-to-end > k decisions witness
+    Run violating;           ///< blocks + split in one admissible run
+    std::set<Value> violating_values;
+    AdmissibilityReport violating_admissibility;
+
+    /// True iff every certificate component succeeded.
+    bool complete() const {
+        return condition_a && condition_b && condition_d && consensus_split &&
+               violation;
+    }
+    std::string summary() const;
+};
+
+/// Inputs to the engine.
+struct Theorem1Inputs {
+    const Algorithm* algorithm = nullptr;
+    PartitionSpec spec;
+    std::vector<Value> inputs;  ///< distinct proposals (|V| > n)
+    FailurePlan plan;           ///< plan of the full-system witness runs
+    CertOracleFactory oracle_factory;  ///< empty when no detector is used
+    /// Stages that drive D to two or more decision values inside one run
+    /// (active sets must be subsets of D).  Supplied by the per-theorem
+    /// driver; empty disables the split/violation components.
+    std::vector<StagedScheduler::Stage> split_stages;
+    int stage_budget = 20000;
+    Time max_steps = 200000;
+};
+
+/// Runs the whole certification; see the file comment.
+Theorem1Certificate certify_theorem1(const Theorem1Inputs& in);
+
+}  // namespace ksa::core

@@ -1,0 +1,62 @@
+#pragma once
+// The Theorem 10 driver: (Sigma_k, Omega_k) is too weak for k-set
+// agreement for all 2 <= k <= n-2.
+//
+// The construction follows Section VII exactly.  With n = k-1+j, j >= 3:
+//
+//   * D_1..D_{k-1} are singletons {p_1}..{p_{k-1}}; D = {p_k..p_n}.
+//   * The adversary supplies the *partition detector* (Sigma'_k,
+//     Omega'_k) of Definition 7 (fd/sources.hpp): inside each block the
+//     quorum outputs form a valid Sigma history of the restricted system,
+//     and the leader output eventually stabilizes on a set LD.  By
+//     Lemma 9 every such history is admissible for (Sigma_k, Omega_k) --
+//     the driver re-validates this with fd/validators.hpp (the
+//     executable Lemma 9), so the constructed runs are genuine
+//     (Sigma_k, Omega_k) runs.
+//   * LD is chosen to intersect D in exactly two processes p_s, p_t
+//     (the constrained oracle Gamma of condition (C): with only
+//     (Sigma, Omega_2)-power inside <D>, consensus is unsolvable there).
+//   * The singleton blocks decide their own values in isolation
+//     (Lemma 12's alpha_i, pasted per Lemma 11 -- realized by the staged
+//     scheduler + the digest-checked pasting of the Theorem 1 engine).
+//   * The split schedule lets both p_s and p_t assemble quorum
+//     acknowledgments before either one's decision announcement is
+//     delivered (decision messages are held back -- pure asynchrony), so
+//     D splits into two values and the assembled admissible run decides
+//     k+1 distinct values.
+
+#include <string>
+
+#include "core/theorem1.hpp"
+#include "fd/validators.hpp"
+
+namespace ksa::core {
+
+/// Everything the Theorem 10 instantiation produces.
+struct Theorem10Result {
+    int n = 0, k = 0;
+    bool bound_applies = false;  ///< 2 <= k <= n-2
+    Theorem1Certificate certificate;
+    /// Definition 7 validation of the violating run's detector history.
+    fd::FdValidation partition_validation;
+    /// Lemma 9, executable: the same history validated against
+    /// Definitions 4 and 5 -- i.e. the violating run is a genuine
+    /// (Sigma_k, Omega_k) run.
+    fd::FdValidation sigma_omega_validation;
+    std::string summary() const;
+};
+
+/// Runs the full Theorem 10 construction against `candidate` (a
+/// (Sigma_k, Omega_k)-based algorithm; see algo/quorum_leader_kset.hpp).
+Theorem10Result run_theorem10(const Algorithm& candidate, int n, int k,
+                              int stage_budget = 20000);
+
+/// The Definition 7 partitioning used by the driver: k-1 singletons plus
+/// D (exposed for tests).
+std::vector<std::vector<ProcessId>> theorem10_fd_blocks(int n, int k);
+
+/// The stabilized leader set LD = {p_1..p_{k-2}, p_s, p_t} with
+/// p_s = p_k, p_t = p_{k+1} (exposed for tests).
+std::vector<ProcessId> theorem10_leader_set(int n, int k);
+
+}  // namespace ksa::core

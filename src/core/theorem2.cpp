@@ -1,0 +1,144 @@
+#include "core/theorem2.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/bounds.hpp"
+#include "sim/admissibility.hpp"
+
+namespace ksa::core {
+
+std::vector<std::vector<ProcessId>> theorem2_blocks(int n, int f, int k) {
+    require(theorem2_impossible(n, f, k),
+            "theorem2_blocks: bound k*(n-f) <= n-1 does not hold");
+    const int l = theorem2_block_size(n, f);
+    std::vector<std::vector<ProcessId>> blocks;
+    for (int i = 0; i < k - 1; ++i) {
+        std::vector<ProcessId> block;
+        for (int j = 1; j <= l; ++j) block.push_back(i * l + j);
+        blocks.push_back(std::move(block));
+    }
+    return blocks;
+}
+
+std::vector<StagedScheduler::Stage> window_split_stages(
+        const std::vector<ProcessId>& d, int window, int budget) {
+    require(window >= 1 && window <= static_cast<int>(d.size()),
+            "window_split_stages: window out of range");
+    // Member d_j may hear only from the `window` consecutive members
+    // starting at itself (cyclically).  An f-resilient algorithm decides
+    // inside its window; windows starting at different members have
+    // different minima, so D splits.
+    std::vector<ProcessId> sorted = d;
+    std::sort(sorted.begin(), sorted.end());
+    const int m = static_cast<int>(sorted.size());
+    auto filter = [sorted, window, m](const Message& msg, ProcessId dest) {
+        auto pos_of = [&](ProcessId p) {
+            auto it = std::lower_bound(sorted.begin(), sorted.end(), p);
+            return (it != sorted.end() && *it == p)
+                       ? static_cast<int>(it - sorted.begin())
+                       : -1;
+        };
+        const int dpos = pos_of(dest);
+        const int spos = pos_of(msg.from);
+        if (dpos < 0 || spos < 0) return false;  // traffic from outside D waits
+        const int offset = (spos - dpos + m) % m;
+        return offset < window;
+    };
+    StagedScheduler::Stage stage;
+    stage.active = sorted;
+    stage.filter = filter;
+    stage.budget = budget;
+    return {stage};
+}
+
+std::string Theorem2Result::summary() const {
+    std::ostringstream out;
+    out << "Theorem2[n=" << n << ",f=" << f << ",k=" << k
+        << "]: bound=" << bound_applies << " (C)=" << condition_c_analytic
+        << " " << certificate.summary();
+    return out.str();
+}
+
+std::string Theorem2Lockstep::summary() const {
+    std::ostringstream out;
+    out << "Theorem2Lockstep[n=" << n << ",f=" << f << ",k=" << k
+        << "]: " << values.size() << " decisions, dec-Dbar=" << dec_dbar
+        << ", violation=" << (violation ? "YES" : "no");
+    return out.str();
+}
+
+Theorem2Lockstep run_theorem2_lockstep(const Algorithm& candidate, int n,
+                                       int f, int k, Time max_steps) {
+    Theorem2Lockstep result;
+    result.n = n;
+    result.f = f;
+    result.k = k;
+    const int l = theorem2_block_size(n, f);
+    const auto blocks = theorem2_blocks(n, f, k);
+    PartitionSpec spec = make_partition_spec(n, k, blocks);
+
+    // Block index per process; -1 for members of D.
+    std::vector<int> block_of(n, -1);
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        for (ProcessId p : blocks[b]) block_of[p - 1] = static_cast<int>(b);
+
+    std::vector<ProcessId> d = spec.d;  // sorted
+    auto window_admits = [d, l](ProcessId from, ProcessId dest) {
+        auto pos = [&](ProcessId p) {
+            auto it = std::lower_bound(d.begin(), d.end(), p);
+            return (it != d.end() && *it == p)
+                       ? static_cast<int>(it - d.begin())
+                       : -1;
+        };
+        const int dpos = pos(dest), spos = pos(from);
+        if (dpos < 0 || spos < 0) return false;
+        const int m = static_cast<int>(d.size());
+        return (spos - dpos + m) % m < l;
+    };
+
+    LockstepScheduler::Filter filter =
+        [block_of, window_admits](const Message& m, ProcessId dest,
+                                  const SystemView& view) {
+            if (view.all_correct_decided()) return true;  // release phase
+            const int bf = block_of[m.from - 1], bd = block_of[dest - 1];
+            if (bf >= 0 || bd >= 0) return bf == bd;  // intra-block only
+            return window_admits(m.from, dest);       // inside D: windows
+        };
+
+    LockstepScheduler scheduler(std::move(filter));
+    result.run = execute_run(candidate, n, distinct_inputs(n), FailurePlan{},
+                             scheduler, nullptr, {max_steps});
+    result.values = result.run.distinct_decisions();
+    result.dec_dbar = dec_dbar_holds(result.run, blocks, nullptr);
+    AdmissibilityReport adm = check_admissibility(result.run);
+    result.violation = static_cast<int>(result.values.size()) > k &&
+                       adm.admissible && adm.conclusive;
+    return result;
+}
+
+Theorem2Result run_theorem2(const Algorithm& candidate, int n, int f, int k,
+                            int stage_budget) {
+    Theorem2Result result;
+    result.n = n;
+    result.f = f;
+    result.k = k;
+    result.bound_applies = theorem2_impossible(n, f, k);
+    require(result.bound_applies,
+            "run_theorem2: bound k*(n-f) <= n-1 does not hold");
+    result.condition_c_analytic =
+        !consensus_solvable_with_one_crash(ModelDescriptor::theorem2());
+
+    Theorem1Inputs in;
+    in.algorithm = &candidate;
+    in.spec = make_partition_spec(n, k, theorem2_blocks(n, f, k));
+    in.inputs = distinct_inputs(n);
+    in.plan = FailurePlan{};  // the witnesses need no crashes at all
+    in.split_stages =
+        window_split_stages(in.spec.d, theorem2_block_size(n, f), stage_budget);
+    in.stage_budget = stage_budget;
+    result.certificate = certify_theorem1(in);
+    return result;
+}
+
+}  // namespace ksa::core

@@ -1,0 +1,76 @@
+#pragma once
+// The Theorem 2 driver: impossibility of k-set agreement with
+// synchronous processes and asynchronous communication for
+// k <= (n-1)/(n-f), instantiating Theorem 1.
+//
+// Geometry (Lemma 3): l = n-f; blocks D_i = {p_{(i-1)l+1}, ..., p_{il}}
+// for 1 <= i < k; D = the remaining >= l+1 processes.  Conditions (A),
+// (B), (D) are discharged constructively by the Theorem 1 engine;
+// condition (C) is discharged analytically via the DDS'87 classification
+// (sim/model.hpp): the model of Theorem 2 -- synchronous processes,
+// asynchronous communication, atomic broadcast, receive+send atomicity
+// -- does not dominate any of the four minimal favourable combinations,
+// so consensus is unsolvable in M' = <D> with one crash.
+//
+// The empirical teeth against a concrete candidate: the split schedule
+// gives every member d_j of D a cyclic *listen window* of l consecutive
+// D-members starting at d_j.  An f-resilient candidate cannot wait for
+// more than n-f = l proposals, so every member decides inside its
+// window; windows have different minima, so D splits into >= 2 decision
+// values, and the assembled run -- blocks first, then the windowed D
+// schedule, then release -- is an admissible run with >= k+1 distinct
+// decisions.  (For candidates that are not window-splittable the
+// certificate reports it; the universal statement is Theorem 2 itself,
+// which needs no candidate.)
+
+#include <string>
+
+#include "core/theorem1.hpp"
+#include "sim/model.hpp"
+
+namespace ksa::core {
+
+/// Everything the Theorem 2 instantiation produces.
+struct Theorem2Result {
+    int n = 0, f = 0, k = 0;
+    bool bound_applies = false;       ///< k*(n-f) <= n-1
+    bool condition_c_analytic = false;  ///< DDS: consensus unsolvable in M'
+    Theorem1Certificate certificate;
+    std::string summary() const;
+};
+
+/// Runs the full Theorem 2 instantiation against `candidate` (an
+/// algorithm claimed to solve k-set agreement with f faults among n
+/// processes).  Requires the bound k*(n-f) <= n-1 to hold.
+Theorem2Result run_theorem2(const Algorithm& candidate, int n, int f, int k,
+                            int stage_budget = 20000);
+
+/// The block geometry used by the driver (exposed for tests): blocks
+/// D_1..D_{k-1} of size l = n-f each.
+std::vector<std::vector<ProcessId>> theorem2_blocks(int n, int f, int k);
+
+/// The cyclic listen-window split stages on D (exposed for tests and for
+/// composing custom adversaries).
+std::vector<StagedScheduler::Stage> window_split_stages(
+        const std::vector<ProcessId>& d, int window, int budget = 20000);
+
+/// The same impossibility witness constructed under *literally
+/// synchronous processes*: every live process takes exactly one step per
+/// cycle (LockstepScheduler); only message delays are adversarial --
+/// intra-block traffic flows, D-members hear their cyclic windows, and
+/// everything is released once all correct processes decided.  This is
+/// the letter of Theorem 2's model, whereas run_theorem2() exercises the
+/// weaker-model variant of Corollary 5.
+struct Theorem2Lockstep {
+    int n = 0, f = 0, k = 0;
+    Run run;
+    std::set<Value> values;
+    bool dec_dbar = false;   ///< blocks decided k-1 distinct values
+    bool violation = false;  ///< > k distinct decisions, admissible run
+    std::string summary() const;
+};
+Theorem2Lockstep run_theorem2_lockstep(const Algorithm& candidate, int n,
+                                       int f, int k,
+                                       Time max_steps = 200000);
+
+}  // namespace ksa::core

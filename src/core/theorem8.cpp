@@ -1,0 +1,72 @@
+#include "core/theorem8.hpp"
+
+#include <sstream>
+
+#include "algo/initial_clique.hpp"
+#include "core/bounds.hpp"
+#include "sim/admissibility.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+
+Theorem8Trial theorem8_trial(int n, int f, int k,
+                             const std::vector<ProcessId>& initially_dead,
+                             std::uint64_t seed) {
+    require(static_cast<int>(initially_dead.size()) <= f,
+            "theorem8_trial: more initial crashes than f");
+    Theorem8Trial trial;
+    trial.n = n;
+    trial.f = f;
+    trial.k = k;
+    trial.crashed = static_cast<int>(initially_dead.size());
+
+    auto algorithm = ksa::algo::make_flp_kset(n, f);
+    FailurePlan plan;
+    plan.set_initially_dead(initially_dead);
+    RandomScheduler scheduler(seed);
+    trial.run = execute_run(*algorithm, n, distinct_inputs(n), plan, scheduler);
+    trial.check = check_kset_agreement(trial.run, k);
+    trial.distinct_decisions =
+        static_cast<int>(trial.run.distinct_decisions().size());
+    return trial;
+}
+
+std::string Theorem8Border::summary() const {
+    std::ostringstream out;
+    out << "Theorem8Border[n=" << n << ",f=" << f << ",k=" << k
+        << "]: " << paste.summary() << " -> " << distinct_decisions
+        << " decisions (violation=" << violation << ")";
+    return out.str();
+}
+
+Theorem8Border theorem8_border(const Algorithm& candidate, int n, int k) {
+    require(n % (k + 1) == 0,
+            "theorem8_border: the exact border needs n divisible by k+1");
+    Theorem8Border border;
+    border.n = n;
+    border.k = k;
+    border.f = k * n / (k + 1);
+    invariant(!theorem8_solvable(n, border.f, k),
+              "theorem8_border: arithmetic says the border is solvable?");
+
+    // Pi_0 .. Pi_k, each of size n - f = n/(k+1).
+    const int group = n - border.f;
+    std::vector<std::vector<ProcessId>> blocks;
+    for (int i = 0; i <= k; ++i) {
+        std::vector<ProcessId> b;
+        for (int j = 1; j <= group; ++j) b.push_back(i * group + j);
+        blocks.push_back(std::move(b));
+    }
+
+    border.paste = paste_partition_runs(candidate, n, distinct_inputs(n),
+                                        blocks, FailurePlan{});
+    border.distinct_decisions =
+        static_cast<int>(border.paste.pasted.distinct_decisions().size());
+    AdmissibilityReport adm = check_admissibility(border.paste.pasted);
+    border.violation = border.distinct_decisions > k && adm.admissible &&
+                       adm.conclusive && border.paste.all_indistinguishable;
+    return border;
+}
+
+}  // namespace ksa::core

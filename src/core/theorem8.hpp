@@ -1,0 +1,58 @@
+#pragma once
+// The Theorem 8 driver: with up to f *initial* crashes, k-set agreement
+// is solvable iff k*n > (k+1)*f.
+//
+// Possibility side: trials of the generalized FLP protocol
+// (algo/initial_clique.hpp with L = n-f) under arbitrary initial-crash
+// sets and random fair schedules, validated against the k-set spec.
+//
+// Border side (k*n = (k+1)*f): the standard partitioning argument of
+// Section VI, executable -- partition Pi into k+1 groups of size
+// n-f = n/(k+1); for each group there is an execution eps_i in which the
+// others are initially dead and the group decides its own value; pasting
+// the eps_i (delaying inter-group traffic) yields an execution eps with
+// no crashes at all that is indistinguishable-until-decision from eps_i
+// for every group member, hence carries k+1 distinct decisions --
+// contradicting k-agreement.  The driver builds eps_i and eps with
+// core/pasting.hpp and verifies every claim.
+
+#include <string>
+
+#include "core/kset_spec.hpp"
+#include "core/pasting.hpp"
+#include "sim/behavior.hpp"
+
+namespace ksa::core {
+
+/// One possibility-side trial.
+struct Theorem8Trial {
+    int n = 0, f = 0, k = 0;
+    int crashed = 0;             ///< how many processes were initially dead
+    KSetCheck check;             ///< validation against the k-set spec
+    int distinct_decisions = 0;  ///< observed, must be <= k when solvable
+    Run run;
+};
+
+/// Runs the generalized FLP protocol with the given initially-dead set
+/// (must have size <= f) under the seeded random fair schedule and
+/// validates it.
+Theorem8Trial theorem8_trial(int n, int f, int k,
+                             const std::vector<ProcessId>& initially_dead,
+                             std::uint64_t seed);
+
+/// The border partition argument for k*n = (k+1)*f (requires n divisible
+/// by k+1 and f = k*n/(k+1)).
+struct Theorem8Border {
+    int n = 0, f = 0, k = 0;
+    PasteResult paste;           ///< eps_i and eps with the Def. 2 checks
+    int distinct_decisions = 0;  ///< decisions in eps; k+1 on success
+    bool violation = false;      ///< eps admissible with > k decisions
+    std::string summary() const;
+};
+
+/// Builds the border witness against `candidate` (defaults the caller
+/// should use: the generalized FLP protocol itself, which is what the
+/// section shows cannot be pushed past the border).
+Theorem8Border theorem8_border(const Algorithm& candidate, int n, int k);
+
+}  // namespace ksa::core

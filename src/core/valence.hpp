@@ -1,0 +1,62 @@
+#pragma once
+// FLP-style valence classification, built on the bounded explorer.
+//
+// The valence of an initial configuration is the set of values decidable
+// from it.  FLP's combinatorial core is that a would-be consensus
+// algorithm tolerating one crash has a *bivalent* initial configuration.
+// For the candidate algorithms in this library the explorer can compute
+// valence exactly (small n): the union, over a family of crash plans and
+// all schedules, of the decision values reachable at quiescence.
+//
+// Note the correct reading of bivalence (FLP Lemma 2): every
+// non-trivial 1-crash-resilient consensus protocol HAS bivalent initial
+// configurations -- different runs may decide differently.  Bivalence is
+// not a bug; a reachable *violation* (two values decided in ONE run,
+// which the explorer reports separately) is.  The pairing of the two
+// measurements is the executable FLP dichotomy: correct protocols are
+// bivalent yet violation-free on the plans they tolerate; flawed
+// candidates are bivalent and violating.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+
+namespace ksa::core {
+
+/// Valence of one initial configuration under one family of crash plans.
+struct ValenceResult {
+    std::set<Value> reachable;  ///< decidable values (union over plans)
+    bool exhaustive = true;     ///< every exploration was exhaustive
+    bool bivalent() const { return reachable.size() >= 2; }
+};
+
+/// Classifies the configuration (inputs, plans): explores all schedules
+/// for each plan and unions the decision values seen at quiescent
+/// states.
+ValenceResult classify_valence(const Algorithm& algorithm, int n,
+                               const std::vector<Value>& inputs,
+                               const std::vector<FailurePlan>& plans,
+                               int max_depth = 12,
+                               std::size_t max_states = 200000);
+
+/// The classic FLP plan family for "one process may crash": no crash,
+/// plus each process initially dead.
+std::vector<FailurePlan> one_crash_plans(int n);
+
+/// Sweeps all 2^n binary input vectors (values 0/1) and reports which
+/// are bivalent (see the file comment for why correct protocols are
+/// bivalent on mixed inputs too -- the adversary chooses who crashes).
+struct BivalenceSweep {
+    int total = 0;
+    int bivalent = 0;
+    bool exhaustive = true;
+    std::vector<std::pair<std::vector<Value>, ValenceResult>> rows;
+    std::string summary() const;
+};
+BivalenceSweep binary_input_sweep(const Algorithm& algorithm, int n,
+                                  const std::vector<FailurePlan>& plans,
+                                  int max_depth = 12);
+
+}  // namespace ksa::core

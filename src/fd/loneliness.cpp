@@ -1,0 +1,79 @@
+#include "fd/loneliness.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ksa::fd {
+
+bool is_alone_sample(const FdSample& sample, ProcessId querier) {
+    return sample.quorum.size() == 1 && sample.quorum.front() == querier;
+}
+
+FdValidation validate_loneliness(const Run& run) {
+    FdValidation v;
+
+    // (L1): at least one process never output alone.
+    std::set<ProcessId> ever_alone;
+    for (const FdEvent& e : run.fd_history)
+        if (is_alone_sample(e.sample, e.process)) ever_alone.insert(e.process);
+    if (static_cast<int>(ever_alone.size()) >= run.n) {
+        std::ostringstream out;
+        out << "L1 violated: all " << run.n
+            << " processes output alone at some time";
+        v.fail(out.str());
+    }
+
+    // (L2, finite proxy): a sole correct process ends up alone.
+    std::vector<ProcessId> correct = run.plan.correct(run.n);
+    if (correct.size() == 1) {
+        const ProcessId survivor = correct.front();
+        const FdEvent* last = nullptr;
+        for (const FdEvent& e : run.fd_history)
+            if (e.process == survivor) last = &e;
+        if (last != nullptr && !is_alone_sample(last->sample, survivor)) {
+            std::ostringstream out;
+            out << "L2 violated: sole correct p" << survivor
+                << " not alone in its final sample";
+            v.fail(out.str());
+        }
+    }
+    return v;
+}
+
+SampleRewrite loneliness_from_sigma(int n) {
+    return [n](const FdEvent& e) {
+        FdSample s = e.sample;
+        if (!is_alone_sample(s, e.process)) {
+            s.quorum.resize(n);
+            for (int i = 0; i < n; ++i) s.quorum[i] = i + 1;
+        }
+        return s;
+    };
+}
+
+SampleRewrite sigma_from_loneliness(int n) {
+    return [n](const FdEvent& e) {
+        FdSample s = e.sample;
+        if (is_alone_sample(s, e.process)) return s;  // alone -> {self}
+        s.quorum.resize(n);
+        for (int i = 0; i < n; ++i) s.quorum[i] = i + 1;
+        return s;
+    };
+}
+
+FdValidation check_sigma_loneliness_equivalence(const Run& run) {
+    FdValidation v = validate_sigma_k(run, run.n - 1);
+    require(v.ok,
+            "check_sigma_loneliness_equivalence: input history is not a "
+            "valid Sigma_{n-1} history");
+
+    Run as_l = transform_history(run, loneliness_from_sigma(run.n));
+    v.merge(validate_loneliness(as_l));
+
+    Run back = transform_history(as_l, sigma_from_loneliness(run.n));
+    v.merge(validate_sigma_k(back, run.n - 1));
+    return v;
+}
+
+}  // namespace ksa::fd

@@ -1,0 +1,59 @@
+#pragma once
+// The loneliness failure detector L and its equivalence with
+// Sigma_{n-1}.
+//
+// The related-work section points at the authors' companion paper [2]
+// (Biely, Robinson, Schmid, OPODIS'09), which introduced the generalized
+// loneliness detector L(k) and proved it tight for k-set agreement; for
+// k = n-1, L is equivalent to Sigma_{n-1} (Bonnet & Raynal [3]).  This
+// module makes the equivalence executable:
+//
+//   L outputs a boolean "alone" per process and time with
+//     (L1) some process never outputs true, and
+//     (L2) if exactly one process is correct, it eventually outputs
+//          true for ever;
+//
+//   * from a Sigma_{n-1} history, `alone := (quorum == {self})`
+//     emulates L: n processes outputting singletons would be n pairwise
+//     disjoint quorums at n processes, violating Intersection, so (L1)
+//     holds; Liveness of Sigma shrinks the lone survivor's quorum to
+//     {self}, so (L2) holds;
+//   * from an L history, `quorum := alone ? {self} : Pi` emulates
+//     Sigma_{n-1}: among any n quorum choices, either two are Pi-typed
+//     (intersect), or one is Pi (intersects everything), or all n are
+//     singletons -- impossible by (L1).
+//
+// Loneliness samples ride in FdSample.quorum: {self} encodes true,
+// anything else false.  The validators below check (L1)/(L2) on
+// recorded histories with the same finite-prefix proxies used in
+// fd/validators.hpp.
+
+#include "fd/transform.hpp"
+#include "fd/validators.hpp"
+#include "sim/run.hpp"
+
+namespace ksa::fd {
+
+/// Is this sample an "alone" output for `querier`?
+bool is_alone_sample(const FdSample& sample, ProcessId querier);
+
+/// Validates a history as a loneliness (L) history: (L1) at least one
+/// process never output alone; (L2, finite proxy) if exactly one process
+/// is correct and it queried, its final sample is alone.
+FdValidation validate_loneliness(const Run& run);
+
+/// Rewrite implementing L from Sigma_{n-1}: singleton-self quorums stay,
+/// everything else is normalized to the full set (so downstream
+/// consumers see a clean alone/not-alone signal).
+SampleRewrite loneliness_from_sigma(int n);
+
+/// Rewrite implementing Sigma_{n-1} from L: alone -> {self},
+/// not-alone -> Pi.
+SampleRewrite sigma_from_loneliness(int n);
+
+/// Executable equivalence check: given a run whose history validates for
+/// Sigma_{n-1}, the loneliness rewrite must validate as L, and rewriting
+/// back must validate as Sigma_{n-1} again.  Returns the merged verdict.
+FdValidation check_sigma_loneliness_equivalence(const Run& run);
+
+}  // namespace ksa::fd

@@ -1,0 +1,175 @@
+#include "fd/sources.hpp"
+
+#include <algorithm>
+
+namespace ksa::fd {
+
+namespace {
+
+std::vector<int> index_blocks(int n,
+                              const std::vector<std::vector<ProcessId>>& blocks,
+                              const char* who) {
+    std::vector<int> block_of(n, -1);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        for (ProcessId p : blocks[b]) {
+            require(p >= 1 && p <= n,
+                    std::string(who) + ": process id out of range");
+            require(block_of[p - 1] == -1,
+                    std::string(who) + ": blocks must be disjoint");
+            block_of[p - 1] = static_cast<int>(b);
+        }
+    }
+    return block_of;
+}
+
+}  // namespace
+
+CorrectSetQuorum::CorrectSetQuorum(int n, const FailurePlan& plan)
+    : correct_(plan.correct(n)) {
+    require(!correct_.empty(),
+            "CorrectSetQuorum: at least one process must be correct");
+}
+
+std::vector<ProcessId> AliveSetQuorum::quorum(const QueryContext& ctx) {
+    std::vector<ProcessId> out;
+    for (ProcessId p = 1; p <= n_; ++p)
+        if (std::find(ctx.crashed_so_far.begin(), ctx.crashed_so_far.end(),
+                      p) == ctx.crashed_so_far.end())
+            out.push_back(p);
+    return out;
+}
+
+BlockQuorum::BlockQuorum(int n, std::vector<std::vector<ProcessId>> blocks,
+                         const FailurePlan& plan)
+    : n_(n), blocks_(std::move(blocks)), plan_(plan) {
+    block_of_ = index_blocks(n, blocks_, "BlockQuorum");
+}
+
+std::vector<ProcessId> BlockQuorum::quorum(const QueryContext& ctx) {
+    // A crashed querier gets Pi (Definition 7); in practice a crashed
+    // process never queries, but the branch keeps the oracle total.
+    if (std::find(ctx.crashed_so_far.begin(), ctx.crashed_so_far.end(),
+                  ctx.querier) != ctx.crashed_so_far.end()) {
+        std::vector<ProcessId> all(n_);
+        for (int i = 0; i < n_; ++i) all[i] = i + 1;
+        return all;
+    }
+    const int b = block_of_[ctx.querier - 1];
+    require(b >= 0, "BlockQuorum: querier belongs to no block");
+    // Valid Sigma history inside <D_b>: the planned-correct members of
+    // the block if any exist; otherwise (all members faulty) the members
+    // that have not crashed yet -- outputs then form a decreasing chain,
+    // which still pairwise intersects while anybody in the block is live.
+    std::vector<ProcessId> out;
+    for (ProcessId p : blocks_[b])
+        if (!plan_.is_faulty(p)) out.push_back(p);
+    if (out.empty()) {
+        for (ProcessId p : blocks_[b])
+            if (std::find(ctx.crashed_so_far.begin(),
+                          ctx.crashed_so_far.end(),
+                          p) == ctx.crashed_so_far.end())
+                out.push_back(p);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+StableLeaders::StableLeaders(std::vector<ProcessId> stable, Time gst, PreFn pre)
+    : stable_(std::move(stable)), gst_(gst), pre_(std::move(pre)) {
+    require(!stable_.empty(), "StableLeaders: stable set must be non-empty");
+    std::sort(stable_.begin(), stable_.end());
+}
+
+std::vector<ProcessId> StableLeaders::leaders(const QueryContext& ctx) {
+    if (ctx.now >= gst_ || !pre_) return stable_;
+    std::vector<ProcessId> out = pre_(ctx);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+BlockLeaders::BlockLeaders(int n, int k,
+                           std::vector<std::vector<ProcessId>> blocks,
+                           const FailurePlan& plan,
+                           std::vector<ProcessId> stable, Time gst)
+    : n_(n),
+      k_(k),
+      blocks_(std::move(blocks)),
+      plan_(plan),
+      stable_(std::move(stable)),
+      gst_(gst) {
+    require(static_cast<int>(stable_.size()) == k_,
+            "BlockLeaders: stable set must have size k (Omega_k validity)");
+    block_of_ = index_blocks(n, blocks_, "BlockLeaders");
+    std::sort(stable_.begin(), stable_.end());
+}
+
+std::vector<ProcessId> BlockLeaders::leaders(const QueryContext& ctx) {
+    if (ctx.now >= gst_) return stable_;
+    const int b = block_of_[ctx.querier - 1];
+    if (b < 0) return stable_;
+    // Before stabilization: the querier's block sees one leader inside
+    // its own block (the smallest live member), padded with the smallest
+    // member of every other block to keep the size-k validity property.
+    std::vector<ProcessId> out;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        ProcessId lead = 0;
+        for (ProcessId p : blocks_[i]) {
+            const bool crashed =
+                std::find(ctx.crashed_so_far.begin(),
+                          ctx.crashed_so_far.end(), p) !=
+                ctx.crashed_so_far.end();
+            if (!crashed) {
+                lead = p;
+                break;
+            }
+        }
+        if (lead == 0) lead = blocks_[i].front();
+        out.push_back(lead);
+        if (static_cast<int>(out.size()) == k_) break;
+    }
+    while (static_cast<int>(out.size()) < k_)
+        out.push_back(stable_[out.size() % stable_.size()]);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    // Re-pad after dedup with arbitrary further ids to keep |output| = k.
+    for (ProcessId p = 1; static_cast<int>(out.size()) < k_ && p <= n_; ++p)
+        if (!std::binary_search(out.begin(), out.end(), p)) {
+            out.insert(std::lower_bound(out.begin(), out.end(), p), p);
+        }
+    return out;
+}
+
+FdSample ComposedOracle::query(const QueryContext& ctx) {
+    FdSample s;
+    if (q_) s.quorum = q_->quorum(ctx);
+    if (l_) s.leaders = l_->leaders(ctx);
+    return s;
+}
+
+std::string ComposedOracle::name() const {
+    std::string out = "(";
+    out += q_ ? q_->name() : "-";
+    out += ",";
+    out += l_ ? l_->name() : "-";
+    out += ")";
+    return out;
+}
+
+std::unique_ptr<FdOracle> make_benign_sigma_omega(
+        int n, const FailurePlan& plan, std::vector<ProcessId> stable_leaders) {
+    return std::make_unique<ComposedOracle>(
+        std::make_unique<CorrectSetQuorum>(n, plan),
+        std::make_unique<StableLeaders>(std::move(stable_leaders), 0));
+}
+
+std::unique_ptr<FdOracle> make_partition_detector(
+        int n, int k, std::vector<std::vector<ProcessId>> blocks,
+        const FailurePlan& plan, std::vector<ProcessId> stable, Time gst) {
+    auto quorums = std::make_unique<BlockQuorum>(n, blocks, plan);
+    auto leaders = std::make_unique<BlockLeaders>(n, k, std::move(blocks), plan,
+                                                  std::move(stable), gst);
+    return std::make_unique<ComposedOracle>(std::move(quorums),
+                                            std::move(leaders));
+}
+
+}  // namespace ksa::fd

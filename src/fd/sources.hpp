@@ -1,0 +1,162 @@
+#pragma once
+// Failure-detector building blocks.
+//
+// An FdSample has a quorum component (Sigma family, Definition 4) and a
+// leader component (Omega family, Definition 5).  Oracles are composed
+// from a QuorumSource and a LeaderSource so that the adversaries of the
+// paper -- in particular the partition detector (Sigma'_k, Omega'_k) of
+// Definition 7 -- can mix and match behaviours.  All sources are
+// deterministic given the plan and the query context, so runs stay
+// replayable.
+//
+// The validators in fd/validators.hpp re-check every recorded history
+// against the class definitions, so a source that violated its class
+// would be caught rather than silently producing an inadmissible run.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/failure_plan.hpp"
+#include "sim/fd_oracle.hpp"
+#include "sim/types.hpp"
+
+namespace ksa::fd {
+
+/// Produces the Sigma-family component of a sample.
+class QuorumSource {
+public:
+    virtual ~QuorumSource() = default;
+    virtual std::vector<ProcessId> quorum(const QueryContext& ctx) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Produces the Omega-family component of a sample.
+class LeaderSource {
+public:
+    virtual ~LeaderSource() = default;
+    virtual std::vector<ProcessId> leaders(const QueryContext& ctx) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// The benign Sigma oracle: always outputs the planned correct set.
+/// Trivially satisfies Intersection (all outputs are equal and
+/// non-empty) and Liveness for every Sigma_k.
+class CorrectSetQuorum final : public QuorumSource {
+public:
+    CorrectSetQuorum(int n, const FailurePlan& plan);
+    std::vector<ProcessId> quorum(const QueryContext&) override {
+        return correct_;
+    }
+    std::string name() const override { return "Sigma(correct-set)"; }
+
+private:
+    std::vector<ProcessId> correct_;
+};
+
+/// A realistic Sigma oracle without plan knowledge of the future: outputs
+/// all processes that have not crashed *yet*.  Outputs form a decreasing
+/// chain, hence pairwise intersect as long as one process is correct, and
+/// liveness holds from the last realized crash on.
+class AliveSetQuorum final : public QuorumSource {
+public:
+    explicit AliveSetQuorum(int n) : n_(n) {}
+    std::vector<ProcessId> quorum(const QueryContext& ctx) override;
+    std::string name() const override { return "Sigma(alive-set)"; }
+
+private:
+    int n_;
+};
+
+/// The Sigma'_k component of the partition detector (Definition 7):
+/// given a partitioning {D_1, ..., D_k} of Pi, the output at a live
+/// process p in D_i is a valid Sigma history *inside* <D_i> (we output
+/// the planned-correct members of D_i, or the not-yet-crashed members of
+/// D_i while it still contains faulty-but-live processes); a crashed
+/// querier receives the whole set Pi, as the definition stipulates.
+class BlockQuorum final : public QuorumSource {
+public:
+    BlockQuorum(int n, std::vector<std::vector<ProcessId>> blocks,
+                const FailurePlan& plan);
+    std::vector<ProcessId> quorum(const QueryContext& ctx) override;
+    std::string name() const override { return "Sigma'_k(partition)"; }
+
+private:
+    int n_;
+    std::vector<std::vector<ProcessId>> blocks_;
+    std::vector<int> block_of_;  // index p-1 -> block index, -1 if none
+    FailurePlan plan_;
+};
+
+/// An Omega_k source with explicit stabilization: before `gst` the output
+/// is taken from the `pre` function (the adversary's choice; defaults to
+/// the stable set), from `gst` on it is the fixed set `stable`.
+/// `stable` must have size k and, for admissibility, intersect the
+/// correct set; the validators check both.
+class StableLeaders final : public LeaderSource {
+public:
+    using PreFn = std::function<std::vector<ProcessId>(const QueryContext&)>;
+
+    StableLeaders(std::vector<ProcessId> stable, Time gst, PreFn pre = {});
+    std::vector<ProcessId> leaders(const QueryContext& ctx) override;
+    std::string name() const override { return "Omega_k(stable)"; }
+
+private:
+    std::vector<ProcessId> stable_;
+    Time gst_;
+    PreFn pre_;
+};
+
+/// The Omega'_k behaviour used in the Theorem 10 construction: before
+/// gst, a process in block D_i sees a size-k leader set whose member
+/// relevant to it lies inside D_i (so each block can make progress in
+/// isolation, exactly like in the runs alpha_i of Lemma 12); from gst on
+/// everybody sees the same stable set LD.
+class BlockLeaders final : public LeaderSource {
+public:
+    BlockLeaders(int n, int k, std::vector<std::vector<ProcessId>> blocks,
+                 const FailurePlan& plan, std::vector<ProcessId> stable,
+                 Time gst);
+    std::vector<ProcessId> leaders(const QueryContext& ctx) override;
+    std::string name() const override { return "Omega'_k(partition)"; }
+
+private:
+    int n_;
+    int k_;
+    std::vector<std::vector<ProcessId>> blocks_;
+    std::vector<int> block_of_;
+    FailurePlan plan_;
+    std::vector<ProcessId> stable_;
+    Time gst_;
+};
+
+/// Glues a QuorumSource and a LeaderSource into one oracle.  Either may
+/// be null, producing an empty component (for algorithms that use only
+/// one family).
+class ComposedOracle final : public FdOracle {
+public:
+    ComposedOracle(std::unique_ptr<QuorumSource> q,
+                   std::unique_ptr<LeaderSource> l)
+        : q_(std::move(q)), l_(std::move(l)) {}
+
+    FdSample query(const QueryContext& ctx) override;
+    std::string name() const override;
+
+private:
+    std::unique_ptr<QuorumSource> q_;
+    std::unique_ptr<LeaderSource> l_;
+};
+
+/// Convenience factory: the benign (Sigma_k, Omega_k) oracle -- correct
+/// set quorums, leaders stabilized on `stable` from the start.
+std::unique_ptr<FdOracle> make_benign_sigma_omega(
+        int n, const FailurePlan& plan, std::vector<ProcessId> stable_leaders);
+
+/// Convenience factory: the partition detector (Sigma'_k, Omega'_k) of
+/// Definition 7 for the given partitioning D_1..D_k, with leader
+/// stabilization at `gst` on `stable`.
+std::unique_ptr<FdOracle> make_partition_detector(
+        int n, int k, std::vector<std::vector<ProcessId>> blocks,
+        const FailurePlan& plan, std::vector<ProcessId> stable, Time gst);
+
+}  // namespace ksa::fd

@@ -1,0 +1,53 @@
+#include "fd/transform.hpp"
+
+#include <algorithm>
+
+namespace ksa::fd {
+
+Run transform_history(const Run& run, const SampleRewrite& rewrite) {
+    Run out = run;
+    for (FdEvent& e : out.fd_history) e.sample = rewrite(e);
+    std::size_t idx = 0;
+    for (StepRecord& s : out.steps) {
+        if (!s.fd) continue;
+        invariant(idx < out.fd_history.size(),
+                  "transform_history: step/history mismatch");
+        s.fd = out.fd_history[idx++].sample;
+    }
+    return out;
+}
+
+SampleRewrite restrict_leaders_to(std::vector<ProcessId> group, int k) {
+    std::sort(group.begin(), group.end());
+    return [group, k](const FdEvent& e) {
+        FdSample s = e.sample;
+        std::vector<ProcessId> kept;
+        for (ProcessId p : s.leaders)
+            if (std::binary_search(group.begin(), group.end(), p))
+                kept.push_back(p);
+        for (ProcessId p : group) {
+            if (static_cast<int>(kept.size()) >= k) break;
+            if (std::find(kept.begin(), kept.end(), p) == kept.end())
+                kept.push_back(p);
+        }
+        std::sort(kept.begin(), kept.end());
+        if (static_cast<int>(kept.size()) > k) kept.resize(k);
+        s.leaders = std::move(kept);
+        return s;
+    };
+}
+
+SampleRewrite restrict_quorums_to(std::vector<ProcessId> group) {
+    std::sort(group.begin(), group.end());
+    return [group](const FdEvent& e) {
+        FdSample s = e.sample;
+        std::vector<ProcessId> kept;
+        for (ProcessId p : s.quorum)
+            if (std::binary_search(group.begin(), group.end(), p))
+                kept.push_back(p);
+        s.quorum = std::move(kept);
+        return s;
+    };
+}
+
+}  // namespace ksa::fd

@@ -1,0 +1,45 @@
+#pragma once
+// Failure-detector transformations and comparison (Section II-C).
+//
+// A detector D' is *weaker* than D when an algorithm can maintain output
+// variables emulating admissible D' histories from D queries.  All the
+// transformations the paper needs are stateless sample rewrites, so the
+// framework here is a history-rewriting functional plus validators-based
+// admissibility checks:
+//
+//   * Lemma 9 -- (Sigma_k, Omega_k) is weaker than (Sigma'_k, Omega'_k) --
+//     is witnessed by the identity rewrite: fd/validators.hpp's
+//     lemma9_check() verifies every recorded partition history directly
+//     against Definitions 4 and 5.
+//   * The Theorem 10, condition (C) step -- from the constrained leader
+//     oracle Gamma (whose stabilized set intersects the block D in
+//     exactly two processes) one implements Omega_2 in the subsystem <D>
+//     -- is witnessed by restrict_leaders_to().
+
+#include <functional>
+
+#include "sim/run.hpp"
+
+namespace ksa::fd {
+
+/// A stateless sample rewrite.
+using SampleRewrite = std::function<FdSample(const FdEvent&)>;
+
+/// Returns a copy of `run` whose failure-detector history (both the
+/// FdHistory and the per-step records) is rewritten by `rewrite`.
+/// Used to validate that the rewritten history is admissible for a
+/// weaker class -- the executable form of "D transforms to D'".
+Run transform_history(const Run& run, const SampleRewrite& rewrite);
+
+/// Rewrite: keep only leaders inside `group`, then pad with the smallest
+/// members of `group` up to size `k` (keeping Omega_k validity inside the
+/// subsystem <group>).  With Gamma's guarantee that the stabilized leader
+/// set intersects `group` in exactly two processes, this emulates Omega_2
+/// in <group>.
+SampleRewrite restrict_leaders_to(std::vector<ProcessId> group, int k);
+
+/// Rewrite: replace the quorum component by its intersection with
+/// `group` (Sigma restricted to a subsystem).
+SampleRewrite restrict_quorums_to(std::vector<ProcessId> group);
+
+}  // namespace ksa::fd

@@ -1,0 +1,262 @@
+#include "fd/validators.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ksa::fd {
+
+namespace {
+
+bool disjoint(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b) {
+    for (ProcessId x : a)
+        if (std::find(b.begin(), b.end(), x) != b.end()) return false;
+    return true;
+}
+
+/// Distinct quorum outputs per process, in event order.
+std::map<ProcessId, std::vector<std::vector<ProcessId>>> quorums_by_process(
+        const Run& run) {
+    std::map<ProcessId, std::vector<std::vector<ProcessId>>> out;
+    for (const FdEvent& e : run.fd_history) {
+        auto& v = out[e.process];
+        if (std::find(v.begin(), v.end(), e.sample.quorum) == v.end())
+            v.push_back(e.sample.quorum);
+    }
+    return out;
+}
+
+/// Searches for k+1 pairwise-disjoint quorum outputs at k+1 distinct
+/// processes (an Intersection violation).  Returns the witness processes
+/// or empty if none exists.
+std::vector<ProcessId> find_disjoint_family(
+        const std::map<ProcessId, std::vector<std::vector<ProcessId>>>& by_proc,
+        int family_size) {
+    std::vector<ProcessId> procs;
+    for (const auto& [p, _] : by_proc) procs.push_back(p);
+
+    std::vector<ProcessId> chosen_procs;
+    std::vector<const std::vector<ProcessId>*> chosen_quorums;
+
+    std::function<bool(std::size_t)> rec = [&](std::size_t start) -> bool {
+        if (static_cast<int>(chosen_procs.size()) == family_size) return true;
+        // Prune: not enough processes left.
+        if (procs.size() - start <
+            static_cast<std::size_t>(family_size) - chosen_procs.size())
+            return false;
+        for (std::size_t i = start; i < procs.size(); ++i) {
+            ProcessId p = procs[i];
+            for (const auto& q : by_proc.at(p)) {
+                bool ok = true;
+                for (const auto* prev : chosen_quorums)
+                    if (!disjoint(*prev, q)) {
+                        ok = false;
+                        break;
+                    }
+                if (!ok) continue;
+                chosen_procs.push_back(p);
+                chosen_quorums.push_back(&q);
+                if (rec(i + 1)) return true;
+                chosen_procs.pop_back();
+                chosen_quorums.pop_back();
+            }
+        }
+        return false;
+    };
+    if (rec(0)) return chosen_procs;
+    return {};
+}
+
+/// Last recorded sample of each process.
+std::map<ProcessId, FdSample> final_samples(const Run& run) {
+    std::map<ProcessId, FdSample> out;
+    for (const FdEvent& e : run.fd_history) out[e.process] = e.sample;
+    return out;
+}
+
+std::string render_set(const std::vector<ProcessId>& s) {
+    std::ostringstream out;
+    out << '{';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i > 0) out << ',';
+        out << s[i];
+    }
+    out << '}';
+    return out.str();
+}
+
+}  // namespace
+
+void FdValidation::merge(const FdValidation& other) {
+    if (!other.ok) ok = false;
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+}
+
+FdValidation validate_sigma_k(const Run& run, int k) {
+    FdValidation v;
+    require(k >= 1, "validate_sigma_k: k must be >= 1");
+
+    // Quorums must never be empty (an empty quorum trivially breaks
+    // Intersection and can never satisfy a quorum-based algorithm).
+    for (const FdEvent& e : run.fd_history)
+        if (e.sample.quorum.empty()) {
+            std::ostringstream out;
+            out << "empty quorum at p" << e.process << " t=" << e.time;
+            v.fail(out.str());
+            return v;
+        }
+
+    // Intersection.
+    auto by_proc = quorums_by_process(run);
+    if (static_cast<int>(by_proc.size()) >= k + 1) {
+        auto witness = find_disjoint_family(by_proc, k + 1);
+        if (!witness.empty()) {
+            std::ostringstream out;
+            out << "Sigma_" << k << " Intersection violated: " << k + 1
+                << " pairwise-disjoint quorums at processes "
+                << render_set(witness);
+            v.fail(out.str());
+        }
+    }
+
+    // Liveness (finite proxy): final sample of each correct querying
+    // process excludes the planned faulty set.
+    const std::set<ProcessId> faulty = run.plan.faulty();
+    for (const auto& [p, sample] : final_samples(run)) {
+        if (run.plan.is_faulty(p)) continue;
+        for (ProcessId q : sample.quorum)
+            if (faulty.count(q) != 0) {
+                std::ostringstream out;
+                out << "Sigma_" << k << " Liveness violated: final quorum of p"
+                    << p << " contains faulty p" << q;
+                v.fail(out.str());
+            }
+    }
+    return v;
+}
+
+FdValidation validate_omega_k(const Run& run, int k) {
+    FdValidation v;
+    require(k >= 1, "validate_omega_k: k must be >= 1");
+
+    // Validity: size-k output at all processes and times.
+    for (const FdEvent& e : run.fd_history)
+        if (static_cast<int>(e.sample.leaders.size()) != k) {
+            std::ostringstream out;
+            out << "Omega_" << k << " Validity violated: |leaders|="
+                << e.sample.leaders.size() << " at p" << e.process
+                << " t=" << e.time;
+            v.fail(out.str());
+            return v;
+        }
+
+    // Eventual leadership (finite proxy): every correct querying process
+    // has a constant suffix; suffixes agree; LD intersects correct set.
+    std::map<ProcessId, std::vector<ProcessId>> last;
+    for (const FdEvent& e : run.fd_history)
+        if (!run.plan.is_faulty(e.process)) last[e.process] = e.sample.leaders;
+    if (last.empty()) return v;  // vacuous: nobody correct ever queried
+
+    const std::vector<ProcessId>& ld = last.begin()->second;
+    for (const auto& [p, leaders] : last)
+        if (leaders != ld) {
+            std::ostringstream out;
+            out << "Omega_" << k
+                << " Eventual Leadership violated: final outputs differ, p"
+                << last.begin()->first << "=" << render_set(ld) << " vs p" << p
+                << "=" << render_set(leaders);
+            v.fail(out.str());
+            return v;
+        }
+    bool hits_correct = false;
+    for (ProcessId p : ld)
+        if (!run.plan.is_faulty(p)) hits_correct = true;
+    if (!hits_correct) {
+        std::ostringstream out;
+        out << "Omega_" << k << " Eventual Leadership violated: LD "
+            << render_set(ld) << " contains no correct process";
+        v.fail(out.str());
+    }
+    return v;
+}
+
+FdValidation validate_sigma_omega_k(const Run& run, int k) {
+    FdValidation v = validate_sigma_k(run, k);
+    v.merge(validate_omega_k(run, k));
+    return v;
+}
+
+FdValidation validate_partition_detector(
+        const Run& run, const std::vector<std::vector<ProcessId>>& blocks,
+        int k) {
+    FdValidation v;
+    require(static_cast<int>(blocks.size()) == k,
+            "validate_partition_detector: need exactly k blocks");
+
+    std::vector<int> block_of(run.n, -1);
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        for (ProcessId p : blocks[b]) block_of[p - 1] = static_cast<int>(b);
+
+    const std::set<ProcessId> faulty = run.plan.faulty();
+
+    // Per-block Sigma (= Sigma_1 inside <D_i>) conditions.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        // Containment: live members only see members of their own block.
+        std::vector<FdEvent> events;
+        for (const FdEvent& e : run.fd_history)
+            if (block_of[e.process - 1] == static_cast<int>(b))
+                events.push_back(e);
+        for (const FdEvent& e : events)
+            for (ProcessId q : e.sample.quorum)
+                if (block_of[q - 1] != static_cast<int>(b)) {
+                    std::ostringstream out;
+                    out << "Sigma'_k: quorum of p" << e.process << " (block "
+                        << b << ") contains outsider p" << q;
+                    v.fail(out.str());
+                }
+        // Intersection inside the block: every pair of samples at
+        // distinct member processes intersects.
+        for (std::size_t i = 0; i < events.size(); ++i)
+            for (std::size_t j = i + 1; j < events.size(); ++j) {
+                if (events[i].process == events[j].process) continue;
+                if (disjoint(events[i].sample.quorum, events[j].sample.quorum)) {
+                    std::ostringstream out;
+                    out << "Sigma'_k: disjoint quorums inside block " << b
+                        << " at p" << events[i].process << " and p"
+                        << events[j].process;
+                    v.fail(out.str());
+                }
+            }
+        // Per-block liveness proxy.
+        std::map<ProcessId, FdSample> last;
+        for (const FdEvent& e : events) last[e.process] = e.sample;
+        for (const auto& [p, sample] : last) {
+            if (run.plan.is_faulty(p)) continue;
+            for (ProcessId q : sample.quorum)
+                if (faulty.count(q) != 0) {
+                    std::ostringstream out;
+                    out << "Sigma'_k: final quorum of correct p" << p
+                        << " contains faulty p" << q;
+                    v.fail(out.str());
+                }
+        }
+    }
+
+    // Omega'_k = Omega_k.
+    v.merge(validate_omega_k(run, k));
+    return v;
+}
+
+FdValidation lemma9_check(const Run& run,
+                          const std::vector<std::vector<ProcessId>>& blocks,
+                          int k) {
+    FdValidation partition = validate_partition_detector(run, blocks, k);
+    require(partition.ok,
+            "lemma9_check: history is not a valid partition-detector history");
+    return validate_sigma_omega_k(run, k);
+}
+
+}  // namespace ksa::fd

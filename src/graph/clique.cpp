@@ -1,0 +1,59 @@
+#include "graph/clique.hpp"
+
+#include <algorithm>
+
+namespace ksa::graph {
+
+bool is_clique(const Digraph& g, const std::vector<int>& members) {
+    for (int u : members)
+        for (int v : members)
+            if (u != v && !g.has_edge(u, v)) return false;
+    return true;
+}
+
+bool has_no_incoming(const Digraph& g, const std::vector<int>& members) {
+    for (int v : members)
+        for (int u : g.predecessors(v))
+            if (std::find(members.begin(), members.end(), u) == members.end())
+                return false;
+    return true;
+}
+
+bool is_initial_clique(const Digraph& g, const std::vector<int>& members) {
+    return is_clique(g, members) && has_no_incoming(g, members);
+}
+
+std::vector<std::vector<int>> initial_cliques(const Digraph& g) {
+    std::vector<std::vector<int>> out;
+    for (const auto& sc : source_components(g))
+        if (is_clique(g, sc)) out.push_back(sc);
+    return out;
+}
+
+std::vector<int> reachable_from(const Digraph& g, const std::vector<int>& from) {
+    std::vector<bool> seen(g.num_vertices(), false);
+    std::vector<int> stack;
+    for (int v : from)
+        if (!seen[v]) seen[v] = true, stack.push_back(v);
+    while (!stack.empty()) {
+        int u = stack.back();
+        stack.pop_back();
+        for (int w : g.successors(u))
+            if (!seen[w]) seen[w] = true, stack.push_back(w);
+    }
+    std::vector<int> out;
+    for (int v = 0; v < g.num_vertices(); ++v)
+        if (seen[v]) out.push_back(v);
+    return out;
+}
+
+std::vector<std::vector<int>> source_reachability(const Digraph& g) {
+    std::vector<std::vector<int>> out(g.num_vertices());
+    auto sources = source_components(g);
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        for (int v : reachable_from(g, sources[i]))
+            out[v].push_back(static_cast<int>(i));
+    return out;
+}
+
+}  // namespace ksa::graph

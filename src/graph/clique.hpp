@@ -1,0 +1,45 @@
+#pragma once
+// Initial cliques and reachability from source components.
+//
+// The FLP initial-crash consensus protocol has every process determine
+// the unique *initial clique* of the stage-1 heard-from graph G: a fully
+// connected maximal subgraph with no incoming edges.  Section VI observes
+// that locally detecting the initial clique is equivalent to locally
+// detecting the source component the process is connected to, which is
+// how the generalized k-set protocol decides.  This module provides the
+// clique predicates and the source-reachability map the protocols use.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace ksa::graph {
+
+/// True iff `members` induces a complete digraph (every ordered pair of
+/// distinct members is an edge).
+bool is_clique(const Digraph& g, const std::vector<int>& members);
+
+/// True iff no edge enters `members` from outside.
+bool has_no_incoming(const Digraph& g, const std::vector<int>& members);
+
+/// True iff `members` is an initial clique: a clique with no incoming
+/// edges (maximality follows for source components).
+bool is_initial_clique(const Digraph& g, const std::vector<int>& members);
+
+/// All source components of g that are cliques, ordered by smallest
+/// member.  In the FLP setting with L-1 >= n/2 this list has exactly one
+/// entry.
+std::vector<std::vector<int>> initial_cliques(const Digraph& g);
+
+/// Vertices reachable from any vertex in `from` (including `from`
+/// itself), sorted.
+std::vector<int> reachable_from(const Digraph& g, const std::vector<int>& from);
+
+/// For every vertex v, the indices (into dec.source_components()) of the
+/// source components from which v is reachable.  Every vertex of a graph
+/// with positive min in-degree is reachable from at least one source
+/// component (Lemma 7).
+std::vector<std::vector<int>> source_reachability(const Digraph& g);
+
+}  // namespace ksa::graph

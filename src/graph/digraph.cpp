@@ -1,0 +1,113 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ksa::graph {
+
+Digraph::Digraph(int n) {
+    require(n >= 0, "Digraph: negative vertex count");
+    succ_.resize(n);
+    pred_.resize(n);
+}
+
+void Digraph::check(int u, const char* who) const {
+    if (u < 0 || u >= num_vertices())
+        throw UsageError(std::string(who) + ": vertex out of range");
+}
+
+void Digraph::add_edge(int u, int v) {
+    check(u, "Digraph::add_edge");
+    check(v, "Digraph::add_edge");
+    require(u != v, "Digraph::add_edge: self-loops not allowed");
+    auto& s = succ_[u];
+    auto it = std::lower_bound(s.begin(), s.end(), v);
+    if (it != s.end() && *it == v) return;
+    s.insert(it, v);
+    auto& p = pred_[v];
+    p.insert(std::lower_bound(p.begin(), p.end(), u), u);
+    ++edges_;
+}
+
+bool Digraph::has_edge(int u, int v) const {
+    check(u, "Digraph::has_edge");
+    check(v, "Digraph::has_edge");
+    const auto& s = succ_[u];
+    return std::binary_search(s.begin(), s.end(), v);
+}
+
+const std::vector<int>& Digraph::successors(int u) const {
+    check(u, "Digraph::successors");
+    return succ_[u];
+}
+
+const std::vector<int>& Digraph::predecessors(int u) const {
+    check(u, "Digraph::predecessors");
+    return pred_[u];
+}
+
+int Digraph::min_in_degree() const {
+    int best = num_vertices() == 0 ? 0 : in_degree(0);
+    for (int u = 1; u < num_vertices(); ++u)
+        best = std::min(best, in_degree(u));
+    return best;
+}
+
+Digraph Digraph::reversed() const {
+    Digraph r(num_vertices());
+    for (int u = 0; u < num_vertices(); ++u)
+        for (int v : succ_[u]) r.add_edge(v, u);
+    return r;
+}
+
+Digraph Digraph::induced(const std::vector<int>& vertices,
+                         std::vector<int>* out_labels) const {
+    std::vector<int> index(num_vertices(), -1);
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        check(vertices[i], "Digraph::induced");
+        require(index[vertices[i]] == -1, "Digraph::induced: duplicate vertex");
+        index[vertices[i]] = static_cast<int>(i);
+    }
+    Digraph g(static_cast<int>(vertices.size()));
+    for (int u : vertices)
+        for (int v : succ_[u])
+            if (index[v] != -1) g.add_edge(index[u], index[v]);
+    if (out_labels != nullptr) *out_labels = vertices;
+    return g;
+}
+
+std::string Digraph::to_string() const {
+    std::ostringstream out;
+    for (int u = 0; u < num_vertices(); ++u) {
+        out << u << " ->";
+        for (int v : succ_[u]) out << ' ' << v;
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::vector<std::vector<int>> weakly_connected_components(const Digraph& g) {
+    const int n = g.num_vertices();
+    std::vector<int> comp(n, -1);
+    int count = 0;
+    std::vector<int> stack;
+    for (int s = 0; s < n; ++s) {
+        if (comp[s] != -1) continue;
+        comp[s] = count;
+        stack.push_back(s);
+        while (!stack.empty()) {
+            int u = stack.back();
+            stack.pop_back();
+            for (int v : g.successors(u))
+                if (comp[v] == -1) comp[v] = count, stack.push_back(v);
+            for (int v : g.predecessors(u))
+                if (comp[v] == -1) comp[v] = count, stack.push_back(v);
+        }
+        ++count;
+    }
+    std::vector<std::vector<int>> out(count);
+    for (int u = 0; u < n; ++u) out[comp[u]].push_back(u);
+    return out;
+}
+
+}  // namespace ksa::graph

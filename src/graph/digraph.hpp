@@ -1,0 +1,68 @@
+#pragma once
+// Directed simple graphs over vertices 0..n-1.
+//
+// Section VI of the paper analyses the "heard-from" graph of the first
+// protocol stage: vertices are processes and there is an edge u -> w iff
+// w received u's stage-1 message.  The solvability bound of Theorem 8
+// falls out of purely graph-theoretic facts about this graph (Lemmas 6
+// and 7), which this module and scc.hpp implement.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ksa::graph {
+
+/// A directed simple graph with vertices 0..n-1.  Parallel edges are
+/// collapsed; self-loops are rejected (the heard-from graph never has
+/// them: a process does not wait for its own message).
+class Digraph {
+public:
+    explicit Digraph(int n);
+
+    int num_vertices() const { return static_cast<int>(succ_.size()); }
+    std::size_t num_edges() const { return edges_; }
+
+    /// Adds edge u -> v.  Idempotent.  u must differ from v.
+    void add_edge(int u, int v);
+
+    bool has_edge(int u, int v) const;
+
+    /// Successors of u (sorted).
+    const std::vector<int>& successors(int u) const;
+    /// Predecessors of u (sorted).
+    const std::vector<int>& predecessors(int u) const;
+
+    int in_degree(int u) const { return static_cast<int>(pred_[u].size()); }
+    int out_degree(int u) const { return static_cast<int>(succ_[u].size()); }
+
+    /// Minimum in-degree over all vertices (the delta of Lemma 6).
+    int min_in_degree() const;
+
+    /// The graph with every edge reversed.
+    Digraph reversed() const;
+
+    /// The subgraph induced by `vertices` (relabelled 0..k-1 in the order
+    /// given); also returns the label map via `out_labels` if non-null.
+    Digraph induced(const std::vector<int>& vertices,
+                    std::vector<int>* out_labels = nullptr) const;
+
+    /// Canonical adjacency rendering for debugging.
+    std::string to_string() const;
+
+private:
+    void check(int u, const char* who) const;
+
+    std::vector<std::vector<int>> succ_;
+    std::vector<std::vector<int>> pred_;
+    std::size_t edges_ = 0;
+};
+
+/// Weakly connected components: vertex sets of the components of the
+/// underlying undirected graph, each sorted, in order of smallest member.
+std::vector<std::vector<int>> weakly_connected_components(const Digraph& g);
+
+}  // namespace ksa::graph

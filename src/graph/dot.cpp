@@ -1,0 +1,31 @@
+#include "graph/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace ksa::graph {
+
+void digraph_to_dot(std::ostream& out, const Digraph& g,
+                    const std::vector<int>& highlight) {
+    out << "digraph g {\n  node [shape=circle];\n";
+    for (int v = 0; v < g.num_vertices(); ++v) {
+        out << "  v" << v;
+        if (std::find(highlight.begin(), highlight.end(), v) !=
+            highlight.end())
+            out << " [style=filled, fillcolor=gold]";
+        out << ";\n";
+    }
+    for (int u = 0; u < g.num_vertices(); ++u)
+        for (int v : g.successors(u)) out << "  v" << u << " -> v" << v << ";\n";
+    out << "}\n";
+}
+
+std::string digraph_to_dot(const Digraph& g,
+                           const std::vector<int>& highlight) {
+    std::ostringstream out;
+    digraph_to_dot(out, g, highlight);
+    return out.str();
+}
+
+}  // namespace ksa::graph

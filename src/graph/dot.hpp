@@ -1,0 +1,23 @@
+#pragma once
+// Graphviz export of digraphs -- e.g. the FLP stage-1 heard-from graph
+// with its source components highlighted (see also sim/dot_export.hpp
+// for run space-time diagrams).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ksa::graph {
+
+/// Writes `g` in DOT form; vertices in `highlight` (0-based) are filled
+/// -- pass a source component to make the Lemma 6 structure visible.
+void digraph_to_dot(std::ostream& out, const Digraph& g,
+                    const std::vector<int>& highlight = {});
+
+/// The same, as a string.
+std::string digraph_to_dot(const Digraph& g,
+                           const std::vector<int>& highlight = {});
+
+}  // namespace ksa::graph

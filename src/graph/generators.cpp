@@ -1,0 +1,60 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace ksa::graph {
+
+Digraph random_min_indegree(int n, int delta, std::uint64_t seed) {
+    require(delta >= 0 && delta < n,
+            "random_min_indegree: need 0 <= delta < n");
+    std::mt19937_64 rng(seed);
+    Digraph g(n);
+    std::vector<int> others(n - 1);
+    for (int v = 0; v < n; ++v) {
+        int k = 0;
+        for (int u = 0; u < n; ++u)
+            if (u != v) others[k++] = u;
+        std::shuffle(others.begin(), others.end(), rng);
+        for (int i = 0; i < delta; ++i) g.add_edge(others[i], v);
+    }
+    return g;
+}
+
+Digraph random_gnp(int n, double p, std::uint64_t seed) {
+    require(p >= 0.0 && p <= 1.0, "random_gnp: p out of [0,1]");
+    std::mt19937_64 rng(seed);
+    std::bernoulli_distribution coin(p);
+    Digraph g(n);
+    for (int u = 0; u < n; ++u)
+        for (int v = 0; v < n; ++v)
+            if (u != v && coin(rng)) g.add_edge(u, v);
+    return g;
+}
+
+Digraph random_stage_graph(int n, int l_minus_1, const std::vector<int>& dead,
+                           std::uint64_t seed) {
+    std::vector<bool> is_dead(n, false);
+    for (int v : dead) {
+        require(v >= 0 && v < n, "random_stage_graph: dead vertex out of range");
+        is_dead[v] = true;
+    }
+    std::vector<int> live;
+    for (int v = 0; v < n; ++v)
+        if (!is_dead[v]) live.push_back(v);
+    require(l_minus_1 < static_cast<int>(live.size()),
+            "random_stage_graph: not enough live processes to hear from");
+
+    std::mt19937_64 rng(seed);
+    Digraph g(n);
+    for (int v : live) {
+        std::vector<int> pool;
+        for (int u : live)
+            if (u != v) pool.push_back(u);
+        std::shuffle(pool.begin(), pool.end(), rng);
+        for (int i = 0; i < l_minus_1; ++i) g.add_edge(pool[i], v);
+    }
+    return g;
+}
+
+}  // namespace ksa::graph

@@ -1,0 +1,27 @@
+#pragma once
+// Seeded random digraph generators for property tests and bench E6.
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+
+namespace ksa::graph {
+
+/// A digraph on n vertices where every vertex independently picks
+/// `delta` distinct random in-neighbours (so min in-degree >= delta).
+/// This is the exact random model that exercises Lemmas 6 and 7.
+Digraph random_min_indegree(int n, int delta, std::uint64_t seed);
+
+/// Directed Erdos-Renyi G(n, p): each ordered pair (u, v), u != v, is an
+/// edge independently with probability p.
+Digraph random_gnp(int n, double p, std::uint64_t seed);
+
+/// The heard-from graph of an FLP-style first stage where every live
+/// process waits for l_minus_1 messages and the processes in
+/// `dead` (0-based vertex ids) are initially dead: every live vertex picks
+/// its l_minus_1 in-neighbours uniformly among the other live vertices.
+/// Dead vertices are isolated.
+Digraph random_stage_graph(int n, int l_minus_1,
+                           const std::vector<int>& dead, std::uint64_t seed);
+
+}  // namespace ksa::graph

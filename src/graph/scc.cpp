@@ -1,0 +1,119 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace ksa::graph {
+
+namespace {
+
+/// Iterative Tarjan SCC.  Returns (component id per vertex, #components).
+/// Component ids come out in reverse topological order.
+std::pair<std::vector<int>, int> tarjan(const Digraph& g) {
+    const int n = g.num_vertices();
+    std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+    std::vector<bool> on_stack(n, false);
+    std::vector<int> stack;
+    int next_index = 0, next_comp = 0;
+
+    struct Frame {
+        int v;
+        std::size_t child;
+    };
+    std::vector<Frame> call;
+
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        call.push_back({root, 0});
+        while (!call.empty()) {
+            Frame& f = call.back();
+            int v = f.v;
+            if (f.child == 0) {
+                index[v] = low[v] = next_index++;
+                stack.push_back(v);
+                on_stack[v] = true;
+            }
+            bool recursed = false;
+            const auto& succ = g.successors(v);
+            while (f.child < succ.size()) {
+                int w = succ[f.child++];
+                if (index[w] == -1) {
+                    call.push_back({w, 0});
+                    recursed = true;
+                    break;
+                }
+                if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+            }
+            if (recursed) continue;
+            if (low[v] == index[v]) {
+                while (true) {
+                    int w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp[w] = next_comp;
+                    if (w == v) break;
+                }
+                ++next_comp;
+            }
+            call.pop_back();
+            if (!call.empty()) {
+                int parent = call.back().v;
+                low[parent] = std::min(low[parent], low[v]);
+            }
+        }
+    }
+    return {std::move(comp), next_comp};
+}
+
+}  // namespace
+
+SccDecomposition::SccDecomposition(const Digraph& g) : g_(&g) {
+    auto [comp, count] = tarjan(g);
+    comp_ = std::move(comp);
+    members_.resize(count);
+    for (int u = 0; u < g.num_vertices(); ++u) members_[comp_[u]].push_back(u);
+    for (auto& m : members_) std::sort(m.begin(), m.end());
+}
+
+Digraph SccDecomposition::condensation() const {
+    Digraph dag(num_components());
+    for (int u = 0; u < g_->num_vertices(); ++u)
+        for (int v : g_->successors(u))
+            if (comp_[u] != comp_[v]) dag.add_edge(comp_[u], comp_[v]);
+    return dag;
+}
+
+std::vector<int> SccDecomposition::source_component_ids() const {
+    Digraph dag = condensation();
+    std::vector<int> out;
+    for (int c = 0; c < num_components(); ++c)
+        if (dag.in_degree(c) == 0) out.push_back(c);
+    return out;
+}
+
+std::vector<std::vector<int>> SccDecomposition::source_components() const {
+    std::vector<std::vector<int>> out;
+    for (int c : source_component_ids()) out.push_back(members_[c]);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return out;
+}
+
+std::vector<std::vector<int>> source_components(const Digraph& g) {
+    return SccDecomposition(g).source_components();
+}
+
+std::vector<std::vector<std::vector<int>>> source_components_per_wcc(
+        const Digraph& g) {
+    std::vector<std::vector<std::vector<int>>> out;
+    for (const auto& wcc : weakly_connected_components(g)) {
+        std::vector<int> labels;
+        Digraph sub = g.induced(wcc, &labels);
+        std::vector<std::vector<int>> sources = source_components(sub);
+        for (auto& s : sources)
+            for (int& v : s) v = labels[v];
+        out.push_back(std::move(sources));
+    }
+    return out;
+}
+
+}  // namespace ksa::graph

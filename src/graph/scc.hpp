@@ -1,0 +1,59 @@
+#pragma once
+// Strongly connected components, condensation and source components.
+//
+// Lemma 6: every finite directed simple graph whose vertices all have
+// in-degree >= delta > 0 has a *source component* (an SCC that is a
+// source of the condensation DAG) of size >= delta + 1.
+// Lemma 7: the same holds inside each weakly connected component.
+// Moreover at most floor(n / (delta + 1)) source components exist, and
+// when 2*delta >= n there is exactly one -- these facts drive the
+// Theorem 8 bound and are verified by tests/bench E6.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ksa::graph {
+
+/// The strongly-connected-component decomposition of a digraph, computed
+/// with Tarjan's algorithm (iterative, so deep graphs cannot overflow the
+/// stack).
+class SccDecomposition {
+public:
+    explicit SccDecomposition(const Digraph& g);
+
+    /// Number of SCCs.
+    int num_components() const { return static_cast<int>(members_.size()); }
+
+    /// Component id of vertex u (0-based; ids are in reverse topological
+    /// order of the condensation, as produced by Tarjan).
+    int component_of(int u) const { return comp_[u]; }
+
+    /// Sorted member list of component c.
+    const std::vector<int>& members(int c) const { return members_[c]; }
+
+    /// The condensation: a DAG whose vertices are the SCC ids.
+    Digraph condensation() const;
+
+    /// Ids of source components: SCCs with no incoming condensation edge.
+    std::vector<int> source_component_ids() const;
+
+    /// Member sets of all source components, each sorted, ordered by
+    /// smallest member.
+    std::vector<std::vector<int>> source_components() const;
+
+private:
+    const Digraph* g_;
+    std::vector<int> comp_;
+    std::vector<std::vector<int>> members_;
+};
+
+/// Convenience: the source components of g (see SccDecomposition).
+std::vector<std::vector<int>> source_components(const Digraph& g);
+
+/// Lemma 7 helper: for each weakly connected component of g, the source
+/// components inside it.
+std::vector<std::vector<std::vector<int>>> source_components_per_wcc(
+        const Digraph& g);
+
+}  // namespace ksa::graph

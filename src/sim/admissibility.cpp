@@ -1,0 +1,56 @@
+#include "sim/admissibility.hpp"
+
+#include <sstream>
+
+namespace ksa {
+
+AdmissibilityReport check_admissibility(const Run& run) {
+    AdmissibilityReport report;
+    if (run.stop == StopReason::kStepLimit) report.conclusive = false;
+
+    for (ProcessId p = 1; p <= run.n; ++p) {
+        const bool faulty = run.plan.is_faulty(p);
+        const int steps = run.steps_of(p);
+
+        if (faulty) {
+            const int allowed = run.plan.allowed_steps(p);
+            if (steps > allowed) {
+                std::ostringstream out;
+                out << "faulty process " << p << " took " << steps
+                    << " steps, plan allows " << allowed;
+                report.fail(out.str());
+            }
+            if (report.conclusive && steps < allowed) {
+                std::ostringstream out;
+                out << "planned crash of process " << p
+                    << " not realized: took " << steps << " of " << allowed
+                    << " steps";
+                report.fail(out.str());
+            }
+            continue;
+        }
+
+        // Correct process: must have kept stepping until it decided.
+        if (report.conclusive && !run.decision_of(p).has_value()) {
+            std::ostringstream out;
+            out << "correct process " << p
+                << " never decided in a decisive prefix";
+            report.fail(out.str());
+        }
+        // Eventual delivery: nothing addressed to a correct process may
+        // remain buffered in a decisive prefix.
+        if (report.conclusive) {
+            auto pending = run.undelivered_to(p);
+            if (!pending.empty()) {
+                std::ostringstream out;
+                out << pending.size()
+                    << " message(s) to correct process " << p
+                    << " never delivered";
+                report.fail(out.str());
+            }
+        }
+    }
+    return report;
+}
+
+}  // namespace ksa

@@ -1,0 +1,23 @@
+#include "sim/behavior.hpp"
+
+#include <sstream>
+
+namespace ksa {
+
+std::string FdSample::to_string() const {
+    std::ostringstream out;
+    out << "Q{";
+    for (std::size_t i = 0; i < quorum.size(); ++i) {
+        if (i > 0) out << ',';
+        out << quorum[i];
+    }
+    out << "}L{";
+    for (std::size_t i = 0; i < leaders.size(); ++i) {
+        if (i > 0) out << ',';
+        out << leaders[i];
+    }
+    out << '}';
+    return out.str();
+}
+
+}  // namespace ksa

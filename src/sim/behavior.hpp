@@ -1,0 +1,110 @@
+#pragma once
+// The process state-machine interface.
+//
+// Every process is a deterministic state machine (Section II).  One
+// atomic step consumes: the current local state, a (possibly empty)
+// subset L of the process's message buffer chosen by the scheduler, and
+// -- in models with failure detectors -- the value of a failure-detector
+// query made at the beginning of the step.  The step yields a new local
+// state and a set of messages to send, and may irrevocably set the
+// write-once output y_p (the decision).
+//
+// An Algorithm is a factory creating one Behavior per process.  Behaviors
+// must be deterministic: the same sequence of StepInputs from the same
+// initial (id, n, input) must produce the same outputs and the same
+// state digests.  The digest is the substrate's view of the local state
+// and is what indistinguishability-until-decision (Definition 2) compares.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/payload.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// Output of a failure-detector query, made at the beginning of a step.
+/// The two fields cover the detector classes used in the paper: `quorum`
+/// is the trusted set output by Sigma-family detectors, `leaders` the
+/// candidate set output by Omega-family detectors.  Detectors that lack a
+/// component leave it empty.
+struct FdSample {
+    std::vector<ProcessId> quorum;   ///< Sigma-family output (sorted)
+    std::vector<ProcessId> leaders;  ///< Omega-family output (sorted)
+
+    friend bool operator==(const FdSample&, const FdSample&) = default;
+
+    /// Canonical rendering `Q{..}L{..}` for digests and traces.
+    std::string to_string() const;
+};
+
+/// Everything a process observes in one atomic step.
+struct StepInput {
+    /// Messages delivered in this step (the subset L of the buffer chosen
+    /// by the scheduler; possibly empty).
+    std::vector<Message> delivered;
+    /// Failure-detector sample, present iff the model provides one.
+    std::optional<FdSample> fd;
+};
+
+/// Everything a process emits in one atomic step.
+struct StepOutput {
+    /// Messages to send: (destination, payload) pairs.  Destinations must
+    /// be in 1..n.  Self-sends are allowed.
+    std::vector<std::pair<ProcessId, Payload>> sends;
+    /// If set, the process irrevocably decides this value.  Deciding a
+    /// second time is a protocol bug and aborts the simulation.
+    std::optional<Value> decision;
+
+    /// Appends a send of `payload` to process `to`.
+    void send(ProcessId to, Payload payload) {
+        sends.emplace_back(to, std::move(payload));
+    }
+    /// Appends a send of `payload` to every process in 1..n (a broadcast,
+    /// which the model of Theorem 2 performs in one atomic step).
+    void broadcast(int n, const Payload& payload) {
+        for (ProcessId q = 1; q <= n; ++q) sends.emplace_back(q, payload);
+    }
+};
+
+/// Deterministic per-process state machine.
+class Behavior {
+public:
+    virtual ~Behavior() = default;
+
+    /// Executes one atomic step.  Called by the System only.
+    virtual StepOutput on_step(const StepInput& input) = 0;
+
+    /// Canonical rendering of the complete local state.  Two behaviors of
+    /// the same algorithm are in the same state iff their digests are
+    /// equal; this is what run indistinguishability compares.
+    virtual std::string state_digest() const = 0;
+};
+
+/// A distributed algorithm: a recipe producing the initial Behavior of
+/// each process.  `n` is the size the algorithm *believes* the system has
+/// -- under restriction A|D (Definition 1) the real process set can be
+/// smaller, but the code must keep using n.
+class Algorithm {
+public:
+    virtual ~Algorithm() = default;
+
+    /// Creates the state machine of process `id` (1-based) in a system
+    /// the algorithm believes to have `n` processes, with proposal value
+    /// `input`.
+    virtual std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
+                                                    Value input) const = 0;
+
+    /// Human-readable algorithm name for traces and reports.
+    virtual std::string name() const = 0;
+
+    /// True if behaviors of this algorithm query a failure detector each
+    /// step and therefore need the System to be given an oracle.
+    virtual bool needs_failure_detector() const { return false; }
+};
+
+}  // namespace ksa

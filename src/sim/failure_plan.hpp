@@ -1,0 +1,103 @@
+#pragma once
+// Crash-failure plans.
+//
+// In the paper's model the failure pattern F(t) of a run is *derived*
+// from the run: p is in F(t) iff p takes no step at any time >= t.  An
+// adversary in the simulator fixes failures ahead of time with a
+// FailurePlan: for each faulty process, after how many of its *own* steps
+// it crashes (0 = initially dead, i.e. it never takes a step), and to
+// which receivers its final step's messages are omitted (the model lets a
+// crashing process omit sending to a subset of receivers in its very last
+// step).  Planning by own-step count rather than global time makes plans
+// composable with any scheduler.
+//
+// The System enforces the plan (a crashed process is never stepped) and
+// records the *realized* failure pattern F(t) into the Run, which is what
+// admissibility checking and failure-detector validation use.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// Crash specification for one faulty process.
+struct CrashSpec {
+    /// The process executes exactly this many steps, then crashes.
+    /// 0 means initially dead: the process never takes a step.
+    int after_own_steps = 0;
+    /// Receivers to which the sends of the final step are omitted.  Only
+    /// meaningful when after_own_steps > 0.
+    std::set<ProcessId> omit_to;
+
+    friend bool operator==(const CrashSpec&, const CrashSpec&) = default;
+};
+
+/// A complete crash plan for a run: which processes fail, and how.
+/// Processes not mentioned are correct.
+class FailurePlan {
+public:
+    FailurePlan() = default;
+
+    /// Declares `p` faulty with the given spec.  Re-declaring replaces.
+    void set_crash(ProcessId p, CrashSpec spec) { crashes_[p] = spec; }
+
+    /// Declares `p` initially dead (never takes a step).
+    void set_initially_dead(ProcessId p) { crashes_[p] = CrashSpec{0, {}}; }
+
+    /// Declares every process in `ps` initially dead.
+    void set_initially_dead(const std::vector<ProcessId>& ps) {
+        for (ProcessId p : ps) set_initially_dead(p);
+    }
+
+    /// True iff `p` is faulty in this plan (the set F of the paper).
+    bool is_faulty(ProcessId p) const { return crashes_.count(p) != 0; }
+
+    /// True iff `p` never takes a step.
+    bool is_initially_dead(ProcessId p) const {
+        auto it = crashes_.find(p);
+        return it != crashes_.end() && it->second.after_own_steps == 0;
+    }
+
+    /// Number of own steps `p` may take (kNever-like large value if
+    /// correct).
+    int allowed_steps(ProcessId p) const {
+        auto it = crashes_.find(p);
+        if (it == crashes_.end()) return -1;  // unbounded
+        return it->second.after_own_steps;
+    }
+
+    /// The crash spec of `p`; `p` must be faulty.
+    const CrashSpec& spec(ProcessId p) const {
+        auto it = crashes_.find(p);
+        require(it != crashes_.end(), "FailurePlan::spec: process is correct");
+        return it->second;
+    }
+
+    /// The planned faulty set F.
+    std::set<ProcessId> faulty() const {
+        std::set<ProcessId> out;
+        for (const auto& [p, _] : crashes_) out.insert(p);
+        return out;
+    }
+
+    /// The correct processes among 1..n.
+    std::vector<ProcessId> correct(int n) const {
+        std::vector<ProcessId> out;
+        for (ProcessId p = 1; p <= n; ++p)
+            if (!is_faulty(p)) out.push_back(p);
+        return out;
+    }
+
+    /// Number of faulty processes.
+    int num_faulty() const { return static_cast<int>(crashes_.size()); }
+
+    friend bool operator==(const FailurePlan&, const FailurePlan&) = default;
+
+private:
+    std::map<ProcessId, CrashSpec> crashes_;
+};
+
+}  // namespace ksa

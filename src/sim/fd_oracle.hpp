@@ -1,0 +1,59 @@
+#pragma once
+// Failure-detector oracle interface.
+//
+// A failure detector (Chandra & Toueg) is an oracle that a process may
+// query at the beginning of each step.  The value returned depends on the
+// failure pattern F(.) of the run through the detector's history function
+// H(p, t).  In the simulator, the adversary supplies an oracle object;
+// the System calls it once per step of an FD-using algorithm, records the
+// sample into the run's FdHistory, and the validators in fd/ re-check the
+// recorded history against the detector class definitions afterwards --
+// an incorrectly implemented oracle therefore cannot silently launder an
+// inadmissible run.
+//
+// Oracles see (a) the planned faulty set up front (via their
+// constructors, as the adversary knows the plan) and (b) the realized
+// crash status so far through the QueryContext.  This is enough to
+// implement every detector used in the paper, including the partition
+// detector of Definition 7.
+
+#include <functional>
+#include <vector>
+
+#include "sim/behavior.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// Runtime information available to an oracle when answering a query.
+struct QueryContext {
+    Time now = 0;                         ///< global time of the querying step
+    ProcessId querier = 0;                ///< process performing the step
+    std::vector<ProcessId> crashed_so_far;  ///< processes that have already crashed
+};
+
+/// Oracle producing failure-detector samples.  Implementations live in
+/// fd/; the simulator only needs the query entry point.
+class FdOracle {
+public:
+    virtual ~FdOracle() = default;
+
+    /// H(querier, now): the sample handed to the querying process.
+    virtual FdSample query(const QueryContext& ctx) = 0;
+
+    /// Detector class name for traces, e.g. "(Sigma_k,Omega_k)".
+    virtual std::string name() const = 0;
+};
+
+/// One recorded failure-detector query.
+struct FdEvent {
+    Time time = 0;
+    ProcessId process = 0;
+    FdSample sample;
+};
+
+/// The recorded failure-detector history of a run: the sequence of all
+/// queries in step order.  fd/ validators consume this.
+using FdHistory = std::vector<FdEvent>;
+
+}  // namespace ksa

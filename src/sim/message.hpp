@@ -1,0 +1,42 @@
+#pragma once
+// Messages and message identity.
+//
+// Sending a message (q, m) simply places m into q's buffer (Section II of
+// the paper).  The simulator additionally stamps each message with a
+// globally unique id and the time at which it was sent; schedulers select
+// messages for delivery by id, which is what makes adversarial delivery
+// control (delaying, reordering, partitioning) deterministic and
+// replayable.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/payload.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// Unique message identifier, assigned by the System in send order.
+using MessageId = std::uint64_t;
+
+/// A message in flight or delivered.  Value type; equality ignores the
+/// simulator-assigned identity fields so that runs can be compared on
+/// their communication content alone.
+struct Message {
+    MessageId id = 0;    ///< unique, assigned by the System
+    ProcessId from = 0;  ///< sender
+    ProcessId to = 0;    ///< receiver
+    Time sent_at = 0;    ///< global time of the sending step
+    Payload payload;
+
+    /// Content equality: sender, receiver and payload (identity fields
+    /// are simulator bookkeeping and excluded on purpose).
+    friend bool content_equal(const Message& a, const Message& b) {
+        return a.from == b.from && a.to == b.to && a.payload == b.payload;
+    }
+
+    /// Canonical rendering `from->to:payload` used in traces and digests.
+    std::string to_string() const;
+};
+
+}  // namespace ksa

@@ -1,0 +1,49 @@
+#include "sim/model.hpp"
+
+#include <sstream>
+
+namespace ksa {
+
+ModelDescriptor ModelDescriptor::asynchronous() { return ModelDescriptor{}; }
+
+ModelDescriptor ModelDescriptor::theorem2() {
+    ModelDescriptor m;
+    m.processes = ProcessSync::kSynchronous;
+    m.communication = CommSync::kAsynchronous;
+    m.order = MessageOrder::kUnordered;
+    m.transmission = Transmission::kBroadcast;
+    m.send_receive = SendReceive::kAtomic;
+    return m;
+}
+
+ModelDescriptor ModelDescriptor::asynchronous_with_fd() {
+    ModelDescriptor m;
+    m.fd = FdDim::kAvailable;
+    return m;
+}
+
+std::string ModelDescriptor::to_string() const {
+    std::ostringstream out;
+    out << "P:" << (processes == ProcessSync::kSynchronous ? "sync" : "async")
+        << " C:"
+        << (communication == CommSync::kSynchronous ? "sync" : "async")
+        << " O:" << (order == MessageOrder::kOrdered ? "ord" : "unord")
+        << " T:" << (transmission == Transmission::kBroadcast ? "bcast" : "p2p")
+        << " SR:" << (send_receive == SendReceive::kAtomic ? "atomic" : "sep")
+        << " FD:" << (fd == FdDim::kAvailable ? "yes" : "none");
+    return out.str();
+}
+
+bool consensus_solvable_with_one_crash(const ModelDescriptor& m) {
+    require(m.fd == FdDim::kNone,
+            "consensus_solvable_with_one_crash: classification applies to "
+            "detector-free models only");
+    const bool p = m.processes == ProcessSync::kSynchronous;
+    const bool c = m.communication == CommSync::kSynchronous;
+    const bool o = m.order == MessageOrder::kOrdered;
+    const bool b = m.transmission == Transmission::kBroadcast;
+    const bool a = m.send_receive == SendReceive::kAtomic;
+    return (p && c) || (p && o) || (b && o) || (c && b && a);
+}
+
+}  // namespace ksa

@@ -1,0 +1,79 @@
+#pragma once
+// Model descriptors: the Dolev-Dwork-Stockmeyer parameter space.
+//
+// The paper adopts the DDS'87 framework in which 32 message-passing
+// models arise from five binary parameters, each either favourable (F)
+// or unfavourable (U) for the algorithm, and adds a sixth dimension:
+// availability of failure detectors.  A ModelDescriptor names one such
+// model; core/bounds.hpp uses descriptors to state which theorem of the
+// paper applies to which model, and the Theorem-1 engine uses the DDS
+// consensus classification to discharge condition (C) ("there is no
+// algorithm that solves consensus in M'").
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// Dimension 1: processes take steps at bounded relative speeds (F) or
+/// arbitrarily slowly (U).
+enum class ProcessSync { kSynchronous, kAsynchronous };
+
+/// Dimension 2: message delay is bounded (F) or unbounded (U).
+enum class CommSync { kSynchronous, kAsynchronous };
+
+/// Dimension 3: messages are received in the order sent (F) or in
+/// arbitrary order (U).
+enum class MessageOrder { kOrdered, kUnordered };
+
+/// Dimension 4: a process can send to all processes in one atomic step
+/// (F) or only point-to-point (U).
+enum class Transmission { kBroadcast, kPointToPoint };
+
+/// Dimension 5: a process can receive and send in the same atomic step
+/// (F) or not (U).
+enum class SendReceive { kAtomic, kSeparate };
+
+/// Dimension 6 (the paper's extension): failure detectors available (F)
+/// or not (U).
+enum class FdDim { kNone, kAvailable };
+
+/// One point of the (extended) DDS model space.
+struct ModelDescriptor {
+    ProcessSync processes = ProcessSync::kAsynchronous;
+    CommSync communication = CommSync::kAsynchronous;
+    MessageOrder order = MessageOrder::kUnordered;
+    Transmission transmission = Transmission::kPointToPoint;
+    SendReceive send_receive = SendReceive::kSeparate;
+    FdDim fd = FdDim::kNone;
+
+    friend bool operator==(const ModelDescriptor&,
+                           const ModelDescriptor&) = default;
+
+    /// The FLP model MASYNC: every parameter unfavourable.
+    static ModelDescriptor asynchronous();
+
+    /// The model of Theorem 2: synchronous processes, asynchronous
+    /// communication, atomic broadcast steps, receive+send atomicity.
+    static ModelDescriptor theorem2();
+
+    /// MASYNC augmented with a failure detector (Sections II-C, VII).
+    static ModelDescriptor asynchronous_with_fd();
+
+    /// Rendering like "P:sync C:async O:unord T:bcast SR:atomic FD:none".
+    std::string to_string() const;
+};
+
+/// The DDS'87 Table I classification specialized to what the paper needs:
+/// is consensus solvable in `m` when at least one process may crash
+/// (and no failure detector is available)?  Per DDS, it is solvable iff
+/// the model dominates one of the four minimal favourable combinations:
+///   (1) synchronous processes + synchronous communication,
+///   (2) synchronous processes + ordered messages,
+///   (3) broadcast transmission + ordered messages,
+///   (4) synchronous communication + broadcast + send/receive atomicity.
+/// Requires m.fd == FdDim::kNone (the classification predates detectors).
+bool consensus_solvable_with_one_crash(const ModelDescriptor& m);
+
+}  // namespace ksa

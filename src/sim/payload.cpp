@@ -1,0 +1,39 @@
+#include "sim/payload.hpp"
+
+#include <sstream>
+
+namespace ksa {
+
+std::string Payload::to_string() const {
+    std::ostringstream out;
+    out << tag << '(';
+    for (std::size_t i = 0; i < ints.size(); ++i) {
+        if (i > 0) out << ',';
+        out << ints[i];
+    }
+    if (!lists.empty()) {
+        out << '|';
+        for (std::size_t i = 0; i < lists.size(); ++i) {
+            if (i > 0) out << ',';
+            out << '[';
+            for (std::size_t j = 0; j < lists[i].size(); ++j) {
+                if (j > 0) out << ',';
+                out << lists[i][j];
+            }
+            out << ']';
+        }
+    }
+    out << ')';
+    return out.str();
+}
+
+Payload make_payload(std::string tag, std::vector<int> ints) {
+    return Payload{std::move(tag), std::move(ints), {}};
+}
+
+Payload make_payload(std::string tag, std::vector<int> ints,
+                     std::vector<std::vector<int>> lists) {
+    return Payload{std::move(tag), std::move(ints), std::move(lists)};
+}
+
+}  // namespace ksa

@@ -1,0 +1,40 @@
+#pragma once
+// Structured message payloads.
+//
+// The model allows messages from an arbitrary universe M.  All protocols
+// in this library get by with a small structured record: a tag naming the
+// message kind, a vector of integers, and a vector of integer lists (used
+// e.g. for the "heard-from" lists of the FLP-style two-stage protocols).
+// Keeping payloads as a concrete value type (rather than type-erased
+// blobs) makes runs trivially comparable, hashable and printable, which
+// the indistinguishability machinery of core/ relies on.
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// A structured message payload: `tag` names the message kind, `ints`
+/// carries scalar fields, `lists` carries list-valued fields.
+struct Payload {
+    std::string tag;
+    std::vector<int> ints;
+    std::vector<std::vector<int>> lists;
+
+    friend bool operator==(const Payload&, const Payload&) = default;
+
+    /// Canonical single-line rendering, e.g. `ECHO(3,7|[1,2],[4])`.
+    /// Stable across runs; used for digests and traces.
+    std::string to_string() const;
+};
+
+/// Convenience factory for a payload with scalar fields only.
+Payload make_payload(std::string tag, std::vector<int> ints = {});
+
+/// Convenience factory for a payload with scalar and list fields.
+Payload make_payload(std::string tag, std::vector<int> ints,
+                     std::vector<std::vector<int>> lists);
+
+}  // namespace ksa

@@ -1,0 +1,148 @@
+#include "sim/rounds.hpp"
+
+#include <algorithm>
+
+namespace ksa::ho {
+
+std::optional<Value> HoRun::decision_of(ProcessId p) const {
+    for (const HoRecord& r : records)
+        if (r.process == p && r.decision) return r.decision;
+    return std::nullopt;
+}
+
+std::set<Value> HoRun::distinct_decisions() const {
+    std::set<Value> out;
+    for (const HoRecord& r : records)
+        if (r.decision) out.insert(*r.decision);
+    return out;
+}
+
+bool HoRun::all_decided(const std::vector<ProcessId>& group) const {
+    for (ProcessId p : group)
+        if (!decision_of(p)) return false;
+    return true;
+}
+
+std::vector<std::string> HoRun::digest_sequence(ProcessId p,
+                                                bool until_decision) const {
+    std::vector<std::string> out;
+    for (const HoRecord& r : records) {
+        if (r.process != p) continue;
+        out.push_back(r.digest_after);
+        if (until_decision && r.decision) break;
+    }
+    return out;
+}
+
+HoRun execute_ho(const RoundAlgorithm& algorithm, int n,
+                 std::vector<Value> inputs, HoAdversary& adversary,
+                 int max_rounds) {
+    require(n >= 1, "execute_ho: n must be >= 1");
+    require(static_cast<int>(inputs.size()) == n, "execute_ho: need n inputs");
+
+    HoRun run;
+    run.n = n;
+    run.algorithm = algorithm.name();
+    run.inputs = inputs;
+
+    std::vector<std::unique_ptr<RoundBehavior>> behaviors;
+    std::vector<bool> decided(n, false);
+    for (ProcessId p = 1; p <= n; ++p)
+        behaviors.push_back(algorithm.make_behavior(p, n, inputs[p - 1]));
+
+    for (int round = 1; round <= max_rounds; ++round) {
+        // Collect the round's messages from every alive process.
+        std::map<ProcessId, Payload> sent;
+        for (ProcessId p = 1; p <= n; ++p)
+            if (adversary.alive(p, round))
+                sent.emplace(p, behaviors[p - 1]->message(round));
+
+        // Deliver per heard-of set and transition.
+        bool anyone_alive = false;
+        for (ProcessId p = 1; p <= n; ++p) {
+            if (!adversary.alive(p, round)) continue;
+            anyone_alive = true;
+            std::map<ProcessId, Payload> heard;
+            HoRecord rec;
+            rec.round = round;
+            rec.process = p;
+            for (ProcessId q : adversary.heard_of(p, round, n)) {
+                require(q >= 1 && q <= n, "execute_ho: HO member out of range");
+                auto it = sent.find(q);
+                if (it != sent.end()) {
+                    heard.emplace(q, it->second);
+                    rec.heard_of.push_back(q);
+                }
+            }
+            std::optional<Value> decision =
+                behaviors[p - 1]->transition(round, heard);
+            if (decision) {
+                require(!decided[p - 1],
+                        "protocol bug: round process decided twice");
+                decided[p - 1] = true;
+                rec.decision = decision;
+            }
+            rec.digest_after = behaviors[p - 1]->state_digest();
+            run.records.push_back(std::move(rec));
+        }
+        run.rounds_executed = round;
+
+        bool all_done = true;
+        for (ProcessId p = 1; p <= n; ++p)
+            if (adversary.alive(p, round + 1) && !decided[p - 1])
+                all_done = false;
+        if (all_done || !anyone_alive) break;
+    }
+    return run;
+}
+
+std::vector<ProcessId> FullHo::heard_of(ProcessId, int, int n) {
+    std::vector<ProcessId> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i + 1;
+    return all;
+}
+
+std::vector<ProcessId> CrashHo::heard_of(ProcessId p, int round, int n) {
+    std::vector<ProcessId> out;
+    for (ProcessId q = 1; q <= n; ++q) {
+        auto it = crashes_.find(q);
+        if (it == crashes_.end()) {
+            out.push_back(q);  // correct: always heard
+            continue;
+        }
+        if (round < it->second.round) {
+            out.push_back(q);
+        } else if (round == it->second.round &&
+                   it->second.heard_by.count(p) != 0) {
+            out.push_back(q);  // partial delivery in the crashing round
+        }
+    }
+    return out;
+}
+
+bool CrashHo::alive(ProcessId p, int round) {
+    auto it = crashes_.find(p);
+    return it == crashes_.end() || round <= it->second.round;
+}
+
+PartitionHo::PartitionHo(std::vector<std::vector<ProcessId>> blocks,
+                         int isolation_rounds)
+    : blocks_(std::move(blocks)), isolation_rounds_(isolation_rounds) {
+    for (const auto& b : blocks_)
+        require(!b.empty(), "PartitionHo: empty block");
+}
+
+std::vector<ProcessId> PartitionHo::heard_of(ProcessId p, int round, int n) {
+    const bool isolated =
+        isolation_rounds_ == 0 || round <= isolation_rounds_;
+    if (!isolated) {
+        std::vector<ProcessId> all(n);
+        for (int i = 0; i < n; ++i) all[i] = i + 1;
+        return all;
+    }
+    for (const auto& b : blocks_)
+        if (std::find(b.begin(), b.end(), p) != b.end()) return b;
+    return {p};  // unblocked processes hear only themselves while isolated
+}
+
+}  // namespace ksa::ho

@@ -1,0 +1,163 @@
+#pragma once
+// Communication-closed rounds: the Heard-Of model.
+//
+// The paper's Discussion section conjectures that Theorem 1 "can also be
+// used to establish impossibility results in round models like [8]
+// (Charron-Bost & Schiper's Heard-Of model), [15] (Gafni's round-by-
+// round fault detectors)".  This module implements that substrate so the
+// conjecture can be exercised (see core/ho_argument.hpp):
+//
+//   * computation proceeds in rounds r = 1, 2, ...;
+//   * in round r, every process emits one message (a function of its
+//     state) addressed to all;
+//   * it then receives the round-r messages of exactly the processes in
+//     its *heard-of set* HO(p, r), chosen by the adversary, and makes a
+//     state transition;
+//   * rounds are communication-closed: a round-r message is delivered in
+//     round r or never.
+//
+// Crash failures are modelled as HO behaviour (a crashed process simply
+// stops being heard; in its crashing round it may be heard by only a
+// subset of receivers), which is exactly the benign-fault reading of the
+// HO model.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/payload.hpp"
+#include "sim/types.hpp"
+
+namespace ksa::ho {
+
+/// Per-process state machine of a round-based algorithm.
+class RoundBehavior {
+public:
+    virtual ~RoundBehavior() = default;
+
+    /// The message this process sends to everybody in round `round`.
+    virtual Payload message(int round) = 0;
+
+    /// State transition at the end of round `round`, given the messages
+    /// heard (sender -> payload).  May return a decision (write-once).
+    virtual std::optional<Value> transition(
+            int round, const std::map<ProcessId, Payload>& heard) = 0;
+
+    /// Canonical state digest (same contract as Behavior).
+    virtual std::string state_digest() const = 0;
+};
+
+/// A round-based algorithm.
+class RoundAlgorithm {
+public:
+    virtual ~RoundAlgorithm() = default;
+    virtual std::unique_ptr<RoundBehavior> make_behavior(ProcessId id, int n,
+                                                         Value input) const = 0;
+    virtual std::string name() const = 0;
+};
+
+/// The adversary: assigns heard-of sets.  A process p is *alive* in
+/// round r if it is scheduled to send (appears in someone's potential
+/// HO); the executor asks for each (p, r) pair.
+class HoAdversary {
+public:
+    virtual ~HoAdversary() = default;
+
+    /// HO(p, r): the processes whose round-r messages p receives.
+    /// Must be a subset of 1..n.  p itself may or may not be included.
+    virtual std::vector<ProcessId> heard_of(ProcessId p, int round,
+                                            int n) = 0;
+
+    /// True iff p takes round r at all (false models a crashed process).
+    virtual bool alive(ProcessId p, int round) { return p != 0 && round >= 0; }
+
+    virtual std::string name() const = 0;
+};
+
+/// Record of one process in one round.
+struct HoRecord {
+    int round = 0;
+    ProcessId process = 0;
+    std::vector<ProcessId> heard_of;    ///< HO(p, r)
+    std::optional<Value> decision;
+    std::string digest_after;
+};
+
+/// A recorded round-model run.
+struct HoRun {
+    int n = 0;
+    std::string algorithm;
+    std::vector<Value> inputs;
+    int rounds_executed = 0;
+    std::vector<HoRecord> records;
+
+    std::optional<Value> decision_of(ProcessId p) const;
+    std::set<Value> distinct_decisions() const;
+    bool all_decided(const std::vector<ProcessId>& group) const;
+    /// Digest sequence of p per executed round (until decision when
+    /// `until_decision`), for indistinguishability arguments.
+    std::vector<std::string> digest_sequence(ProcessId p,
+                                             bool until_decision = true) const;
+};
+
+/// Runs `algorithm` for up to `max_rounds` rounds (stops early when all
+/// alive processes decided).
+HoRun execute_ho(const RoundAlgorithm& algorithm, int n,
+                 std::vector<Value> inputs, HoAdversary& adversary,
+                 int max_rounds);
+
+// ------------------------------------------------------------ adversaries
+
+/// The benign assignment: everybody hears everybody, forever.
+class FullHo final : public HoAdversary {
+public:
+    std::vector<ProcessId> heard_of(ProcessId, int, int n) override;
+    std::string name() const override { return "full"; }
+};
+
+/// Synchronous crash faults: each faulty process has a crash round; in
+/// that round it is heard only by a prescribed subset of receivers, and
+/// from the next round on by nobody.  This is the classic synchronous
+/// f-crash adversary expressed in HO terms.
+class CrashHo final : public HoAdversary {
+public:
+    struct Crash {
+        int round = 1;                      ///< the crashing round
+        std::set<ProcessId> heard_by;       ///< receivers in that round
+    };
+    CrashHo() = default;
+    explicit CrashHo(std::map<ProcessId, Crash> crashes)
+        : crashes_(std::move(crashes)) {}
+
+    void set_crash(ProcessId p, Crash crash) { crashes_[p] = crash; }
+
+    std::vector<ProcessId> heard_of(ProcessId p, int round, int n) override;
+    bool alive(ProcessId p, int round) override;
+    std::string name() const override { return "sync-crash"; }
+
+private:
+    std::map<ProcessId, Crash> crashes_;
+};
+
+/// The partitioning assignment: disjoint blocks hear only themselves for
+/// the first `isolation_rounds` rounds (forever when 0), then everybody
+/// hears everybody.  The HO-model incarnation of the paper's central
+/// adversary.
+class PartitionHo final : public HoAdversary {
+public:
+    PartitionHo(std::vector<std::vector<ProcessId>> blocks,
+                int isolation_rounds);
+
+    std::vector<ProcessId> heard_of(ProcessId p, int round, int n) override;
+    std::string name() const override { return "partition"; }
+
+private:
+    std::vector<std::vector<ProcessId>> blocks_;
+    std::vector<int> block_of_;  // lazily sized
+    int isolation_rounds_;
+};
+
+}  // namespace ksa::ho

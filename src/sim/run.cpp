@@ -1,0 +1,167 @@
+#include "sim/run.hpp"
+
+#include <algorithm>
+
+namespace ksa {
+
+std::string to_string(StopReason r) {
+    switch (r) {
+        case StopReason::kQuiescent: return "quiescent";
+        case StopReason::kSchedulerEnded: return "scheduler-ended";
+        case StopReason::kStepLimit: return "step-limit";
+    }
+    return "unknown";
+}
+
+std::optional<Value> Run::decision_of(ProcessId p) const {
+    for (const StepRecord& s : steps)
+        if (s.process == p && s.decision) return s.decision;
+    return std::nullopt;
+}
+
+Time Run::decision_time_of(ProcessId p) const {
+    for (const StepRecord& s : steps)
+        if (s.process == p && s.decision) return s.time;
+    return kNever;
+}
+
+std::set<Value> Run::distinct_decisions() const {
+    std::set<Value> out;
+    for (const StepRecord& s : steps)
+        if (s.decision) out.insert(*s.decision);
+    return out;
+}
+
+std::set<Value> Run::distinct_decisions(const std::vector<ProcessId>& group) const {
+    std::set<Value> out;
+    for (const StepRecord& s : steps)
+        if (s.decision &&
+            std::find(group.begin(), group.end(), s.process) != group.end())
+            out.insert(*s.decision);
+    return out;
+}
+
+bool Run::all_correct_decided(const std::vector<ProcessId>& group) const {
+    for (ProcessId p : group)
+        if (!plan.is_faulty(p) && !decision_of(p)) return false;
+    return true;
+}
+
+bool Run::all_correct_decided() const {
+    for (ProcessId p = 1; p <= n; ++p)
+        if (!plan.is_faulty(p) && !decision_of(p)) return false;
+    return true;
+}
+
+Time Run::crash_time_of(ProcessId p) const {
+    if (!plan.is_faulty(p)) return kNever;
+    if (plan.is_initially_dead(p)) return 1;
+    Time last = 0;
+    bool crashed_seen = false;
+    for (const StepRecord& s : steps) {
+        if (s.process == p) {
+            last = s.time;
+            if (s.final_crash_step) crashed_seen = true;
+        }
+    }
+    if (!crashed_seen) return kNever;  // plan says faulty but crash not realized
+    return last + 1;
+}
+
+std::set<ProcessId> Run::crashed() const {
+    std::set<ProcessId> out;
+    for (ProcessId p = 1; p <= n; ++p)
+        if (crash_time_of(p) != kNever) out.insert(p);
+    return out;
+}
+
+int Run::steps_of(ProcessId p) const {
+    int c = 0;
+    for (const StepRecord& s : steps)
+        if (s.process == p) ++c;
+    return c;
+}
+
+std::vector<std::string> Run::digest_sequence(ProcessId p,
+                                              bool until_decision) const {
+    std::vector<std::string> out;
+    for (const StepRecord& s : steps) {
+        if (s.process != p) continue;
+        out.push_back(s.digest_after);
+        if (until_decision && s.decision) break;
+    }
+    return out;
+}
+
+std::vector<Time> Run::receptions_from(
+        ProcessId p, const std::vector<ProcessId>& senders) const {
+    std::vector<Time> out;
+    for (const StepRecord& s : steps) {
+        if (s.process != p) continue;
+        for (const Message& m : s.delivered) {
+            if (std::find(senders.begin(), senders.end(), m.from) !=
+                senders.end()) {
+                out.push_back(s.time);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool Run::silent_from_until(ProcessId p, const std::vector<ProcessId>& senders,
+                            Time deadline) const {
+    for (Time t : receptions_from(p, senders))
+        if (t < deadline) return false;
+    return true;
+}
+
+std::size_t Run::messages_sent() const {
+    std::size_t c = 0;
+    for (const StepRecord& s : steps) c += s.sent.size();
+    return c;
+}
+
+std::vector<MessageId> Run::undelivered_to(ProcessId p) const {
+    std::set<MessageId> sent_ids;
+    for (const StepRecord& s : steps)
+        for (const Message& m : s.sent)
+            if (m.to == p) sent_ids.insert(m.id);
+    for (const StepRecord& s : steps)
+        if (s.process == p)
+            for (const Message& m : s.delivered) sent_ids.erase(m.id);
+    return {sent_ids.begin(), sent_ids.end()};
+}
+
+bool indistinguishable_for(const Run& a, const Run& b, ProcessId p) {
+    return a.digest_sequence(p) == b.digest_sequence(p);
+}
+
+bool indistinguishable_for_all(const Run& a, const Run& b,
+                               const std::vector<ProcessId>& group) {
+    for (ProcessId p : group)
+        if (!indistinguishable_for(a, b, p)) return false;
+    return true;
+}
+
+std::optional<std::vector<std::size_t>> compatible_for(
+        const std::vector<Run>& r_prime, const std::vector<Run>& r,
+        const std::vector<ProcessId>& group, std::size_t* out_witness) {
+    std::vector<std::size_t> choice;
+    for (std::size_t i = 0; i < r_prime.size(); ++i) {
+        bool found = false;
+        for (std::size_t j = 0; j < r.size() && !found; ++j) {
+            if (indistinguishable_for_all(r_prime[i], r[j], group)) {
+                choice.push_back(j);
+                found = true;
+            }
+        }
+        if (!found) {
+            if (out_witness != nullptr) *out_witness = i;
+            return std::nullopt;
+        }
+    }
+    return choice;
+}
+
+}  // namespace ksa

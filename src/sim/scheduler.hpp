@@ -1,0 +1,88 @@
+#pragma once
+// Scheduler interface.
+//
+// In the paper's model, asynchrony is an adversary: it picks which
+// process takes the next step and which subset of that process's buffer
+// is delivered in the step.  The simulator makes the adversary an
+// explicit object.  A Scheduler observes the public execution state
+// through a SystemView and returns StepChoices; every impossibility
+// argument in the paper corresponds to a concrete Scheduler in
+// sim/schedulers.hpp or an orchestration of several in core/.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/failure_plan.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// One scheduling decision: which process steps next and which messages
+/// from its buffer are delivered to it in that step.
+struct StepChoice {
+    ProcessId process = 0;
+    /// Ids of messages to deliver, all of which must currently sit in the
+    /// buffer of `process`.  May be empty (a step with L = {}).
+    std::vector<MessageId> deliver;
+    /// Convenience flag: deliver everything currently buffered for
+    /// `process` (overrides `deliver`).
+    bool deliver_all = false;
+};
+
+/// Read-only view of the execution state, offered to schedulers.
+class SystemView {
+public:
+    virtual ~SystemView() = default;
+
+    virtual int n() const = 0;
+    /// Global time of the *next* step (1 for the first).
+    virtual Time now() const = 0;
+    /// The pending buffer of `p` in arrival order.
+    virtual const std::deque<Message>& buffer(ProcessId p) const = 0;
+    /// True iff p has crashed already (realized, not just planned).
+    virtual bool crashed(ProcessId p) const = 0;
+    /// True iff p has decided already.
+    virtual bool decided(ProcessId p) const = 0;
+    /// Number of own steps p has executed so far.
+    virtual int steps_of(ProcessId p) const = 0;
+    /// The crash plan in force.
+    virtual const FailurePlan& plan() const = 0;
+
+    /// True iff p may still take a step under the plan.
+    bool can_step(ProcessId p) const {
+        if (crashed(p)) return false;
+        int allowed = plan().allowed_steps(p);
+        return allowed < 0 || steps_of(p) < allowed;
+    }
+
+    /// True iff every process that is correct under the plan has decided.
+    bool all_correct_decided() const {
+        for (ProcessId p = 1; p <= n(); ++p)
+            if (!plan().is_faulty(p) && !decided(p)) return false;
+        return true;
+    }
+
+    /// True iff the buffers of all correct processes are empty.
+    bool correct_buffers_empty() const {
+        for (ProcessId p = 1; p <= n(); ++p)
+            if (!plan().is_faulty(p) && !buffer(p).empty()) return false;
+        return true;
+    }
+};
+
+/// The adversary: picks the next step, or std::nullopt to end the run
+/// prefix.
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Returns the next step to execute, or std::nullopt to stop.
+    virtual std::optional<StepChoice> next(const SystemView& view) = 0;
+
+    /// Scheduler name for traces.
+    virtual std::string name() const = 0;
+};
+
+}  // namespace ksa

@@ -1,0 +1,223 @@
+#pragma once
+// The scheduler zoo.
+//
+// Every schedule used by the paper's proofs (and by the possibility
+// results) is a concrete Scheduler:
+//
+//   * RoundRobinScheduler -- the canonical fair schedule: cycles through
+//     live processes delivering everything.  Used for possibility
+//     results and as the "benign" baseline.
+//   * RandomScheduler -- seeded random fair schedule with bounded message
+//     aging; models arbitrary asynchrony while staying admissible.
+//   * PartitionScheduler -- the paper's central adversary: given blocks
+//     B1..Bm, runs each block in isolation (only intra-block delivery)
+//     until its correct members decide, then releases all delayed
+//     traffic.  This is exactly the "delay all communication between the
+//     sets of processes D1,...,Dk-1, D until every correct process has
+//     decided" schedule of Theorems 2 and 10.
+//   * ScriptedScheduler -- replays an explicit step sequence; the
+//     building block of the run-pasting constructions (Lemmas 11/12).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace ksa {
+
+/// Fair round-robin: cycles through processes in id order, delivering the
+/// whole buffer at each step.  Faulty processes take their planned steps
+/// interleaved with everyone else (realizing the crash plan).  Stops when
+/// every correct process has decided, all correct buffers are drained and
+/// every planned crash has been realized.
+class RoundRobinScheduler final : public Scheduler {
+public:
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override { return "round-robin"; }
+
+private:
+    ProcessId cursor_ = 0;
+};
+
+/// Seeded random fair schedule.  Each step picks a uniformly random
+/// runnable process; each buffered message is delivered with probability
+/// 1/2, except that messages older than `max_age` steps are always
+/// delivered (which keeps the schedule admissible: every message to a
+/// correct process is eventually received).  After all correct processes
+/// have decided the scheduler switches to deliver-all draining.
+class RandomScheduler final : public Scheduler {
+public:
+    explicit RandomScheduler(std::uint64_t seed, Time max_age = 64)
+        : rng_(seed), max_age_(max_age) {}
+
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override { return "random"; }
+
+private:
+    std::mt19937_64 rng_;
+    Time max_age_;
+};
+
+/// The partitioning adversary.  Blocks are processed sequentially: while
+/// block i is active, only its members step and they receive only
+/// messages sent from within block i; once all correct members of block i
+/// have decided (or the per-block step budget is exhausted -- evidence of
+/// a termination violation), the next block starts.  After the last
+/// block, all delayed traffic is released and everyone is scheduled
+/// round-robin until quiescence, which makes the complete run admissible
+/// in the asynchronous model.
+class PartitionScheduler final : public Scheduler {
+public:
+    /// `blocks` must be disjoint; processes not mentioned in any block
+    /// are only scheduled in the release phase.  `block_budget` bounds
+    /// the number of steps spent inside one block's isolation phase.
+    explicit PartitionScheduler(std::vector<std::vector<ProcessId>> blocks,
+                                int block_budget = 20000);
+
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override { return "partition"; }
+
+    /// Indices of blocks whose correct members failed to all decide
+    /// within the budget while isolated.  Non-empty after execution means
+    /// the algorithm's termination depends on cross-partition traffic.
+    const std::vector<int>& stalled_blocks() const { return stalled_; }
+
+    /// Global time at which the release phase started (kNever if it has
+    /// not).  Before this time no cross-block message was delivered.
+    Time release_time() const { return release_time_; }
+
+private:
+    bool block_done(const SystemView& view, int b) const;
+    std::optional<StepChoice> intra_block_step(const SystemView& view, int b);
+
+    std::vector<std::vector<ProcessId>> blocks_;
+    int block_budget_;
+    int current_block_ = 0;
+    int budget_used_ = 0;
+    std::vector<int> stalled_;
+    bool releasing_ = false;
+    Time release_time_ = kNever;
+    ProcessId release_cursor_ = 0;
+    int block_cursor_ = 0;
+};
+
+/// The fully general staged adversary, subsuming PartitionScheduler.
+/// A run is divided into *stages*; in each stage only the stage's active
+/// processes take steps and a per-stage message filter decides which
+/// buffered messages may be delivered (by sender, receiver, payload --
+/// e.g. "hold back decision announcements", as the Theorem 10
+/// construction requires).  A stage completes when all its correct
+/// active processes have decided (or an explicit predicate holds, or its
+/// step budget is exhausted, which is recorded as a stall).  After the
+/// last stage all traffic is released and everyone is scheduled fairly
+/// until quiescence.
+class StagedScheduler final : public Scheduler {
+public:
+    struct Stage {
+        /// Processes stepped during this stage (in round-robin order).
+        std::vector<ProcessId> active;
+        /// Message admission filter: deliver m to `dest` now?  Null means
+        /// "only messages sent from within `active`".
+        std::function<bool(const Message& m, ProcessId dest)> filter;
+        /// Optional completion predicate; null means "all correct active
+        /// processes decided and active planned crashes realized".
+        std::function<bool(const SystemView&)> done;
+        /// Step budget before the stage is declared stalled.
+        int budget = 20000;
+    };
+
+    explicit StagedScheduler(std::vector<Stage> stages);
+
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override { return "staged"; }
+
+    /// Indices of stages that exhausted their budget (or had no runnable
+    /// process) before completing.
+    const std::vector<int>& stalled_stages() const { return stalled_; }
+
+    /// Global time at which the release phase began (kNever if not yet).
+    Time release_time() const { return release_time_; }
+
+private:
+    bool stage_done(const SystemView& view, const Stage& s) const;
+
+    std::vector<Stage> stages_;
+    std::size_t current_ = 0;
+    int used_ = 0;
+    int cursor_ = 0;
+    std::vector<int> stalled_;
+    bool releasing_ = false;
+    Time release_time_ = kNever;
+    ProcessId release_cursor_ = 0;
+};
+
+/// Lockstep scheduler: SYNCHRONOUS processes, asynchronous communication
+/// -- the exact premise of Theorem 2.  Execution proceeds in cycles; in
+/// every cycle each live process takes exactly one step, in id order
+/// (relative speeds are therefore equal), while a dynamic filter decides
+/// which buffered messages may be delivered (communication delays remain
+/// under adversary control).  Stops when every correct process has
+/// decided, buffers are drained and planned crashes are realized.
+class LockstepScheduler final : public Scheduler {
+public:
+    /// Message admission: deliver m to `dest` in the current step?  The
+    /// view enables phase-dependent filters ("release after decisions").
+    /// A null filter delivers everything.
+    using Filter = std::function<bool(const Message& m, ProcessId dest,
+                                      const SystemView& view)>;
+
+    explicit LockstepScheduler(Filter filter = {})
+        : filter_(std::move(filter)) {}
+
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override { return "lockstep"; }
+
+    /// Number of completed cycles so far.
+    int cycles() const { return cycles_; }
+
+private:
+    Filter filter_;
+    ProcessId cursor_ = 0;  // last stepped pid within the cycle
+    int cycles_ = 0;
+};
+
+/// Replays a fixed step sequence, then stops.  Illegal choices (e.g. a
+/// message id that is not in the buffer) surface as UsageError from the
+/// System, which is intentional: a paste that does not correspond to a
+/// legal run must fail loudly.
+class ScriptedScheduler final : public Scheduler {
+public:
+    explicit ScriptedScheduler(std::vector<StepChoice> script)
+        : script_(std::move(script)) {}
+
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override { return "scripted"; }
+
+private:
+    std::vector<StepChoice> script_;
+    std::size_t pos_ = 0;
+};
+
+/// Runs an inner scheduler to completion, then keeps scheduling
+/// round-robin deliver-all steps until the system is quiescent.  Wrap any
+/// adversarial prefix with this to obtain an admissible run.
+class FairCompletionScheduler final : public Scheduler {
+public:
+    explicit FairCompletionScheduler(Scheduler& inner) : inner_(&inner) {}
+
+    std::optional<StepChoice> next(const SystemView& view) override;
+    std::string name() const override {
+        return inner_->name() + "+fair-completion";
+    }
+
+private:
+    Scheduler* inner_;
+    bool draining_ = false;
+    RoundRobinScheduler drain_;
+};
+
+}  // namespace ksa

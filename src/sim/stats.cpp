@@ -1,0 +1,55 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace ksa {
+
+std::string RunStats::summary() const {
+    std::ostringstream out;
+    out << "steps=" << total_steps << " msgs=" << total_messages
+        << " omitted=" << total_omitted
+        << " last_decision_t=" << last_decision_time
+        << " mean_decision_steps=" << mean_decision_own_steps;
+    return out.str();
+}
+
+RunStats compute_stats(const Run& run) {
+    RunStats stats;
+    stats.n = run.n;
+    stats.total_steps = run.steps.size();
+    stats.per_process.resize(run.n);
+    stats.traffic.assign(run.n, std::vector<int>(run.n, 0));
+    for (ProcessId p = 1; p <= run.n; ++p)
+        stats.per_process[p - 1].process = p;
+
+    for (const StepRecord& s : run.steps) {
+        ProcessStats& ps = stats.per_process[s.process - 1];
+        ++ps.steps;
+        ps.messages_received += static_cast<int>(s.delivered.size());
+        ps.messages_sent += static_cast<int>(s.sent.size());
+        stats.total_messages += s.sent.size();
+        stats.total_omitted += s.omitted.size();
+        for (const Message& m : s.sent)
+            ++stats.traffic[m.from - 1][m.to - 1];
+        if (s.decision) {
+            ps.decision_time = s.time;
+            ps.decision_own_steps = ps.steps;
+            stats.last_decision_time =
+                std::max(stats.last_decision_time, s.time);
+        }
+    }
+
+    int deciders = 0;
+    long long step_sum = 0;
+    for (const ProcessStats& ps : stats.per_process) {
+        if (ps.decision_own_steps >= 0) {
+            ++deciders;
+            step_sum += ps.decision_own_steps;
+        }
+    }
+    stats.mean_decision_own_steps =
+        deciders == 0 ? 0.0 : static_cast<double>(step_sum) / deciders;
+    return stats;
+}
+
+}  // namespace ksa

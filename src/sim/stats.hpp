@@ -1,0 +1,46 @@
+#pragma once
+// Run statistics: the measurement layer the benches report from.
+//
+// Aggregates per-run and per-process metrics from a recorded Run:
+// message counts, decision latencies (in own-steps and in global time),
+// buffer high-water marks, and the communication matrix.  Everything is
+// derived from the record -- no instrumentation in the protocols.
+
+#include <string>
+#include <vector>
+
+#include "sim/run.hpp"
+
+namespace ksa {
+
+/// Per-process metrics.
+struct ProcessStats {
+    ProcessId process = 0;
+    int steps = 0;              ///< own steps taken
+    int messages_sent = 0;
+    int messages_received = 0;
+    Time decision_time = kNever;    ///< global time of the deciding step
+    int decision_own_steps = -1;    ///< own steps until decision (-1: none)
+};
+
+/// Whole-run metrics.
+struct RunStats {
+    int n = 0;
+    std::size_t total_steps = 0;
+    std::size_t total_messages = 0;
+    std::size_t total_omitted = 0;
+    Time last_decision_time = 0;        ///< when the slowest decider decided
+    double mean_decision_own_steps = 0;  ///< over deciders
+    std::vector<ProcessStats> per_process;
+    /// traffic[i][j]: messages sent by p_{i+1} to p_{j+1} (delivered or
+    /// still buffered; omitted sends excluded).
+    std::vector<std::vector<int>> traffic;
+
+    /// One-line rendering for bench tables.
+    std::string summary() const;
+};
+
+/// Computes the statistics of a recorded run.
+RunStats compute_stats(const Run& run);
+
+}  // namespace ksa

@@ -1,0 +1,199 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ksa {
+
+System::System(const Algorithm& algorithm, int n, std::vector<Value> inputs,
+               FailurePlan plan, FdOracle* oracle)
+    : n_(n),
+      algo_name_(algorithm.name()),
+      uses_fd_(algorithm.needs_failure_detector()),
+      inputs_(std::move(inputs)),
+      plan_(std::move(plan)),
+      oracle_(oracle) {
+    require(n_ >= 1, "System: n must be >= 1");
+    require(static_cast<int>(inputs_.size()) == n_,
+            "System: need exactly n inputs");
+    require(!uses_fd_ || oracle_ != nullptr,
+            "System: algorithm queries a failure detector but no oracle given");
+    behaviors_.reserve(n_);
+    for (ProcessId p = 1; p <= n_; ++p)
+        behaviors_.push_back(algorithm.make_behavior(p, n_, inputs_[p - 1]));
+    buffers_.resize(n_);
+    step_counts_.assign(n_, 0);
+    crashed_.assign(n_, false);
+    decisions_.assign(n_, std::nullopt);
+
+    run_.n = n_;
+    run_.algorithm = algo_name_;
+    run_.inputs = inputs_;
+    run_.plan = plan_;
+}
+
+void System::check_pid(ProcessId p, const char* who) const {
+    if (p < 1 || p > n_) {
+        std::ostringstream out;
+        out << who << ": process id " << p << " out of range 1.." << n_;
+        throw UsageError(out.str());
+    }
+}
+
+const std::deque<Message>& System::buffer(ProcessId p) const {
+    check_pid(p, "System::buffer");
+    return buffers_[p - 1];
+}
+
+bool System::crashed(ProcessId p) const {
+    check_pid(p, "System::crashed");
+    return crashed_[p - 1] || plan_.is_initially_dead(p);
+}
+
+bool System::decided(ProcessId p) const {
+    check_pid(p, "System::decided");
+    return decisions_[p - 1].has_value();
+}
+
+int System::steps_of(ProcessId p) const {
+    check_pid(p, "System::steps_of");
+    return step_counts_[p - 1];
+}
+
+std::optional<Value> System::decision_of(ProcessId p) const {
+    check_pid(p, "System::decision_of");
+    return decisions_[p - 1];
+}
+
+void System::apply_choice(const StepChoice& choice) {
+    require(!finished_, "System::apply_choice: run already finalized");
+    const ProcessId p = choice.process;
+    check_pid(p, "System::apply_choice");
+    require(!crashed(p), "System::apply_choice: process already crashed");
+    const int allowed = plan_.allowed_steps(p);
+    require(allowed < 0 || step_counts_[p - 1] < allowed,
+            "System::apply_choice: crash plan exhausted for this process");
+
+    StepRecord rec;
+    rec.time = now_;
+    rec.process = p;
+
+    // Collect the delivered subset L from p's buffer.
+    auto& buf = buffers_[p - 1];
+    if (choice.deliver_all) {
+        rec.delivered.assign(buf.begin(), buf.end());
+        buf.clear();
+    } else {
+        for (MessageId id : choice.deliver) {
+            auto it = std::find_if(buf.begin(), buf.end(),
+                                   [id](const Message& m) { return m.id == id; });
+            require(it != buf.end(),
+                    "System::apply_choice: message id not in buffer");
+            rec.delivered.push_back(*it);
+            buf.erase(it);
+        }
+    }
+
+    // Failure-detector query at the beginning of the step.
+    StepInput input;
+    input.delivered = rec.delivered;
+    if (uses_fd_) {
+        QueryContext ctx;
+        ctx.now = now_;
+        ctx.querier = p;
+        for (ProcessId q = 1; q <= n_; ++q)
+            if (crashed(q)) ctx.crashed_so_far.push_back(q);
+        FdSample sample = oracle_->query(ctx);
+        run_.fd_history.push_back(FdEvent{now_, p, sample});
+        rec.fd = sample;
+        input.fd = std::move(sample);
+    }
+
+    // The atomic state transition.
+    StepOutput out = behaviors_[p - 1]->on_step(input);
+
+    // Is this the final step of a crashing process?
+    const bool final_step =
+        allowed >= 0 && step_counts_[p - 1] + 1 == allowed;
+    const std::set<ProcessId>* omit =
+        final_step ? &plan_.spec(p).omit_to : nullptr;
+
+    for (auto& [dest, payload] : out.sends) {
+        check_pid(dest, "System::apply_choice (send destination)");
+        Message m;
+        m.id = next_msg_id_++;
+        m.from = p;
+        m.to = dest;
+        m.sent_at = now_;
+        m.payload = std::move(payload);
+        if (omit != nullptr && omit->count(dest) != 0) {
+            rec.omitted.push_back(std::move(m));
+        } else {
+            rec.sent.push_back(m);
+            buffers_[dest - 1].push_back(std::move(m));
+        }
+    }
+
+    if (out.decision) {
+        require(!decisions_[p - 1].has_value(),
+                "protocol bug: process decided twice (output is write-once)");
+        decisions_[p - 1] = out.decision;
+        rec.decision = out.decision;
+    }
+
+    rec.digest_after = behaviors_[p - 1]->state_digest();
+    rec.final_crash_step = final_step;
+
+    if (final_step) crashed_[p - 1] = true;
+    ++step_counts_[p - 1];
+    run_.steps.push_back(std::move(rec));
+    ++now_;
+}
+
+Run System::execute(Scheduler& scheduler, ExecutionLimits limits) {
+    require(!finished_, "System::execute: run already finalized");
+    bool hit_limit = false;
+    while (true) {
+        if (now_ > limits.max_steps) {
+            hit_limit = true;
+            break;
+        }
+        std::optional<StepChoice> choice = scheduler.next(*this);
+        if (!choice) break;
+        apply_choice(*choice);
+    }
+    StopReason reason;
+    if (hit_limit)
+        reason = StopReason::kStepLimit;
+    else if (all_correct_decided() && correct_buffers_empty())
+        reason = StopReason::kQuiescent;
+    else
+        reason = StopReason::kSchedulerEnded;
+    return finish(reason);
+}
+
+Run System::finish(StopReason reason) {
+    require(!finished_, "System::finish: run already finalized");
+    finished_ = true;
+    run_.stop = reason;
+    return std::move(run_);
+}
+
+Run execute_run(const Algorithm& algorithm, int n, std::vector<Value> inputs,
+                FailurePlan plan, Scheduler& scheduler, FdOracle* oracle,
+                ExecutionLimits limits) {
+    System system(algorithm, n, std::move(inputs), std::move(plan), oracle);
+    return system.execute(scheduler, limits);
+}
+
+std::vector<Value> distinct_inputs(int n) {
+    std::vector<Value> out(n);
+    for (int i = 0; i < n; ++i) out[i] = i + 1;
+    return out;
+}
+
+std::vector<Value> uniform_inputs(int n, Value v) {
+    return std::vector<Value>(static_cast<std::size_t>(n), v);
+}
+
+}  // namespace ksa

@@ -1,0 +1,114 @@
+#pragma once
+// The execution engine.
+//
+// A System instantiates one Behavior per process from an Algorithm, owns
+// the per-process message buffers, enforces the FailurePlan, queries the
+// failure-detector oracle (when the model has one) and records every step
+// into a Run.  It can be driven in two ways:
+//
+//   * System::execute(scheduler, limits) -- the usual mode: the scheduler
+//     (the asynchrony adversary) picks steps until it stops or a limit
+//     trips;
+//   * the step-wise apply_choice() API -- used by the run-pasting
+//     machinery of core/ (Lemmas 11 and 12), which replays recorded step
+//     sequences of several runs interleaved into a single new run.
+//
+// Everything is deterministic: the same (algorithm, inputs, plan, oracle,
+// choice sequence) yields bit-identical Runs.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/behavior.hpp"
+#include "sim/failure_plan.hpp"
+#include "sim/fd_oracle.hpp"
+#include "sim/run.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// Hard bounds on an execution.
+struct ExecutionLimits {
+    /// Hard cap on the total number of steps; exceeding it stops the run
+    /// with StopReason::kStepLimit (the signature of non-termination for
+    /// a decision task).
+    Time max_steps = 200000;
+};
+
+/// See file comment.
+class System final : public SystemView {
+public:
+    /// Builds the initial configuration: behavior of process p gets
+    /// inputs[p-1] as its proposal value.  `oracle` may be null iff the
+    /// algorithm does not query a failure detector; it is borrowed and
+    /// must outlive the System.
+    System(const Algorithm& algorithm, int n, std::vector<Value> inputs,
+           FailurePlan plan, FdOracle* oracle = nullptr);
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    // -- SystemView --------------------------------------------------
+    int n() const override { return n_; }
+    Time now() const override { return now_; }
+    const std::deque<Message>& buffer(ProcessId p) const override;
+    bool crashed(ProcessId p) const override;
+    bool decided(ProcessId p) const override;
+    int steps_of(ProcessId p) const override;
+    const FailurePlan& plan() const override { return plan_; }
+
+    // -- stepping ----------------------------------------------------
+
+    /// Executes one atomic step as described by `choice`.  Throws
+    /// UsageError if the choice is illegal (crashed/dead process, message
+    /// id not in the buffer, plan exhausted).
+    void apply_choice(const StepChoice& choice);
+
+    /// Runs `scheduler` until it stops or `limits.max_steps` is reached,
+    /// then finalizes and returns the recorded Run.  The System is spent
+    /// afterwards.
+    Run execute(Scheduler& scheduler, ExecutionLimits limits = {});
+
+    /// Finalizes the record without a scheduler (step-wise mode).
+    Run finish(StopReason reason);
+
+    /// Decision of p so far, if any.
+    std::optional<Value> decision_of(ProcessId p) const;
+
+private:
+    void check_pid(ProcessId p, const char* who) const;
+
+    int n_;
+    std::string algo_name_;
+    bool uses_fd_;
+    std::vector<Value> inputs_;
+    FailurePlan plan_;
+    FdOracle* oracle_;
+
+    std::vector<std::unique_ptr<Behavior>> behaviors_;  // index p-1
+    std::vector<std::deque<Message>> buffers_;          // index p-1
+    std::vector<int> step_counts_;                      // index p-1
+    std::vector<bool> crashed_;                         // index p-1
+    std::vector<std::optional<Value>> decisions_;       // index p-1
+
+    Time now_ = 1;
+    MessageId next_msg_id_ = 1;
+    Run run_;
+    bool finished_ = false;
+};
+
+/// Convenience wrapper: build a System and execute it in one call.
+Run execute_run(const Algorithm& algorithm, int n, std::vector<Value> inputs,
+                FailurePlan plan, Scheduler& scheduler,
+                FdOracle* oracle = nullptr, ExecutionLimits limits = {});
+
+/// Convenience: inputs 1..n as distinct proposal values (the paper's
+/// all-distinct assumption, |V| > n).
+std::vector<Value> distinct_inputs(int n);
+
+/// Convenience: all processes propose `v`.
+std::vector<Value> uniform_inputs(int n, Value v);
+
+}  // namespace ksa

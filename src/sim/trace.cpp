@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ksa {
+
+std::string run_summary(const Run& run) {
+    std::ostringstream out;
+    out << run.algorithm << " n=" << run.n << " steps=" << run.steps.size()
+        << " stop=" << to_string(run.stop) << " decisions={";
+    bool first = true;
+    for (ProcessId p = 1; p <= run.n; ++p) {
+        auto d = run.decision_of(p);
+        if (!d) continue;
+        if (!first) out << ',';
+        first = false;
+        out << 'p' << p << ':' << *d;
+    }
+    out << "} distinct=" << run.distinct_decisions().size();
+    return out.str();
+}
+
+void print_trace(std::ostream& out, const Run& run) {
+    out << "run of " << run.algorithm << " on n=" << run.n << " inputs=[";
+    for (std::size_t i = 0; i < run.inputs.size(); ++i) {
+        if (i > 0) out << ',';
+        out << run.inputs[i];
+    }
+    out << "]\n";
+    for (const StepRecord& s : run.steps) {
+        out << "  t=" << s.time << " p" << s.process;
+        if (s.fd) out << " fd=" << s.fd->to_string();
+        if (!s.delivered.empty()) {
+            out << " recv{";
+            for (std::size_t i = 0; i < s.delivered.size(); ++i) {
+                if (i > 0) out << ',';
+                out << s.delivered[i].to_string();
+            }
+            out << '}';
+        }
+        if (!s.sent.empty()) out << " sent=" << s.sent.size();
+        if (!s.omitted.empty()) out << " omitted=" << s.omitted.size();
+        if (s.decision) out << " DECIDE " << *s.decision;
+        if (s.final_crash_step) out << " CRASH";
+        out << '\n';
+    }
+    out << "  => " << run_summary(run) << '\n';
+}
+
+std::string trace_string(const Run& run) {
+    std::ostringstream out;
+    print_trace(out, run);
+    return out.str();
+}
+
+}  // namespace ksa

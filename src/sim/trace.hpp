@@ -1,0 +1,25 @@
+#pragma once
+// Human-readable run traces.
+//
+// Formatting helpers used by the examples, the benches and failing
+// tests: a one-line summary and a full step-by-step trace of a recorded
+// run.  The trace format is stable so it can be diffed across runs when
+// debugging non-determinism.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/run.hpp"
+
+namespace ksa {
+
+/// One line: algorithm, n, #steps, stop reason, decisions.
+std::string run_summary(const Run& run);
+
+/// Full step-by-step trace.
+void print_trace(std::ostream& out, const Run& run);
+
+/// Full trace as a string.
+std::string trace_string(const Run& run);
+
+}  // namespace ksa

@@ -1,0 +1,263 @@
+// Unit tests for the protocol implementations under benign and
+// adversarial schedules.
+
+#include <gtest/gtest.h>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "algo/paxos_consensus.hpp"
+#include "algo/quorum_leader_kset.hpp"
+#include "algo/ranked_set_agreement.hpp"
+#include "core/kset_spec.hpp"
+#include "fd/sources.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+#include "sim/trace.hpp"
+
+namespace ksa {
+namespace {
+
+// ------------------------------------------------------ FLP initial clique
+
+TEST(InitialClique, ConsensusWithoutCrashes) {
+    auto algorithm = algo::make_flp_consensus(5);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(*algorithm, 5, distinct_inputs(5), {}, rr);
+    core::expect_kset_agreement(run, 1);
+    EXPECT_EQ(run.distinct_decisions().size(), 1u);
+}
+
+TEST(InitialClique, ConsensusWithInitialCrashes) {
+    // n=5: L = 3, tolerates f = 2 initial crashes.
+    auto algorithm = algo::make_flp_consensus(5);
+    FailurePlan plan;
+    plan.set_initially_dead({2, 4});
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(*algorithm, 5, distinct_inputs(5), plan, rr);
+    core::expect_kset_agreement(run, 1);
+}
+
+TEST(InitialClique, ConsensusUnderRandomSchedules) {
+    auto algorithm = algo::make_flp_consensus(7);
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        FailurePlan plan;
+        plan.set_initially_dead({static_cast<ProcessId>(1 + seed % 7)});
+        RandomScheduler sched(seed);
+        ksa::Run run = execute_run(*algorithm, 7, distinct_inputs(7), plan,
+                                   sched);
+        core::expect_kset_agreement(run, 1);
+    }
+}
+
+TEST(InitialClique, KSetWithManyInitialCrashes) {
+    // n=6, f=4: L=2, solvable for k with k*6 > (k+1)*4, i.e. k >= 3.
+    auto algorithm = algo::make_flp_kset(6, 4);
+    FailurePlan plan;
+    plan.set_initially_dead({1, 3, 5, 6});
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(*algorithm, 6, distinct_inputs(6), plan, rr);
+    core::expect_kset_agreement(run, 3);
+}
+
+TEST(InitialClique, DecisionCountBoundedBySourceComponents) {
+    // n=9, L=3 => at most floor(9/3)=3 distinct decisions, whatever the
+    // (crash-free) schedule does.
+    algo::InitialCliqueKSet algorithm(3);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        RandomScheduler sched(seed);
+        ksa::Run run = execute_run(algorithm, 9, distinct_inputs(9), {}, sched);
+        EXPECT_TRUE(run.all_correct_decided());
+        EXPECT_LE(run.distinct_decisions().size(), 3u) << run_summary(run);
+    }
+}
+
+TEST(InitialClique, PartitionedRunRealizesTheBound) {
+    // Three isolated triples, L=3: each triple forms its own source
+    // component and decides its own minimum.
+    algo::InitialCliqueKSet algorithm(3);
+    PartitionScheduler sched({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+    ksa::Run run = execute_run(algorithm, 9, distinct_inputs(9), {}, sched);
+    EXPECT_TRUE(sched.stalled_blocks().empty());
+    EXPECT_EQ(run.distinct_decisions(), (std::set<Value>{1, 4, 7}));
+}
+
+TEST(InitialClique, ValidatesThresholdRange) {
+    algo::InitialCliqueKSet algorithm(9);
+    EXPECT_THROW(algorithm.make_behavior(1, 5, 1), UsageError);
+    EXPECT_THROW(algo::make_flp_kset(5, 5), UsageError);
+}
+
+TEST(InitialClique, NotLiveUnderMidRunCrash) {
+    // The protocol only tolerates *initial* crashes: a process crashing
+    // after its stage-1 broadcast can leave others waiting forever for
+    // its stage-2 message -- exactly the gap Theorem 2 proves essential.
+    auto algorithm = algo::make_flp_consensus(5);  // L=3
+    FailurePlan plan;
+    plan.set_crash(1, CrashSpec{1, {}});  // dies after stage-1 broadcast
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(*algorithm, 5, distinct_inputs(5), plan, rr,
+                               nullptr, {.max_steps = 2000});
+    EXPECT_EQ(run.stop, StopReason::kStepLimit);
+    EXPECT_FALSE(run.all_correct_decided());
+}
+
+// ---------------------------------------------------------------- flooding
+
+TEST(Flooding, DecidesMinimumUnderFairSchedule) {
+    algo::FloodingKSet algorithm(4);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 4, {7, 3, 9, 5}, {}, rr);
+    for (ProcessId p = 1; p <= 4; ++p) EXPECT_EQ(*run.decision_of(p), 3);
+}
+
+TEST(Flooding, SolvesFPlus1SetAgreement) {
+    // threshold n-f with f = 2: never more than f+1 = 3 distinct values.
+    const int n = 6, f = 2;
+    auto algorithm = algo::make_flooding(n, f);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        RandomScheduler sched(seed);
+        ksa::Run run = execute_run(*algorithm, n, distinct_inputs(n), {}, sched);
+        auto check = core::check_kset_agreement(run, f + 1);
+        EXPECT_TRUE(check.ok()) << run_summary(run);
+    }
+}
+
+TEST(Flooding, FPlus1IsTight) {
+    // A staged schedule realizing exactly f+1 distinct decisions: member
+    // p_i hears the window {p_i..p_{i+n-f-1}}.
+    const int n = 4, f = 2;
+    auto algorithm = algo::make_flooding(n, f);  // threshold 2
+    StagedScheduler::Stage stage;
+    stage.active = {1, 2, 3, 4};
+    stage.filter = [](const Message& m, ProcessId dest) {
+        return m.from == dest % 4 + 1;  // hear only your cyclic successor
+    };
+    StagedScheduler sched({stage});
+    ksa::Run run = execute_run(*algorithm, n, distinct_inputs(n), {}, sched);
+    // p1 sees {1,2}->1, p2 sees {2,3}->2, p3 sees {3,4}->3, p4 {4,1}->1.
+    EXPECT_EQ(run.distinct_decisions(), (std::set<Value>{1, 2, 3}));
+    EXPECT_EQ(run.distinct_decisions().size(),
+              static_cast<std::size_t>(f + 1));
+}
+
+// ------------------------------------------------------------------- Paxos
+
+std::unique_ptr<FdOracle> benign_oracle(int n, const FailurePlan& plan) {
+    ProcessId leader = 0;
+    for (ProcessId p = 1; p <= n && leader == 0; ++p)
+        if (!plan.is_faulty(p)) leader = p;
+    return fd::make_benign_sigma_omega(n, plan, {leader});
+}
+
+TEST(Paxos, ConsensusNoFailures) {
+    algo::PaxosConsensus algorithm;
+    FailurePlan plan;
+    auto oracle = benign_oracle(4, plan);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 4, {9, 4, 6, 2}, plan, rr,
+                               oracle.get());
+    core::expect_kset_agreement(run, 1);
+}
+
+TEST(Paxos, ConsensusWithCrashes) {
+    algo::PaxosConsensus algorithm;
+    FailurePlan plan;
+    plan.set_initially_dead(1);
+    plan.set_crash(3, CrashSpec{2, {}});
+    auto oracle = benign_oracle(5, plan);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        auto orc = benign_oracle(5, plan);
+        RandomScheduler sched(seed);
+        ksa::Run run = execute_run(algorithm, 5, distinct_inputs(5), plan,
+                                   sched, orc.get());
+        core::expect_kset_agreement(run, 1);
+    }
+}
+
+TEST(Paxos, SafeUnderCompetingLeadersPreGst) {
+    // Before stabilization every process believes itself the leader --
+    // ballots arbitrate, so agreement still holds once LD stabilizes.
+    algo::PaxosConsensus algorithm;
+    FailurePlan plan;
+    auto quorums = std::make_unique<fd::CorrectSetQuorum>(4, plan);
+    auto leaders = std::make_unique<fd::StableLeaders>(
+        std::vector<ProcessId>{2}, 30, [](const QueryContext& c) {
+            return std::vector<ProcessId>{c.querier};
+        });
+    fd::ComposedOracle oracle(std::move(quorums), std::move(leaders));
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 4, distinct_inputs(4), plan, rr,
+                               &oracle);
+    core::expect_kset_agreement(run, 1);
+}
+
+// -------------------------------------------------------------- ranked set
+
+TEST(RankedSet, AllCorrectFairSchedule) {
+    algo::RankedSetAgreement algorithm;
+    FailurePlan plan;
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<fd::CorrectSetQuorum>(5, plan), nullptr);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 5, distinct_inputs(5), plan, rr,
+                               oracle.get());
+    core::expect_kset_agreement(run, 4);
+}
+
+TEST(RankedSet, SoleSurvivorDecidesViaLoneliness) {
+    algo::RankedSetAgreement algorithm;
+    FailurePlan plan;
+    for (ProcessId p = 2; p <= 4; ++p) plan.set_initially_dead(p);
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<fd::CorrectSetQuorum>(4, plan), nullptr);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 4, distinct_inputs(4), plan, rr,
+                               oracle.get());
+    EXPECT_EQ(run.decision_of(1), 1);
+}
+
+TEST(RankedSet, SmallestCorrectProcessDecidesViaRelay) {
+    // p1 never hears a smaller id and is never lonely; it terminates by
+    // copying a decision announcement.
+    algo::RankedSetAgreement algorithm;
+    FailurePlan plan;
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<fd::CorrectSetQuorum>(3, plan), nullptr);
+    RandomScheduler sched(99);
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), plan, sched,
+                               oracle.get());
+    EXPECT_TRUE(run.decision_of(1).has_value());
+    core::expect_kset_agreement(run, 2);
+}
+
+// ----------------------------------------------------- quorum-leader k-set
+
+TEST(QuorumLeader, BenignRunsStayWithinKValues) {
+    // k=2 leaders, benign oracle: at most 2 distinct decisions.
+    algo::QuorumLeaderKSet algorithm;
+    FailurePlan plan;
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<fd::CorrectSetQuorum>(5, plan),
+        std::make_unique<fd::StableLeaders>(std::vector<ProcessId>{1, 4}, 0));
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 5, distinct_inputs(5), plan, rr,
+                               oracle.get());
+    auto check = core::check_kset_agreement(run, 2);
+    EXPECT_TRUE(check.ok()) << run_summary(run);
+}
+
+TEST(QuorumLeader, TerminatesWhenSomeLeaderIsCorrect) {
+    algo::QuorumLeaderKSet algorithm;
+    FailurePlan plan;
+    plan.set_initially_dead(1);  // a faulty leader...
+    auto oracle = std::make_unique<fd::ComposedOracle>(
+        std::make_unique<fd::CorrectSetQuorum>(5, plan),
+        std::make_unique<fd::StableLeaders>(std::vector<ProcessId>{1, 3}, 0));
+    RandomScheduler sched(5);
+    ksa::Run run = execute_run(algorithm, 5, distinct_inputs(5), plan, sched,
+                               oracle.get());
+    EXPECT_TRUE(run.all_correct_decided());  // ...p3 carries the run
+}
+
+}  // namespace
+}  // namespace ksa

@@ -1,0 +1,69 @@
+// Tests for Definition 3: compatibility of run sets (R' 4_D R).
+
+#include <gtest/gtest.h>
+
+#include "algo/flooding.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace ksa {
+namespace {
+
+ksa::Run isolated_run(const Algorithm& algorithm, int n,
+                      std::vector<ProcessId> block) {
+    PartitionScheduler sched({std::move(block)});
+    return execute_run(algorithm, n, distinct_inputs(n), {}, sched);
+}
+
+ksa::Run dead_outsiders_run(const Algorithm& algorithm, int n,
+                            const std::vector<ProcessId>& block) {
+    FailurePlan plan;
+    for (ProcessId p = 1; p <= n; ++p)
+        if (std::find(block.begin(), block.end(), p) == block.end())
+            plan.set_initially_dead(p);
+    RoundRobinScheduler rr;
+    return execute_run(algorithm, n, distinct_inputs(n), plan, rr);
+}
+
+TEST(Compatibility, IsolationRunsAreCompatibleWithDeadOutsiderRuns) {
+    // The condition (D)-style correspondence as a set statement: runs
+    // where {1,2} is isolated are compatible (for {1,2}) with runs where
+    // everyone else is dead.
+    algo::FloodingKSet algorithm(2);
+    std::vector<ksa::Run> r_prime{isolated_run(algorithm, 4, {1, 2})};
+    std::vector<ksa::Run> r{dead_outsiders_run(algorithm, 4, {1, 2}),
+                            dead_outsiders_run(algorithm, 4, {3, 4})};
+    auto choice = compatible_for(r_prime, r, {1, 2});
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(choice->at(0), 0u);  // matched the {1,2}-alive run
+}
+
+TEST(Compatibility, FailsWithWitnessWhenNoCounterpartExists) {
+    algo::FloodingKSet algorithm(2);
+    // A fair run (p1 hears p3/p4 early) has no counterpart among runs
+    // where p3/p4 are dead.
+    RoundRobinScheduler rr;
+    std::vector<ksa::Run> r_prime{
+        execute_run(algorithm, 4, distinct_inputs(4), {}, rr)};
+    std::vector<ksa::Run> r{dead_outsiders_run(algorithm, 4, {1, 2})};
+    std::size_t witness = 99;
+    auto choice = compatible_for(r_prime, r, {1, 2}, &witness);
+    EXPECT_FALSE(choice.has_value());
+    EXPECT_EQ(witness, 0u);
+}
+
+TEST(Compatibility, EmptyRPrimeIsVacuouslyCompatible) {
+    auto choice = compatible_for({}, {}, {1});
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_TRUE(choice->empty());
+}
+
+TEST(Compatibility, ReflexiveOnIdenticalSets) {
+    algo::FloodingKSet algorithm(2);
+    std::vector<ksa::Run> runs{isolated_run(algorithm, 3, {1, 2})};
+    auto choice = compatible_for(runs, runs, {1, 2, 3});
+    ASSERT_TRUE(choice.has_value());
+}
+
+}  // namespace
+}  // namespace ksa

@@ -1,0 +1,127 @@
+// Tests for the extension features: One-Third-Rule, the lockstep
+// (synchronous-processes) scheduler and the literal Theorem 2 witness.
+
+#include <gtest/gtest.h>
+
+#include "algo/flooding.hpp"
+#include "algo/one_third_rule.hpp"
+#include "core/kset_spec.hpp"
+#include "core/theorem2.hpp"
+#include "sim/admissibility.hpp"
+#include "sim/rounds.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace ksa {
+namespace {
+
+// --------------------------------------------------------- one-third rule
+
+TEST(OneThirdRule, DecidesInOneGoodRound) {
+    algo::OneThirdRule algorithm;
+    ho::FullHo full;
+    ho::HoRun run = execute_ho(algorithm, 4, {5, 5, 5, 9}, full, 8);
+    // 3 of 4 processes propose 5 > 2n/3: decided in round 1.
+    for (ProcessId p = 1; p <= 4; ++p) EXPECT_EQ(run.decision_of(p), 5);
+    EXPECT_EQ(run.rounds_executed, 1);
+}
+
+TEST(OneThirdRule, ConvergesFromSplitInputs) {
+    algo::OneThirdRule algorithm;
+    ho::FullHo full;
+    ho::HoRun run = execute_ho(algorithm, 3, {1, 2, 3}, full, 8);
+    EXPECT_EQ(run.distinct_decisions().size(), 1u);
+    EXPECT_EQ(*run.decision_of(1), 1);  // smallest most-frequent wins
+}
+
+TEST(OneThirdRule, SafeUnderCrashNoise) {
+    algo::OneThirdRule algorithm;
+    ho::CrashHo adversary;
+    adversary.set_crash(4, {1, {1, 2}});
+    ho::HoRun run = execute_ho(algorithm, 4, {7, 3, 3, 1}, adversary, 16);
+    std::set<Value> decisions = run.distinct_decisions();
+    EXPECT_LE(decisions.size(), 1u);
+}
+
+TEST(OneThirdRule, PartitionBlocksNeverDecideButNeverDisagree) {
+    // The partition adversary cannot split 1/3-rule: blocks smaller than
+    // 2n/3 never decide.  The Theorem 1 trap fails at (dec-Dbar) --
+    // which is exactly how a safe algorithm escapes.
+    algo::OneThirdRule algorithm;
+    ho::PartitionHo partition({{1, 2}, {3, 4}, {5, 6}}, 0);
+    ho::HoRun run = execute_ho(algorithm, 6, distinct_inputs(6), partition, 20);
+    EXPECT_TRUE(run.distinct_decisions().empty());
+    // With the partition healed after round 2, everybody decides one value.
+    ho::PartitionHo healing({{1, 2}, {3, 4}, {5, 6}}, 2);
+    ho::HoRun healed =
+        execute_ho(algorithm, 6, distinct_inputs(6), healing, 20);
+    EXPECT_EQ(healed.distinct_decisions().size(), 1u);
+}
+
+// ---------------------------------------------------------------- lockstep
+
+TEST(Lockstep, EveryLiveProcessStepsOncePerCycle) {
+    algo::FloodingKSet algorithm(3);
+    LockstepScheduler sched;  // no filter: deliver everything
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), {}, sched);
+    // In the first 3 steps each process stepped exactly once, in order.
+    ASSERT_GE(run.steps.size(), 3u);
+    EXPECT_EQ(run.steps[0].process, 1);
+    EXPECT_EQ(run.steps[1].process, 2);
+    EXPECT_EQ(run.steps[2].process, 3);
+    core::expect_kset_agreement(run, 1);
+}
+
+TEST(Lockstep, RealizesCrashPlans) {
+    algo::FloodingKSet algorithm(2);
+    FailurePlan plan;
+    plan.set_crash(2, CrashSpec{1, {3}});
+    LockstepScheduler sched;
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), plan, sched);
+    EXPECT_EQ(run.steps_of(2), 1);
+    EXPECT_TRUE(check_admissibility(run).admissible);
+}
+
+TEST(Lockstep, FilterDelaysDelivery) {
+    algo::FloodingKSet algorithm(2);
+    // Nothing is delivered until everyone decided... which for a
+    // threshold-2 flooding protocol never happens on own messages alone;
+    // instead: allow only messages from smaller ids.
+    LockstepScheduler sched(
+        [](const Message& m, ProcessId dest, const SystemView&) {
+            return m.from < dest;
+        });
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), {}, sched,
+                               nullptr, {.max_steps = 400});
+    // p2 and p3 hear p1 and decide 1; p1 hears nobody smaller: step limit.
+    EXPECT_EQ(run.decision_of(2), 1);
+    EXPECT_EQ(run.decision_of(3), 1);
+    EXPECT_FALSE(run.decision_of(1).has_value());
+}
+
+// ----------------------------------------- Theorem 2 under the letter of M
+
+struct LockstepPoint {
+    int n, f, k;
+};
+
+class Theorem2LockstepSweep : public ::testing::TestWithParam<LockstepPoint> {};
+
+TEST_P(Theorem2LockstepSweep, SynchronousProcessesStillViolate) {
+    const auto [n, f, k] = GetParam();
+    algo::FloodingKSet candidate(n - f);
+    core::Theorem2Lockstep r =
+        core::run_theorem2_lockstep(candidate, n, f, k);
+    EXPECT_TRUE(r.dec_dbar) << r.summary();
+    EXPECT_TRUE(r.violation) << r.summary();
+    EXPECT_GT(r.values.size(), static_cast<std::size_t>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem2LockstepSweep,
+    ::testing::Values(LockstepPoint{5, 3, 2}, LockstepPoint{7, 4, 2},
+                      LockstepPoint{7, 5, 3}, LockstepPoint{9, 6, 2},
+                      LockstepPoint{10, 8, 4}, LockstepPoint{4, 2, 1}));
+
+}  // namespace
+}  // namespace ksa

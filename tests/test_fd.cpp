@@ -1,0 +1,244 @@
+// Unit tests for the failure-detector library: oracle sources, history
+// validators (Definitions 4, 5, 7), transformations and Lemma 9.
+
+#include <gtest/gtest.h>
+
+#include "fd/sources.hpp"
+#include "fd/transform.hpp"
+#include "fd/validators.hpp"
+
+namespace ksa::fd {
+namespace {
+
+QueryContext ctx(ProcessId p, Time t, std::vector<ProcessId> crashed = {}) {
+    QueryContext c;
+    c.querier = p;
+    c.now = t;
+    c.crashed_so_far = std::move(crashed);
+    return c;
+}
+
+/// Builds a synthetic run carrying only a detector history.
+ksa::Run history_run(int n, FailurePlan plan, std::vector<FdEvent> events) {
+    ksa::Run run;
+    run.n = n;
+    run.plan = std::move(plan);
+    run.inputs = std::vector<Value>(n, 0);
+    run.fd_history = std::move(events);
+    return run;
+}
+
+// ------------------------------------------------------------------ sources
+
+TEST(CorrectSetQuorum, OutputsPlannedCorrectSet) {
+    FailurePlan plan;
+    plan.set_initially_dead(2);
+    CorrectSetQuorum q(4, plan);
+    EXPECT_EQ(q.quorum(ctx(1, 5)), (std::vector<ProcessId>{1, 3, 4}));
+}
+
+TEST(CorrectSetQuorum, RejectsAllFaulty) {
+    FailurePlan plan;
+    for (ProcessId p = 1; p <= 3; ++p) plan.set_initially_dead(p);
+    EXPECT_THROW(CorrectSetQuorum(3, plan), UsageError);
+}
+
+TEST(AliveSetQuorum, ShrinksWithCrashes) {
+    AliveSetQuorum q(4);
+    EXPECT_EQ(q.quorum(ctx(1, 1)), (std::vector<ProcessId>{1, 2, 3, 4}));
+    EXPECT_EQ(q.quorum(ctx(1, 9, {2, 4})), (std::vector<ProcessId>{1, 3}));
+}
+
+TEST(BlockQuorum, OutputsBlockLocalQuorums) {
+    FailurePlan plan;
+    plan.set_initially_dead(4);
+    BlockQuorum q(5, {{1}, {2, 3, 4, 5}}, plan);
+    EXPECT_EQ(q.quorum(ctx(1, 1)), (std::vector<ProcessId>{1}));
+    EXPECT_EQ(q.quorum(ctx(3, 2)), (std::vector<ProcessId>{2, 3, 5}));
+    // A crashed querier receives Pi (Definition 7's convention).
+    EXPECT_EQ(q.quorum(ctx(4, 3, {4})),
+              (std::vector<ProcessId>{1, 2, 3, 4, 5}));
+}
+
+TEST(BlockQuorum, AllFaultyBlockFallsBackToAliveChain) {
+    FailurePlan plan;
+    plan.set_crash(2, CrashSpec{5, {}});
+    plan.set_crash(3, CrashSpec{7, {}});
+    BlockQuorum q(3, {{1}, {2, 3}}, plan);
+    EXPECT_EQ(q.quorum(ctx(2, 1)), (std::vector<ProcessId>{2, 3}));
+    EXPECT_EQ(q.quorum(ctx(3, 9, {2})), (std::vector<ProcessId>{3}));
+}
+
+TEST(StableLeaders, StabilizesAtGst) {
+    StableLeaders l({3, 1}, 10, [](const QueryContext& c) {
+        return std::vector<ProcessId>{c.querier};
+    });
+    EXPECT_EQ(l.leaders(ctx(2, 5)), (std::vector<ProcessId>{2}));
+    EXPECT_EQ(l.leaders(ctx(2, 10)), (std::vector<ProcessId>{1, 3}));
+    EXPECT_EQ(l.leaders(ctx(4, 99)), (std::vector<ProcessId>{1, 3}));
+}
+
+TEST(BlockLeaders, PreGstSeesOwnBlockLead) {
+    FailurePlan plan;
+    BlockLeaders l(5, 2, {{1}, {2, 3, 4, 5}}, plan, {2, 3}, 100);
+    // Before stabilization: first live member of each block.
+    EXPECT_EQ(l.leaders(ctx(1, 1)), (std::vector<ProcessId>{1, 2}));
+    EXPECT_EQ(l.leaders(ctx(4, 2)), (std::vector<ProcessId>{1, 2}));
+    // After stabilization: LD.
+    EXPECT_EQ(l.leaders(ctx(1, 100)), (std::vector<ProcessId>{2, 3}));
+    // Output always has size k (Omega_k validity).
+    EXPECT_EQ(l.leaders(ctx(5, 3, {2})).size(), 2u);
+}
+
+TEST(ComposedOracle, MergesComponents) {
+    FailurePlan plan;
+    auto oracle = make_benign_sigma_omega(3, plan, {2});
+    FdSample s = oracle->query(ctx(1, 1));
+    EXPECT_EQ(s.quorum, (std::vector<ProcessId>{1, 2, 3}));
+    EXPECT_EQ(s.leaders, (std::vector<ProcessId>{2}));
+    EXPECT_NE(oracle->name().find("Sigma"), std::string::npos);
+}
+
+// --------------------------------------------------------------- validators
+
+TEST(ValidateSigmaK, AcceptsIntersectingHistories) {
+    ksa::Run run = history_run(3, {}, {
+        {1, 1, FdSample{{1, 2}, {}}},
+        {2, 2, FdSample{{2, 3}, {}}},
+        {3, 3, FdSample{{1, 3}, {}}},
+    });
+    EXPECT_TRUE(validate_sigma_k(run, 1).ok);  // all pairs intersect
+}
+
+TEST(ValidateSigmaK, RejectsDisjointFamily) {
+    ksa::Run run = history_run(3, {}, {
+        {1, 1, FdSample{{1}, {}}},
+        {2, 2, FdSample{{2}, {}}},
+        {3, 3, FdSample{{3}, {}}},
+    });
+    EXPECT_FALSE(validate_sigma_k(run, 1).ok);   // {1},{2} disjoint
+    EXPECT_FALSE(validate_sigma_k(run, 2).ok);   // 3 disjoint singletons
+    // But k = 3 tolerates them: a violation needs 4 disjoint quorums.
+    EXPECT_TRUE(validate_sigma_k(run, 3).ok);
+}
+
+TEST(ValidateSigmaK, UsesAllOutputsOfAProcess) {
+    // p1 switches quorums over time; one of them is disjoint from p2's.
+    ksa::Run run = history_run(2, {}, {
+        {1, 1, FdSample{{1, 2}, {}}},
+        {5, 1, FdSample{{1}, {}}},
+        {9, 2, FdSample{{2}, {}}},
+    });
+    EXPECT_FALSE(validate_sigma_k(run, 1).ok);
+}
+
+TEST(ValidateSigmaK, LivenessRejectsFaultyInFinalQuorum) {
+    FailurePlan plan;
+    plan.set_initially_dead(3);
+    ksa::Run run = history_run(3, plan, {
+        {1, 1, FdSample{{1, 3}, {}}},  // early suspicion of p3 is fine...
+        {9, 1, FdSample{{1, 3}, {}}},  // ...but not in the final sample
+        {9, 2, FdSample{{1, 2}, {}}},
+    });
+    FdValidation v = validate_sigma_k(run, 1);
+    EXPECT_FALSE(v.ok);
+    ASSERT_FALSE(v.violations.empty());
+    EXPECT_NE(v.violations[0].find("Liveness"), std::string::npos);
+}
+
+TEST(ValidateSigmaK, RejectsEmptyQuorum) {
+    ksa::Run run = history_run(2, {}, {{1, 1, FdSample{{}, {}}}});
+    EXPECT_FALSE(validate_sigma_k(run, 1).ok);
+}
+
+TEST(ValidateOmegaK, ValidityRequiresSizeK) {
+    ksa::Run run = history_run(3, {}, {{1, 1, FdSample{{}, {1, 2}}}});
+    EXPECT_TRUE(validate_omega_k(run, 2).ok);
+    EXPECT_FALSE(validate_omega_k(run, 1).ok);
+    EXPECT_FALSE(validate_omega_k(run, 3).ok);
+}
+
+TEST(ValidateOmegaK, EventualLeadershipChecksAgreementAndCorrectness) {
+    FailurePlan plan;
+    plan.set_initially_dead(3);
+    // Correct processes disagree on their final leader sets.
+    ksa::Run bad = history_run(3, plan, {
+        {5, 1, FdSample{{}, {1, 2}}},
+        {6, 2, FdSample{{}, {2, 3}}},
+    });
+    EXPECT_FALSE(validate_omega_k(bad, 2).ok);
+    // Agreeing on an all-faulty set is also rejected.
+    ksa::Run faulty_ld = history_run(3, plan, {
+        {5, 1, FdSample{{}, {3, 3 == 3 ? 3 : 0}}},
+    });
+    faulty_ld.fd_history[0].sample.leaders = {3, 3};
+    EXPECT_FALSE(validate_omega_k(faulty_ld, 2).ok);
+    // Agreement on a set containing a correct process passes.
+    ksa::Run good = history_run(3, plan, {
+        {5, 1, FdSample{{}, {1, 3}}},
+        {6, 2, FdSample{{}, {1, 3}}},
+    });
+    EXPECT_TRUE(validate_omega_k(good, 2).ok);
+}
+
+TEST(ValidatePartitionDetector, EnforcesBlockContainment) {
+    ksa::Run run = history_run(4, {}, {
+        {1, 1, FdSample{{1, 3}, {1, 2}}},  // p1 in block {1,2} sees p3: bad
+        {2, 3, FdSample{{3, 4}, {1, 2}}},
+    });
+    FdValidation v = validate_partition_detector(run, {{1, 2}, {3, 4}}, 2);
+    EXPECT_FALSE(v.ok);
+}
+
+TEST(ValidatePartitionDetector, AcceptsBlockLocalHistories) {
+    ksa::Run run = history_run(4, {}, {
+        {1, 1, FdSample{{1, 2}, {1, 3}}},
+        {2, 2, FdSample{{2}, {1, 3}}},
+        {3, 3, FdSample{{3, 4}, {1, 3}}},
+        {4, 4, FdSample{{3, 4}, {1, 3}}},
+    });
+    EXPECT_TRUE(validate_partition_detector(run, {{1, 2}, {3, 4}}, 2).ok);
+    // Lemma 9: the same history is a valid (Sigma_2, Omega_2) history.
+    EXPECT_TRUE(lemma9_check(run, {{1, 2}, {3, 4}}, 2).ok);
+}
+
+TEST(ValidatePartitionDetector, RejectsDisjointQuorumsInsideBlock) {
+    ksa::Run run = history_run(4, {}, {
+        {1, 1, FdSample{{1}, {1, 3}}},
+        {2, 2, FdSample{{2}, {1, 3}}},  // {1} vs {2} inside block {1,2}
+    });
+    EXPECT_FALSE(validate_partition_detector(run, {{1, 2}, {3, 4}}, 2).ok);
+}
+
+// ------------------------------------------------------------- transforms
+
+TEST(Transform, RestrictLeadersEmulatesOmega2InSubsystem) {
+    ksa::Run run = history_run(5, {}, {
+        {1, 2, FdSample{{}, {1, 2, 3}}},   // leaders straddle D = {2..5}
+        {2, 4, FdSample{{}, {1, 2, 3}}},
+    });
+    ksa::Run out = transform_history(run, restrict_leaders_to({2, 3, 4, 5}, 2));
+    EXPECT_EQ(out.fd_history[0].sample.leaders, (std::vector<ProcessId>{2, 3}));
+    EXPECT_TRUE(validate_omega_k(out, 2).ok);
+}
+
+TEST(Transform, RestrictQuorums) {
+    ksa::Run run = history_run(4, {}, {{1, 1, FdSample{{1, 2, 3}, {}}}});
+    ksa::Run out = transform_history(run, restrict_quorums_to({2, 3, 4}));
+    EXPECT_EQ(out.fd_history[0].sample.quorum, (std::vector<ProcessId>{2, 3}));
+}
+
+TEST(Transform, KeepsStepRecordsConsistent) {
+    ksa::Run run = history_run(2, {}, {{1, 1, FdSample{{1}, {1}}}});
+    StepRecord step;
+    step.time = 1;
+    step.process = 1;
+    step.fd = run.fd_history[0].sample;
+    run.steps.push_back(step);
+    ksa::Run out = transform_history(run, restrict_quorums_to({2}));
+    ASSERT_TRUE(out.steps[0].fd.has_value());
+    EXPECT_TRUE(out.steps[0].fd->quorum.empty());
+}
+
+}  // namespace
+}  // namespace ksa::fd

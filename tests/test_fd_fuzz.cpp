@@ -1,0 +1,162 @@
+// Fuzz tests for the failure-detector layer: randomly generated LEGAL
+// oracle histories must validate; randomly corrupted ones must be
+// rejected in the right way.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fd/loneliness.hpp"
+#include "fd/sources.hpp"
+#include "fd/validators.hpp"
+
+namespace ksa::fd {
+namespace {
+
+ksa::Run history_run(int n, FailurePlan plan, std::vector<FdEvent> events) {
+    ksa::Run run;
+    run.n = n;
+    run.plan = std::move(plan);
+    run.inputs = std::vector<Value>(n, 0);
+    run.fd_history = std::move(events);
+    return run;
+}
+
+class SigmaKFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigmaKFuzz, PartitionQuorumsValidateForTheRightK) {
+    // Generate a random partition of 1..n into k blocks; emit per-block
+    // quorums.  The history must validate as Sigma_k and (generically)
+    // fail for Sigma_{k-1} when the blocks are genuinely disjoint and
+    // each block emitted at least one sample.
+    std::mt19937_64 rng(GetParam());
+    const int n = 4 + static_cast<int>(rng() % 5);   // 4..8
+    const int k = 2 + static_cast<int>(rng() % 3);   // 2..4
+    if (k > n) return;
+
+    std::vector<std::vector<ProcessId>> blocks(k);
+    for (ProcessId p = 1; p <= n; ++p)
+        blocks[p == 1 ? 0 : rng() % k].push_back(p);
+    // Ensure no block is empty (move a process if needed).
+    for (int b = 0; b < k; ++b)
+        if (blocks[b].empty()) {
+            for (int c = 0; c < k; ++c)
+                if (blocks[c].size() > 1) {
+                    blocks[b].push_back(blocks[c].back());
+                    blocks[c].pop_back();
+                    break;
+                }
+        }
+    for (auto& b : blocks) std::sort(b.begin(), b.end());
+
+    std::vector<FdEvent> events;
+    Time t = 1;
+    for (const auto& block : blocks)
+        for (ProcessId p : block)
+            events.push_back({t++, p, FdSample{block, {}}});
+    ksa::Run run = history_run(n, {}, std::move(events));
+
+    EXPECT_TRUE(validate_sigma_k(run, k).ok);
+    EXPECT_TRUE(validate_sigma_k(run, n).ok);  // weaker class: still fine
+    // k pairwise-disjoint non-empty quorums violate Sigma_{k-1}.
+    EXPECT_FALSE(validate_sigma_k(run, k - 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SigmaKFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class OmegaKFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OmegaKFuzz, StabilizedHistoriesValidateAndCorruptedOnesDoNot) {
+    std::mt19937_64 rng(GetParam());
+    const int n = 3 + static_cast<int>(rng() % 5);
+    const int k = 1 + static_cast<int>(rng() % (n - 1));
+
+    // Random stable LD of size k containing the (correct) process n.
+    std::vector<ProcessId> ld{static_cast<ProcessId>(n)};
+    while (static_cast<int>(ld.size()) < k) {
+        ProcessId p = static_cast<ProcessId>(1 + rng() % n);
+        if (std::find(ld.begin(), ld.end(), p) == ld.end()) ld.push_back(p);
+    }
+    std::sort(ld.begin(), ld.end());
+
+    std::vector<FdEvent> events;
+    Time t = 1;
+    // Chaotic prefix: arbitrary size-k sets.
+    for (int i = 0; i < 6; ++i) {
+        std::vector<ProcessId> noise;
+        while (static_cast<int>(noise.size()) < k) {
+            ProcessId p = static_cast<ProcessId>(1 + rng() % n);
+            if (std::find(noise.begin(), noise.end(), p) == noise.end())
+                noise.push_back(p);
+        }
+        std::sort(noise.begin(), noise.end());
+        events.push_back(
+            {t++, static_cast<ProcessId>(1 + rng() % n), FdSample{{}, noise}});
+    }
+    // Stabilized suffix: every process sees LD.
+    for (ProcessId p = 1; p <= n; ++p)
+        events.push_back({t++, p, FdSample{{}, ld}});
+
+    ksa::Run run = history_run(n, {}, events);
+    EXPECT_TRUE(validate_omega_k(run, k).ok);
+
+    // Corruption 1: one final sample deviates -> eventual leadership off.
+    ksa::Run split = run;
+    if (n >= 2) {
+        auto& leaders = split.fd_history.back().sample.leaders;
+        leaders[0] = leaders[0] % n + 1;
+        std::sort(leaders.begin(), leaders.end());
+        leaders.erase(std::unique(leaders.begin(), leaders.end()),
+                      leaders.end());
+        while (static_cast<int>(leaders.size()) < k) {
+            ProcessId p = static_cast<ProcessId>(1 + rng() % n);
+            if (std::find(leaders.begin(), leaders.end(), p) == leaders.end())
+                leaders.push_back(p);
+        }
+        std::sort(leaders.begin(), leaders.end());
+        if (leaders != ld) EXPECT_FALSE(validate_omega_k(split, k).ok);
+    }
+
+    // Corruption 2: wrong size -> validity off.
+    ksa::Run fat = run;
+    fat.fd_history.front().sample.leaders.push_back(
+        fat.fd_history.front().sample.leaders.empty()
+            ? 1
+            : fat.fd_history.front().sample.leaders.front());
+    EXPECT_FALSE(validate_omega_k(fat, k).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaKFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class LonelinessFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LonelinessFuzz, RoundTripPreservesValidity) {
+    // Random Sigma_{n-1}-legal quorum histories (at most n-1 lonely
+    // processes, the rest paired) survive the L round trip.
+    std::mt19937_64 rng(GetParam());
+    const int n = 3 + static_cast<int>(rng() % 4);
+    const ProcessId social = static_cast<ProcessId>(1 + rng() % n);
+    std::vector<FdEvent> events;
+    Time t = 1;
+    for (ProcessId p = 1; p <= n; ++p) {
+        std::vector<ProcessId> q;
+        if (p == social) {
+            ProcessId buddy = p % n + 1;
+            q = {std::min(p, buddy), std::max(p, buddy)};
+        } else {
+            q = {p};
+        }
+        events.push_back({t++, p, FdSample{q, {}}});
+    }
+    ksa::Run run = history_run(n, {}, std::move(events));
+    ASSERT_TRUE(validate_sigma_k(run, n - 1).ok);
+    EXPECT_TRUE(check_sigma_loneliness_equivalence(run).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LonelinessFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace ksa::fd

@@ -1,0 +1,249 @@
+// Unit and property tests for the graph library: digraphs, SCCs,
+// condensation, source components (Lemmas 6 and 7), initial cliques.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/clique.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+
+namespace ksa::graph {
+namespace {
+
+Digraph cycle(int n) {
+    Digraph g(n);
+    for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+    return g;
+}
+
+TEST(Digraph, EdgesAndDegrees) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(3, 1);
+    g.add_edge(0, 1);  // idempotent
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_FALSE(g.has_edge(1, 0));
+    EXPECT_EQ(g.in_degree(1), 2);
+    EXPECT_EQ(g.out_degree(0), 2);
+    EXPECT_EQ(g.min_in_degree(), 0);
+    EXPECT_EQ(g.successors(0), (std::vector<int>{1, 2}));
+    EXPECT_EQ(g.predecessors(1), (std::vector<int>{0, 3}));
+}
+
+TEST(Digraph, RejectsSelfLoopsAndBadVertices) {
+    Digraph g(3);
+    EXPECT_THROW(g.add_edge(1, 1), UsageError);
+    EXPECT_THROW(g.add_edge(0, 5), UsageError);
+    EXPECT_THROW(g.has_edge(-1, 0), UsageError);
+}
+
+TEST(Digraph, ReverseAndInduced) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    Digraph r = g.reversed();
+    EXPECT_TRUE(r.has_edge(1, 0));
+    EXPECT_TRUE(r.has_edge(3, 2));
+    EXPECT_EQ(r.num_edges(), 3u);
+
+    std::vector<int> labels;
+    Digraph sub = g.induced({1, 2, 3}, &labels);
+    EXPECT_EQ(sub.num_vertices(), 3);
+    EXPECT_EQ(sub.num_edges(), 2u);  // 1->2, 2->3 survive as 0->1, 1->2
+    EXPECT_TRUE(sub.has_edge(0, 1));
+    EXPECT_EQ(labels, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Digraph, WeaklyConnectedComponents) {
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(3, 2);
+    auto wccs = weakly_connected_components(g);
+    ASSERT_EQ(wccs.size(), 3u);
+    EXPECT_EQ(wccs[0], (std::vector<int>{0, 1}));
+    EXPECT_EQ(wccs[1], (std::vector<int>{2, 3}));
+    EXPECT_EQ(wccs[2], (std::vector<int>{4}));
+}
+
+TEST(Scc, CycleIsOneComponent) {
+    SccDecomposition dec(cycle(5));
+    EXPECT_EQ(dec.num_components(), 1);
+    EXPECT_EQ(dec.members(0).size(), 5u);
+    EXPECT_EQ(dec.source_components().size(), 1u);
+}
+
+TEST(Scc, ChainDecomposesIntoSingletons) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    SccDecomposition dec(g);
+    EXPECT_EQ(dec.num_components(), 4);
+    Digraph dag = dec.condensation();
+    EXPECT_EQ(dag.num_edges(), 3u);
+    auto sources = dec.source_components();
+    ASSERT_EQ(sources.size(), 1u);
+    EXPECT_EQ(sources[0], (std::vector<int>{0}));
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+    // cycle {0,1,2} -> cycle {3,4}: the first is the only source.
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(3, 4);
+    g.add_edge(4, 3);
+    g.add_edge(2, 3);
+    SccDecomposition dec(g);
+    EXPECT_EQ(dec.num_components(), 2);
+    auto sources = dec.source_components();
+    ASSERT_EQ(sources.size(), 1u);
+    EXPECT_EQ(sources[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+    const int n = 200000;
+    Digraph g(n);
+    for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+    SccDecomposition dec(g);  // iterative Tarjan: no stack overflow
+    EXPECT_EQ(dec.num_components(), n);
+}
+
+TEST(Clique, Predicates) {
+    Digraph g(4);
+    for (int u : {0, 1, 2})
+        for (int v : {0, 1, 2})
+            if (u != v) g.add_edge(u, v);
+    g.add_edge(2, 3);
+    EXPECT_TRUE(is_clique(g, {0, 1, 2}));
+    EXPECT_FALSE(is_clique(g, {0, 1, 3}));
+    EXPECT_TRUE(has_no_incoming(g, {0, 1, 2}));
+    EXPECT_FALSE(has_no_incoming(g, {3}));
+    EXPECT_TRUE(is_initial_clique(g, {0, 1, 2}));
+    auto cliques = initial_cliques(g);
+    ASSERT_EQ(cliques.size(), 1u);
+    EXPECT_EQ(cliques[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Clique, ReachabilityAndSourceMap) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    g.add_edge(2, 3);
+    g.add_edge(3, 2);
+    g.add_edge(1, 2);
+    auto reach = reachable_from(g, {0});
+    EXPECT_EQ(reach, (std::vector<int>{0, 1, 2, 3}));
+    auto map = source_reachability(g);
+    EXPECT_EQ(map[0], (std::vector<int>{0}));
+    EXPECT_EQ(map[3], (std::vector<int>{0}));
+}
+
+// ------------------------------------------- Lemma 6 / 7 property sweeps
+
+struct LemmaParam {
+    int n;
+    int delta;
+    std::uint64_t seed;
+};
+
+class SourceComponentProperty : public ::testing::TestWithParam<LemmaParam> {};
+
+TEST_P(SourceComponentProperty, Lemma6SizeAndCountBounds) {
+    const auto [n, delta, seed] = GetParam();
+    Digraph g = random_min_indegree(n, delta, seed);
+    ASSERT_GE(g.min_in_degree(), delta);
+    auto sources = source_components(g);
+    ASSERT_FALSE(sources.empty());
+    for (const auto& sc : sources)
+        EXPECT_GE(static_cast<int>(sc.size()), delta + 1)
+            << "source component smaller than delta+1";
+    EXPECT_LE(static_cast<int>(sources.size()), n / (delta + 1));
+    // 2*delta >= n  =>  unique source component.
+    if (2 * delta >= n) EXPECT_EQ(sources.size(), 1u);
+}
+
+TEST_P(SourceComponentProperty, Lemma7PerWeaklyConnectedComponent) {
+    const auto [n, delta, seed] = GetParam();
+    Digraph g = random_min_indegree(n, delta, seed);
+    auto per_wcc = source_components_per_wcc(g);
+    for (const auto& sources : per_wcc) {
+        ASSERT_FALSE(sources.empty());
+        for (const auto& sc : sources)
+            EXPECT_GE(static_cast<int>(sc.size()), delta + 1);
+    }
+}
+
+TEST_P(SourceComponentProperty, EveryVertexReachesFromSomeSource) {
+    const auto [n, delta, seed] = GetParam();
+    if (delta == 0) return;  // the claim needs positive in-degree
+    Digraph g = random_min_indegree(n, delta, seed);
+    auto map = source_reachability(g);
+    for (int v = 0; v < n; ++v)
+        EXPECT_FALSE(map[v].empty()) << "vertex " << v << " unreachable";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SourceComponentProperty,
+    ::testing::Values(LemmaParam{4, 1, 1}, LemmaParam{6, 2, 2},
+                      LemmaParam{8, 3, 3}, LemmaParam{10, 2, 4},
+                      LemmaParam{12, 5, 5}, LemmaParam{16, 7, 6},
+                      LemmaParam{20, 4, 7}, LemmaParam{24, 11, 8},
+                      LemmaParam{30, 9, 9}, LemmaParam{40, 19, 10},
+                      LemmaParam{9, 1, 11}, LemmaParam{15, 6, 12}));
+
+// The FLP stage graph: every live vertex has in-degree exactly L-1.
+struct StageParam {
+    int n;
+    int l_minus_1;
+    int dead;
+    std::uint64_t seed;
+};
+
+class StageGraphProperty : public ::testing::TestWithParam<StageParam> {};
+
+TEST_P(StageGraphProperty, SourceComponentBoundMatchesTheorem8Arithmetic) {
+    const auto [n, l1, dead_count, seed] = GetParam();
+    std::vector<int> dead;
+    for (int i = 0; i < dead_count; ++i) dead.push_back(i);
+    Digraph g = random_stage_graph(n, l1, dead, seed);
+
+    // Restrict attention to live vertices (dead ones are isolated).
+    std::vector<int> live;
+    for (int v = dead_count; v < n; ++v) live.push_back(v);
+    Digraph sub = g.induced(live);
+    auto sources = source_components(sub);
+    const int live_n = n - dead_count;
+    EXPECT_LE(static_cast<int>(sources.size()), live_n / (l1 + 1));
+    for (const auto& sc : sources)
+        EXPECT_GE(static_cast<int>(sc.size()), l1 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StageGraphProperty,
+    ::testing::Values(StageParam{6, 1, 2, 21}, StageParam{8, 3, 2, 22},
+                      StageParam{10, 4, 3, 23}, StageParam{12, 3, 4, 24},
+                      StageParam{15, 7, 0, 25}, StageParam{20, 9, 5, 26}));
+
+TEST(Generators, GnpRespectsBounds) {
+    Digraph empty = random_gnp(10, 0.0, 1);
+    EXPECT_EQ(empty.num_edges(), 0u);
+    Digraph full = random_gnp(10, 1.0, 1);
+    EXPECT_EQ(full.num_edges(), 90u);
+    EXPECT_THROW(random_gnp(5, 1.5, 1), UsageError);
+}
+
+TEST(Generators, MinIndegreeValidation) {
+    EXPECT_THROW(random_min_indegree(4, 4, 1), UsageError);
+    EXPECT_THROW(random_stage_graph(4, 3, {0}, 1), UsageError);
+}
+
+}  // namespace
+}  // namespace ksa::graph

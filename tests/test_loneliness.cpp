@@ -1,0 +1,114 @@
+// Tests for the loneliness detector L and the executable equivalence
+// with Sigma_{n-1}.
+
+#include <gtest/gtest.h>
+
+#include "fd/loneliness.hpp"
+#include "fd/sources.hpp"
+
+namespace ksa::fd {
+namespace {
+
+ksa::Run history_run(int n, FailurePlan plan, std::vector<FdEvent> events) {
+    ksa::Run run;
+    run.n = n;
+    run.plan = std::move(plan);
+    run.inputs = std::vector<Value>(n, 0);
+    run.fd_history = std::move(events);
+    return run;
+}
+
+FdSample quorum_only(std::vector<ProcessId> q) { return FdSample{std::move(q), {}}; }
+
+TEST(Loneliness, AloneSampleDetection) {
+    EXPECT_TRUE(is_alone_sample(quorum_only({3}), 3));
+    EXPECT_FALSE(is_alone_sample(quorum_only({3}), 2));
+    EXPECT_FALSE(is_alone_sample(quorum_only({1, 3}), 3));
+    EXPECT_FALSE(is_alone_sample(quorum_only({}), 3));
+}
+
+TEST(Loneliness, L1RejectsEveryoneAlone) {
+    ksa::Run run = history_run(3, {}, {
+        {1, 1, quorum_only({1})},
+        {2, 2, quorum_only({2})},
+        {3, 3, quorum_only({3})},
+    });
+    EXPECT_FALSE(validate_loneliness(run).ok);
+}
+
+TEST(Loneliness, L1AcceptsNMinus1Alone) {
+    ksa::Run run = history_run(3, {}, {
+        {1, 1, quorum_only({1, 2, 3})},
+        {2, 2, quorum_only({2})},
+        {3, 3, quorum_only({3})},
+    });
+    EXPECT_TRUE(validate_loneliness(run).ok);
+}
+
+TEST(Loneliness, L2RequiresSoleSurvivorToEndAlone) {
+    FailurePlan plan;
+    plan.set_initially_dead(1);
+    plan.set_initially_dead(2);
+    ksa::Run bad = history_run(3, plan, {
+        {5, 3, quorum_only({1, 2, 3})},  // final sample not alone
+    });
+    EXPECT_FALSE(validate_loneliness(bad).ok);
+    ksa::Run good = history_run(3, plan, {
+        {5, 3, quorum_only({1, 2, 3})},  // early non-alone is fine...
+        {9, 3, quorum_only({3})},        // ...final alone
+    });
+    EXPECT_TRUE(validate_loneliness(good).ok);
+}
+
+TEST(Loneliness, SigmaRoundTripEquivalence) {
+    // A valid Sigma_{n-1} history: p2..pn alone, p1 paired with p2.
+    const int n = 4;
+    ksa::Run run = history_run(n, {}, {
+        {1, 1, quorum_only({1, 2})},
+        {2, 2, quorum_only({2})},
+        {3, 3, quorum_only({3})},
+        {4, 4, quorum_only({4})},
+    });
+    ASSERT_TRUE(validate_sigma_k(run, n - 1).ok);
+    FdValidation v = check_sigma_loneliness_equivalence(run);
+    EXPECT_TRUE(v.ok) << (v.violations.empty() ? "" : v.violations[0]);
+}
+
+TEST(Loneliness, RewriteNormalizesNonAloneToFullSet) {
+    ksa::Run run = history_run(3, {}, {{1, 2, quorum_only({2, 3})}});
+    ksa::Run as_l = transform_history(run, loneliness_from_sigma(3));
+    EXPECT_EQ(as_l.fd_history[0].sample.quorum,
+              (std::vector<ProcessId>{1, 2, 3}));
+    ksa::Run back = transform_history(as_l, sigma_from_loneliness(3));
+    EXPECT_EQ(back.fd_history[0].sample.quorum,
+              (std::vector<ProcessId>{1, 2, 3}));
+}
+
+TEST(Loneliness, EquivalenceRejectsInvalidInput) {
+    // An all-singletons history is not Sigma_{n-1}-valid; the
+    // equivalence check refuses to start from it.
+    ksa::Run run = history_run(3, {}, {
+        {1, 1, quorum_only({1})},
+        {2, 2, quorum_only({2})},
+        {3, 3, quorum_only({3})},
+    });
+    EXPECT_THROW(check_sigma_loneliness_equivalence(run), UsageError);
+}
+
+TEST(Loneliness, BenignOracleHistoriesAreLHistories) {
+    // The correct-set quorum with a sole survivor produces a valid L
+    // history through the rewrite.
+    FailurePlan plan;
+    plan.set_initially_dead(1);
+    plan.set_initially_dead(2);
+    CorrectSetQuorum q(3, plan);
+    QueryContext ctx;
+    ctx.querier = 3;
+    ctx.now = 4;
+    ksa::Run run = history_run(3, plan, {{4, 3, FdSample{q.quorum(ctx), {}}}});
+    ksa::Run as_l = transform_history(run, loneliness_from_sigma(3));
+    EXPECT_TRUE(validate_loneliness(as_l).ok);
+}
+
+}  // namespace
+}  // namespace ksa::fd

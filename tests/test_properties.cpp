@@ -1,0 +1,319 @@
+// Property-based and fuzz tests across module boundaries:
+//   * protocol guarantees under randomized schedules and crash plans,
+//   * admissibility of every scheduler's output,
+//   * full certification sweeps of the Theorem 2 and Theorem 10 drivers,
+//   * metamorphic properties (replay determinism, serialization).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "algo/paxos_consensus.hpp"
+#include "algo/quorum_leader_kset.hpp"
+#include "algo/ranked_set_agreement.hpp"
+#include "core/bounds.hpp"
+#include "core/kset_spec.hpp"
+#include "core/theorem10.hpp"
+#include "core/theorem2.hpp"
+#include "core/theorem8.hpp"
+#include "fd/sources.hpp"
+#include "fd/validators.hpp"
+#include "sim/admissibility.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/serialize.hpp"
+#include "sim/system.hpp"
+#include "sim/trace.hpp"
+
+namespace ksa {
+namespace {
+
+// ---------------------------------------------- randomized FLP k-set sweep
+
+struct FlpSweep {
+    int n, f, k;
+};
+
+class FlpKSetProperty : public ::testing::TestWithParam<FlpSweep> {};
+
+TEST_P(FlpKSetProperty, SpecHoldsUnderRandomCrashSetsAndSchedules) {
+    const auto [n, f, k] = GetParam();
+    ASSERT_TRUE(core::theorem8_solvable(n, f, k));
+    std::mt19937_64 rng(static_cast<std::uint64_t>(n * 1000 + f * 10 + k));
+    for (int trial = 0; trial < 12; ++trial) {
+        std::vector<ProcessId> ids;
+        for (ProcessId p = 1; p <= n; ++p) ids.push_back(p);
+        std::shuffle(ids.begin(), ids.end(), rng);
+        const int crashes = static_cast<int>(rng() % (f + 1));
+        std::vector<ProcessId> dead(ids.begin(), ids.begin() + crashes);
+        core::Theorem8Trial t = core::theorem8_trial(n, f, k, dead, rng());
+        EXPECT_TRUE(t.check.ok())
+            << "n=" << n << " f=" << f << " k=" << k << " trial=" << trial
+            << " " << run_summary(t.run);
+        EXPECT_LE(t.distinct_decisions, k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlpKSetProperty,
+    ::testing::Values(FlpSweep{3, 1, 1}, FlpSweep{5, 2, 1}, FlpSweep{7, 3, 1},
+                      FlpSweep{5, 3, 2}, FlpSweep{7, 4, 2}, FlpSweep{8, 5, 2},
+                      FlpSweep{6, 4, 3}, FlpSweep{9, 6, 3}, FlpSweep{10, 7, 3},
+                      FlpSweep{8, 6, 4}, FlpSweep{12, 8, 3},
+                      FlpSweep{11, 5, 1}));
+
+// --------------------------------------------------- paxos agreement fuzz
+
+class PaxosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaxosFuzz, UniformAgreementUnderChaos) {
+    const std::uint64_t seed = GetParam();
+    std::mt19937_64 rng(seed);
+    const int n = 3 + static_cast<int>(rng() % 4);  // 3..6
+
+    // Random crash plan: fewer than half faulty, random step budgets.
+    FailurePlan plan;
+    const int f = static_cast<int>(rng() % ((n - 1) / 2 + 1));
+    std::vector<ProcessId> ids;
+    for (ProcessId p = 1; p <= n; ++p) ids.push_back(p);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    for (int i = 0; i < f; ++i)
+        plan.set_crash(ids[i],
+                       CrashSpec{static_cast<int>(rng() % 6), {}});
+
+    // Pre-GST chaos: every process sees itself as leader; after a random
+    // GST a correct leader stabilizes.
+    ProcessId leader = 0;
+    for (ProcessId p = 1; p <= n && leader == 0; ++p)
+        if (!plan.is_faulty(p)) leader = p;
+    const Time gst = static_cast<Time>(rng() % 40);
+    auto quorums = std::make_unique<fd::CorrectSetQuorum>(n, plan);
+    auto leaders = std::make_unique<fd::StableLeaders>(
+        std::vector<ProcessId>{leader}, gst, [](const QueryContext& c) {
+            return std::vector<ProcessId>{c.querier};
+        });
+    fd::ComposedOracle oracle(std::move(quorums), std::move(leaders));
+
+    algo::PaxosConsensus algorithm;
+    RandomScheduler sched(rng());
+    ksa::Run run = execute_run(algorithm, n, distinct_inputs(n), plan, sched,
+                          &oracle, {.max_steps = 60000});
+
+    // Uniform agreement must hold in every prefix; termination whenever
+    // the run is decisive.
+    EXPECT_LE(run.distinct_decisions().size(), 1u)
+        << "seed=" << seed << "\n"
+        << run_summary(run);
+    if (run.stop == StopReason::kQuiescent) {
+        auto check = core::check_kset_agreement(run, 1);
+        EXPECT_TRUE(check.ok()) << "seed=" << seed << " " << run_summary(run);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ------------------------------------------------- ranked-set safety fuzz
+
+class RankedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RankedFuzz, NeverMoreThanNMinus1Values) {
+    const std::uint64_t seed = GetParam();
+    std::mt19937_64 rng(seed);
+    const int n = 3 + static_cast<int>(rng() % 4);
+
+    // Adversarial-but-legal Sigma_{n-1}: a random set of n-1 processes
+    // sees singleton quorums; the remaining one sees a pair.
+    std::vector<ProcessId> ids;
+    for (ProcessId p = 1; p <= n; ++p) ids.push_back(p);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    const ProcessId social = ids.front();
+    const ProcessId buddy = ids.back() == social ? ids[1] : ids.back();
+
+    class StressQuorum final : public fd::QuorumSource {
+    public:
+        StressQuorum(ProcessId social, ProcessId buddy)
+            : social_(social), buddy_(buddy) {}
+        std::vector<ProcessId> quorum(const QueryContext& ctx) override {
+            if (ctx.querier == social_) {
+                std::vector<ProcessId> q{social_, buddy_};
+                std::sort(q.begin(), q.end());
+                return q;
+            }
+            return {ctx.querier};
+        }
+        std::string name() const override { return "stress"; }
+
+    private:
+        ProcessId social_, buddy_;
+    };
+    fd::ComposedOracle oracle(std::make_unique<StressQuorum>(social, buddy),
+                              nullptr);
+
+    algo::RankedSetAgreement algorithm;
+    RandomScheduler sched(rng());
+    ksa::Run run = execute_run(algorithm, n, distinct_inputs(n), {}, sched, &oracle);
+    auto check = core::check_kset_agreement(run, n - 1);
+    EXPECT_TRUE(check.ok()) << "seed=" << seed << " " << run_summary(run);
+    // And the recorded quorum history really is Sigma_{n-1}-admissible.
+    EXPECT_TRUE(fd::validate_sigma_k(run, n - 1).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankedFuzz,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// ----------------------------------------------- admissibility everywhere
+
+class SchedulerAdmissibility : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SchedulerAdmissibility, EverySchedulerYieldsAdmissibleRuns) {
+    const std::uint64_t seed = GetParam();
+    std::mt19937_64 rng(seed);
+    const int n = 4 + static_cast<int>(rng() % 3);
+    const int f = 1 + static_cast<int>(rng() % 2);
+    auto algorithm = algo::make_flooding(n, f);
+
+    FailurePlan plan;
+    plan.set_crash(static_cast<ProcessId>(1 + rng() % n),
+                   CrashSpec{static_cast<int>(rng() % 4), {}});
+
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    schedulers.push_back(std::make_unique<RoundRobinScheduler>());
+    schedulers.push_back(std::make_unique<RandomScheduler>(rng()));
+    std::vector<ProcessId> block;
+    for (ProcessId p = 1; p <= n - f; ++p) block.push_back(p);
+    schedulers.push_back(std::make_unique<PartitionScheduler>(
+        std::vector<std::vector<ProcessId>>{block}));
+
+    for (auto& sched : schedulers) {
+        ksa::Run run = execute_run(*algorithm, n, distinct_inputs(n), plan, *sched);
+        AdmissibilityReport adm = check_admissibility(run);
+        EXPECT_TRUE(adm.admissible && adm.conclusive)
+            << sched->name() << " seed=" << seed << "\n"
+            << (adm.violations.empty() ? "" : adm.violations[0]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerAdmissibility,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ----------------------------------------- full driver certification sweeps
+
+struct T2Point {
+    int n, f, k;
+};
+
+class Theorem2Sweep : public ::testing::TestWithParam<T2Point> {};
+
+TEST_P(Theorem2Sweep, CertificateCompletes) {
+    const auto [n, f, k] = GetParam();
+    algo::FloodingKSet candidate(n - f);
+    core::Theorem2Result r = core::run_theorem2(candidate, n, f, k, 4000);
+    EXPECT_TRUE(r.certificate.complete()) << r.summary();
+    EXPECT_TRUE(r.condition_c_analytic);
+    // The violating run is admissible and decisive.
+    EXPECT_TRUE(r.certificate.violating_admissibility.admissible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem2Sweep,
+    ::testing::Values(T2Point{4, 2, 1}, T2Point{5, 3, 2}, T2Point{6, 4, 2},
+                      T2Point{7, 4, 2}, T2Point{7, 5, 3}, T2Point{8, 6, 3},
+                      T2Point{9, 6, 2}, T2Point{10, 8, 4}, T2Point{12, 9, 3},
+                      T2Point{6, 5, 5}));
+
+struct T10Point {
+    int n, k;
+};
+
+class Theorem10Sweep : public ::testing::TestWithParam<T10Point> {};
+
+TEST_P(Theorem10Sweep, CertificateAndLemma9Complete) {
+    const auto [n, k] = GetParam();
+    algo::QuorumLeaderKSet candidate;
+    core::Theorem10Result r = core::run_theorem10(candidate, n, k, 4000);
+    EXPECT_TRUE(r.certificate.complete()) << r.summary();
+    EXPECT_TRUE(r.partition_validation.ok) << r.summary();
+    EXPECT_TRUE(r.sigma_omega_validation.ok) << r.summary();
+    EXPECT_EQ(r.certificate.violating_values.size(),
+              static_cast<std::size_t>(k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem10Sweep,
+    ::testing::Values(T10Point{5, 2}, T10Point{5, 3}, T10Point{6, 2},
+                      T10Point{6, 4}, T10Point{7, 3}, T10Point{8, 2},
+                      T10Point{8, 6}, T10Point{9, 4}, T10Point{10, 5},
+                      T10Point{12, 3}));
+
+// ------------------------------------------------------ metamorphic checks
+
+class ReplayMetamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayMetamorphic, RecordedScheduleReplaysToIdenticalDigests) {
+    const std::uint64_t seed = GetParam();
+    auto algorithm = algo::make_flp_consensus(5);
+    FailurePlan plan;
+    plan.set_initially_dead(static_cast<ProcessId>(1 + seed % 5));
+    RandomScheduler random(seed);
+    ksa::Run original =
+        execute_run(*algorithm, 5, distinct_inputs(5), plan, random);
+
+    ScriptedScheduler script(schedule_of(original));
+    ksa::Run replayed =
+        execute_run(*algorithm, 5, distinct_inputs(5), plan, script);
+    ASSERT_EQ(original.steps.size(), replayed.steps.size());
+    for (std::size_t i = 0; i < original.steps.size(); ++i)
+        EXPECT_EQ(original.steps[i].digest_after,
+                  replayed.steps[i].digest_after);
+    // And the serialized form of both runs is byte-identical (modulo the
+    // stop reason, which the script cannot know).
+    ksa::Run normalized = replayed;
+    normalized.stop = original.stop;
+    EXPECT_EQ(run_to_string(original), run_to_string(normalized));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayMetamorphic,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// --------------------------------------- benign detector histories validate
+
+TEST(DetectorHistories, BenignOracleHistoriesValidate) {
+    // Every (Sigma_k, Omega_k) history produced by the benign oracle on a
+    // real protocol run passes the Definition 4/5 validators.
+    for (int n : {3, 5, 7}) {
+        FailurePlan plan;
+        plan.set_initially_dead(n);  // the last process is dead
+        algo::PaxosConsensus algorithm;
+        auto oracle = fd::make_benign_sigma_omega(n, plan, {1});
+        RoundRobinScheduler rr;
+        ksa::Run run = execute_run(algorithm, n, distinct_inputs(n), plan, rr,
+                              oracle.get());
+        EXPECT_TRUE(fd::validate_sigma_omega_k(run, 1).ok) << "n=" << n;
+    }
+}
+
+TEST(DetectorHistories, PartitionOracleHistoriesSatisfyLemma9Broadly) {
+    // Sweep partitions of several systems: every partition-detector
+    // history validates for (Sigma_k, Omega_k).
+    for (int n : {4, 6, 8}) {
+        for (int k = 2; k <= n - 2; ++k) {
+            algo::QuorumLeaderKSet candidate;
+            auto fd_blocks = core::theorem10_fd_blocks(n, k);
+            auto ld = core::theorem10_leader_set(n, k);
+            FailurePlan plan;
+            auto oracle =
+                fd::make_partition_detector(n, k, fd_blocks, plan, ld, 0);
+            RoundRobinScheduler rr;
+            ksa::Run run = execute_run(candidate, n, distinct_inputs(n), plan, rr,
+                                  oracle.get());
+            EXPECT_TRUE(fd::lemma9_check(run, fd_blocks, k).ok)
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ksa

@@ -1,0 +1,86 @@
+// Tests for the run-statistics layer.
+
+#include <gtest/gtest.h>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/stats.hpp"
+#include "sim/system.hpp"
+
+namespace ksa {
+namespace {
+
+TEST(Stats, CountsMatchRunRecord) {
+    algo::FloodingKSet algorithm(3);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), {}, rr);
+    RunStats stats = compute_stats(run);
+
+    EXPECT_EQ(stats.n, 3);
+    EXPECT_EQ(stats.total_steps, run.steps.size());
+    EXPECT_EQ(stats.total_messages, run.messages_sent());
+    // Flooding broadcasts once: each process sends n-1 = 2 messages.
+    for (const ProcessStats& ps : stats.per_process)
+        EXPECT_EQ(ps.messages_sent, 2);
+    // Traffic matrix row sums equal per-process sends.
+    for (int i = 0; i < 3; ++i) {
+        int row = 0;
+        for (int j = 0; j < 3; ++j) row += stats.traffic[i][j];
+        EXPECT_EQ(row, stats.per_process[i].messages_sent);
+        EXPECT_EQ(stats.traffic[i][i], 0);  // no self-sends in flooding
+    }
+}
+
+TEST(Stats, DecisionLatencies) {
+    algo::FloodingKSet algorithm(2);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 2, distinct_inputs(2), {}, rr);
+    RunStats stats = compute_stats(run);
+    for (const ProcessStats& ps : stats.per_process) {
+        EXPECT_NE(ps.decision_time, kNever);
+        EXPECT_EQ(ps.decision_time, run.decision_time_of(ps.process));
+        EXPECT_GE(ps.decision_own_steps, 1);
+    }
+    EXPECT_GT(stats.mean_decision_own_steps, 0.0);
+    EXPECT_EQ(stats.last_decision_time,
+              std::max(run.decision_time_of(1), run.decision_time_of(2)));
+}
+
+TEST(Stats, OmittedSendsAreCounted) {
+    algo::FloodingKSet algorithm(2);
+    FailurePlan plan;
+    plan.set_crash(1, CrashSpec{1, {2, 3}});
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), plan, rr);
+    RunStats stats = compute_stats(run);
+    EXPECT_EQ(stats.total_omitted, 2u);
+}
+
+TEST(Stats, UndecidedProcessHasNoLatency) {
+    algo::FloodingKSet algorithm(3);
+    FailurePlan plan;
+    plan.set_initially_dead(3);
+    RoundRobinScheduler rr;
+    ksa::Run run = execute_run(algorithm, 3, distinct_inputs(3), plan, rr,
+                               nullptr, {.max_steps = 200});
+    RunStats stats = compute_stats(run);
+    EXPECT_EQ(stats.per_process[2].steps, 0);
+    EXPECT_EQ(stats.per_process[2].decision_own_steps, -1);
+    EXPECT_FALSE(stats.summary().empty());
+}
+
+TEST(Stats, QuadraticMessageShapeOfFlp) {
+    // The two-stage protocol sends exactly 2 broadcasts per live process.
+    for (int n : {5, 9, 13}) {
+        auto algorithm = algo::make_flp_consensus(n);
+        RoundRobinScheduler rr;
+        ksa::Run run = execute_run(*algorithm, n, distinct_inputs(n), {}, rr);
+        RunStats stats = compute_stats(run);
+        EXPECT_EQ(stats.total_messages,
+                  static_cast<std::size_t>(2 * n * (n - 1)));
+    }
+}
+
+}  // namespace
+}  // namespace ksa

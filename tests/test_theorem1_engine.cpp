@@ -1,0 +1,155 @@
+// White-box tests of the Theorem 1 engine: each certificate component in
+// isolation, positive and negative cases, and the border_map synthesis.
+
+#include <gtest/gtest.h>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "algo/one_third_rule.hpp"
+#include "core/border_map.hpp"
+#include "core/bounds.hpp"
+#include "core/theorem1.hpp"
+#include "core/theorem2.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+namespace {
+
+Theorem1Inputs basic_inputs(const Algorithm& algorithm, int n, int k,
+                            std::vector<std::vector<ProcessId>> blocks) {
+    Theorem1Inputs in;
+    in.algorithm = &algorithm;
+    in.spec = make_partition_spec(n, k, std::move(blocks));
+    in.inputs = distinct_inputs(n);
+    in.plan = FailurePlan{};
+    return in;
+}
+
+TEST(Theorem1Engine, AlphaAndBetaAreConstructedAndIndistinguishable) {
+    algo::FloodingKSet algorithm(2);  // n=5, f=3 candidate
+    Theorem1Inputs in = basic_inputs(algorithm, 5, 2, {{1, 2}});
+    Theorem1Certificate cert = certify_theorem1(in);
+    EXPECT_TRUE(cert.condition_a);
+    EXPECT_TRUE(cert.condition_b);
+    EXPECT_TRUE(cert.condition_d);
+    // Without split stages the violation components stay unset.
+    EXPECT_FALSE(cert.consensus_split);
+    EXPECT_FALSE(cert.violation);
+    EXPECT_FALSE(cert.complete());
+    // alpha is a run in R(D): D = {3,4,5} silent from D-bar.
+    EXPECT_TRUE(dec_d_holds(cert.alpha, cert.spec));
+    // beta realizes (dec-Dbar): block {1,2} decided its own value 1.
+    EXPECT_EQ(cert.block_values, (std::set<Value>{1}));
+    // The indistinguishability is on the digests themselves.
+    EXPECT_TRUE(indistinguishable_for_all(cert.alpha, cert.beta, cert.spec.d));
+}
+
+TEST(Theorem1Engine, ConditionAFailsWhenDCannotDecideAlone) {
+    // A candidate that waits for everybody: D cannot decide in isolation,
+    // so R(D) has no *decisive* witness -- condition (A) fails, exactly
+    // as it should for an algorithm the theorem does not defeat this way.
+    algo::FloodingKSet everybody(5);
+    Theorem1Inputs in = basic_inputs(everybody, 5, 2, {{1, 2}});
+    in.stage_budget = 300;
+    in.max_steps = 4000;
+    Theorem1Certificate cert = certify_theorem1(in);
+    EXPECT_FALSE(cert.condition_a);
+}
+
+TEST(Theorem1Engine, BlockValuesMustBeDistinct) {
+    // With identical proposals everywhere, (dec-Dbar) cannot be realized
+    // for k >= 3 (two blocks cannot decide two distinct values).
+    algo::FloodingKSet algorithm(2);
+    Theorem1Inputs in = basic_inputs(algorithm, 7, 3, {{1, 2}, {3, 4}});
+    in.inputs = uniform_inputs(7, 42);
+    Theorem1Certificate cert = certify_theorem1(in);
+    EXPECT_TRUE(cert.condition_a);   // silence is still constructible
+    EXPECT_FALSE(cert.condition_b);  // but (dec-Dbar) is not
+}
+
+TEST(Theorem1Engine, SplitStagesDriveTheViolation) {
+    algo::FloodingKSet algorithm(2);  // n=5, f=3, k=2
+    Theorem1Inputs in = basic_inputs(algorithm, 5, 2, {{1, 2}});
+    in.split_stages = window_split_stages(in.spec.d, 2);
+    Theorem1Certificate cert = certify_theorem1(in);
+    EXPECT_TRUE(cert.complete()) << cert.summary();
+    // The split run decides two values inside D = {3,4,5}.
+    EXPECT_GE(cert.d_values.size(), 2u);
+    // The violating run contains all of them plus the block value.
+    for (Value v : cert.d_values)
+        EXPECT_TRUE(cert.violating_values.count(v) != 0);
+    EXPECT_TRUE(cert.violating_values.count(1) != 0);
+}
+
+TEST(Theorem1Engine, RestrictedRunNeverTalksOutsideD) {
+    algo::FloodingKSet algorithm(2);
+    Theorem1Inputs in = basic_inputs(algorithm, 5, 2, {{1, 2}});
+    Theorem1Certificate cert = certify_theorem1(in);
+    for (const StepRecord& s : cert.restricted.steps)
+        for (const Message& m : s.sent) {
+            EXPECT_GE(m.to, 3);
+            EXPECT_LE(m.to, 5);
+        }
+    // The full run (blocks dead) sends to them -- the messages just rot.
+    bool sent_outside = false;
+    for (const StepRecord& s : cert.full_dead.steps)
+        for (const Message& m : s.sent)
+            if (m.to <= 2) sent_outside = true;
+    EXPECT_TRUE(sent_outside);
+    EXPECT_TRUE(cert.condition_d);
+}
+
+TEST(Theorem1Engine, SummaryMentionsEveryComponent) {
+    algo::FloodingKSet algorithm(2);
+    Theorem1Inputs in = basic_inputs(algorithm, 5, 2, {{1, 2}});
+    in.split_stages = window_split_stages(in.spec.d, 2);
+    Theorem1Certificate cert = certify_theorem1(in);
+    std::string s = cert.summary();
+    EXPECT_NE(s.find("(A)="), std::string::npos);
+    EXPECT_NE(s.find("(B)="), std::string::npos);
+    EXPECT_NE(s.find("violation="), std::string::npos);
+}
+
+// -------------------------------------------------------------- border map
+
+TEST(BorderMap, InitialCrashColumnMatchesTheorem8) {
+    for (int n : {4, 6, 9}) {
+        auto rows = border_map(n);
+        for (const auto& row : rows)
+            for (int k = 1; k < n; ++k) {
+                const char c = row.initial[k - 1];
+                EXPECT_EQ(c == 'S', theorem8_solvable(n, row.f, k))
+                    << "n=" << n << " f=" << row.f << " k=" << k;
+            }
+    }
+}
+
+TEST(BorderMap, AsyncColumnIsMonotoneAndLayered) {
+    // Along increasing k the async verdict moves X -> x -> S and never
+    // back.
+    for (int n : {5, 8, 12}) {
+        for (const auto& row : border_map(n)) {
+            int phase = 0;  // 0 = X, 1 = x, 2 = S
+            for (char c : row.async_) {
+                int now = c == 'X' ? 0 : (c == 'x' ? 1 : 2);
+                EXPECT_GE(now, phase) << "n=" << n << " f=" << row.f;
+                phase = now;
+            }
+        }
+    }
+}
+
+TEST(BorderMap, DetectorLineIsCorollary13) {
+    EXPECT_EQ(detector_line(4), "SXS");
+    EXPECT_EQ(detector_line(6), "SXXXS");
+    EXPECT_EQ(detector_line(8), "SXXXXXS");
+}
+
+TEST(BorderMap, VerdictChars) {
+    EXPECT_EQ(verdict_char(Verdict::kSolvable), 'S');
+    EXPECT_EQ(verdict_char(Verdict::kImpossibleEasy), 'X');
+    EXPECT_EQ(verdict_char(Verdict::kImpossibleTopology), 'x');
+}
+
+}  // namespace
+}  // namespace ksa::core

@@ -1,0 +1,96 @@
+// Integration tests: the per-theorem drivers end to end.
+
+#include <gtest/gtest.h>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "algo/quorum_leader_kset.hpp"
+#include "core/bounds.hpp"
+#include "core/theorem10.hpp"
+#include "core/theorem2.hpp"
+#include "core/theorem8.hpp"
+#include "core/corollary13.hpp"
+#include "sim/trace.hpp"
+
+namespace ksa {
+namespace {
+
+TEST(Theorem2, FloodingCandidateIsDefeated) {
+    // n=5, f=3, k=2: k*(n-f) = 4 <= n-1 = 4, so the bound applies.
+    algo::FloodingKSet candidate(2);  // threshold n-f = 2
+    core::Theorem2Result result = core::run_theorem2(candidate, 5, 3, 2);
+    EXPECT_TRUE(result.bound_applies);
+    EXPECT_TRUE(result.condition_c_analytic);
+    EXPECT_TRUE(result.certificate.condition_a) << result.summary();
+    EXPECT_TRUE(result.certificate.condition_b) << result.summary();
+    EXPECT_TRUE(result.certificate.condition_d) << result.summary();
+    EXPECT_TRUE(result.certificate.consensus_split) << result.summary();
+    EXPECT_TRUE(result.certificate.violation)
+        << result.summary() << "\n"
+        << trace_string(result.certificate.violating);
+    EXPECT_GT(result.certificate.violating_values.size(), 2u);
+}
+
+TEST(Theorem2, ConsensusCaseAgainstFlooding) {
+    // k=1 degenerates to the FLP-style impossibility; the window split
+    // alone breaks flooding consensus.
+    algo::FloodingKSet candidate(3);  // n=5, f=2 -> threshold 3
+    core::Theorem2Result result = core::run_theorem2(candidate, 5, 2, 1);
+    EXPECT_TRUE(result.certificate.violation) << result.summary();
+}
+
+TEST(Theorem8, PossibilityBelowBorder) {
+    // n=6, f=2, k=1: 1*6 > 2*2 -- consensus with two initial crashes.
+    EXPECT_TRUE(core::theorem8_solvable(6, 2, 1));
+    core::Theorem8Trial trial = core::theorem8_trial(6, 2, 1, {2, 5}, 42);
+    EXPECT_TRUE(trial.check.ok()) << run_summary(trial.run);
+    EXPECT_LE(trial.distinct_decisions, 1);
+}
+
+TEST(Theorem8, BorderViolation) {
+    // n=6, k=2 -> f=4 with k*n = (k+1)*f: the k+1-way partition pasting
+    // produces an admissible crash-free run with 3 distinct decisions.
+    auto algorithm = algo::make_flp_kset(6, 4);
+    core::Theorem8Border border = core::theorem8_border(*algorithm, 6, 2);
+    EXPECT_TRUE(border.violation) << border.summary();
+    EXPECT_EQ(border.distinct_decisions, 3);
+    EXPECT_TRUE(border.paste.all_indistinguishable);
+}
+
+TEST(Theorem10, QuorumLeaderCandidateIsDefeated) {
+    algo::QuorumLeaderKSet candidate;
+    core::Theorem10Result result = core::run_theorem10(candidate, 5, 2);
+    EXPECT_TRUE(result.certificate.condition_a) << result.summary();
+    EXPECT_TRUE(result.certificate.condition_b) << result.summary();
+    EXPECT_TRUE(result.certificate.condition_d) << result.summary();
+    EXPECT_TRUE(result.certificate.consensus_split) << result.summary();
+    EXPECT_TRUE(result.certificate.violation)
+        << result.summary() << "\n"
+        << trace_string(result.certificate.violating);
+    // Lemma 9, executable: the history is a genuine (Sigma_k, Omega_k)
+    // history.
+    EXPECT_TRUE(result.partition_validation.ok) << result.summary();
+    EXPECT_TRUE(result.sigma_omega_validation.ok) << result.summary();
+}
+
+TEST(Corollary13, ConsensusWithSigmaOmega) {
+    core::Corollary13Trial trial =
+        core::corollary13_consensus_trial(5, {3}, 7);
+    EXPECT_TRUE(trial.check.ok()) << run_summary(trial.run);
+    EXPECT_EQ(trial.distinct_decisions, 1);
+}
+
+TEST(Corollary13, SetAgreementWithSigmaNMinus1) {
+    core::Corollary13Trial trial = core::corollary13_set_trial(5, {}, 11);
+    EXPECT_TRUE(trial.check.ok()) << run_summary(trial.run);
+    EXPECT_LE(trial.distinct_decisions, 4);
+}
+
+TEST(Corollary13, TightnessExactlyNMinus1) {
+    core::Corollary13Trial trial = core::corollary13_tightness_trial(5, 13);
+    EXPECT_TRUE(trial.check.ok()) << run_summary(trial.run);
+    EXPECT_EQ(trial.distinct_decisions, 4);
+}
+
+}  // namespace
+}  // namespace ksa
