@@ -1,0 +1,76 @@
+#include "check/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/types.hpp"
+
+namespace ksa::check {
+
+namespace {
+
+// Process-global contract state.  The engine is single-threaded (see the
+// file comment in contract.hpp); plain statics keep the hot path to one
+// predictable branch.
+Policy g_policy = Policy::kThrow;
+std::size_t g_count = 0;
+std::optional<Violation> g_last;
+
+}  // namespace
+
+const char* to_string(ContractKind kind) {
+    switch (kind) {
+        case ContractKind::kRequire: return "require";
+        case ContractKind::kEnsure: return "ensure";
+        case ContractKind::kInvariant: return "invariant";
+    }
+    return "contract";
+}
+
+std::string Violation::to_string() const {
+    std::ostringstream out;
+    out << file << ':' << line << ": " << check::to_string(kind) << '('
+        << expression << ") violated: " << message;
+    return out.str();
+}
+
+Policy policy() noexcept { return g_policy; }
+
+void set_policy(Policy policy) noexcept { g_policy = policy; }
+
+std::size_t violation_count() noexcept { return g_count; }
+
+std::optional<Violation> last_violation() { return g_last; }
+
+void reset_violations() noexcept {
+    g_count = 0;
+    g_last.reset();
+}
+
+void report_violation(ContractKind kind, const char* expression,
+                      const char* file, int line, const std::string& message) {
+    Violation v;
+    v.kind = kind;
+    v.expression = expression;
+    v.file = file;
+    v.line = line;
+    v.message = message;
+    ++g_count;
+    g_last = v;
+
+    switch (g_policy) {
+        case Policy::kThrow:
+            if (kind == ContractKind::kRequire) throw UsageError(message);
+            throw SimulationBug(v.to_string());
+        case Policy::kAbort:
+            std::fprintf(stderr, "ksa contract violation: %s\n",
+                         v.to_string().c_str());
+            std::fflush(stderr);
+            std::abort();
+        case Policy::kCount:
+            return;  // survey mode: record and continue
+    }
+}
+
+}  // namespace ksa::check

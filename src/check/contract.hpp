@@ -1,0 +1,124 @@
+#pragma once
+// Runtime contract checking (the ksa-verify contract layer).
+//
+// Every theorem the repository reproduces is built from exact run
+// restrictions and pastings; the constructions are only sound if the
+// model invariants they assume actually hold at runtime (block
+// disjointness, no delivery to crashed processes, write-once decisions,
+// failure-detector history consistency, ...).  The macros below state
+// those invariants at the point where they must hold:
+//
+//   KSA_REQUIRE(cond, msg)    -- precondition: the *caller* broke the
+//                                contract.  Throw policy raises UsageError.
+//   KSA_ENSURE(cond, msg)     -- postcondition: *this* component failed to
+//                                deliver.  Throw policy raises SimulationBug.
+//   KSA_INVARIANT(cond, msg)  -- internal consistency.  Throw policy
+//                                raises SimulationBug.
+//
+// The reaction to a violated contract is a process-global policy:
+//
+//   Policy::kThrow (default) -- raise the exception above; this is the
+//       historical behavior of require()/invariant() in sim/types.hpp
+//       and what the test-suite expects.
+//   Policy::kAbort -- print the violation to stderr and abort().  Use
+//       under sanitizers / fuzzing, where an exception could be swallowed
+//       by a driver and the most valuable artifact is the core dump.
+//   Policy::kCount -- record the violation and continue.  Survey mode:
+//       run a large batch and read violation_count() afterwards.  NOTE:
+//       execution continues past the failed check, so the code after it
+//       must not rely on the condition -- use only for read-only audits.
+//
+// The policy is process-global on purpose: the engine is single-threaded
+// and the policy is an execution-environment property (like a sanitizer),
+// not a per-call-site one.  Use PolicyGuard to scope a change.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace ksa::check {
+
+/// Reaction to a violated contract.  See file comment.
+enum class Policy { kThrow, kAbort, kCount };
+
+/// Which macro fired.
+enum class ContractKind { kRequire, kEnsure, kInvariant };
+
+/// Renders "require" / "ensure" / "invariant".
+const char* to_string(ContractKind kind);
+
+/// A recorded contract violation.
+struct Violation {
+    ContractKind kind = ContractKind::kInvariant;
+    std::string expression;  ///< the stringized condition
+    std::string file;        ///< __FILE__ of the check
+    int line = 0;            ///< __LINE__ of the check
+    std::string message;     ///< the human explanation
+
+    /// "file:line: require(expr) violated: message".
+    std::string to_string() const;
+};
+
+/// Current process-global policy (initially Policy::kThrow).
+Policy policy() noexcept;
+
+/// Sets the process-global policy.
+void set_policy(Policy policy) noexcept;
+
+/// Number of violations recorded since the last reset.  Counts every
+/// fired check under kCount; under kThrow/kAbort the count still
+/// increments before the throw/abort (so tests can assert on it).
+std::size_t violation_count() noexcept;
+
+/// The most recent violation, if any was recorded since the last reset.
+std::optional<Violation> last_violation();
+
+/// Resets the counter and the recorded last violation.
+void reset_violations() noexcept;
+
+/// RAII scope for a temporary policy change (tests, survey passes).
+/// Resets the violation log on entry and restores the previous policy
+/// on exit.
+class PolicyGuard {
+public:
+    explicit PolicyGuard(Policy scoped) : previous_(policy()) {
+        set_policy(scoped);
+        reset_violations();
+    }
+    ~PolicyGuard() { set_policy(previous_); }
+
+    PolicyGuard(const PolicyGuard&) = delete;
+    PolicyGuard& operator=(const PolicyGuard&) = delete;
+
+private:
+    Policy previous_;
+};
+
+/// Backend of the macros.  Records the violation, then reacts according
+/// to the current policy (throw UsageError/SimulationBug, abort, or
+/// return normally under kCount).
+void report_violation(ContractKind kind, const char* expression,
+                      const char* file, int line, const std::string& message);
+
+}  // namespace ksa::check
+
+// The macros.  `cond` is evaluated exactly once; `msg` is evaluated only
+// on violation (so it may build a std::string without a hot-path cost).
+#define KSA_CONTRACT_CHECK_(kind, cond, msg)                                 \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::ksa::check::report_violation((kind), #cond, __FILE__,          \
+                                           __LINE__, (msg));                 \
+    } while (false)
+
+/// Precondition: the caller must establish `cond` before the call.
+#define KSA_REQUIRE(cond, msg) \
+    KSA_CONTRACT_CHECK_(::ksa::check::ContractKind::kRequire, cond, msg)
+
+/// Postcondition: this component promises `cond` on exit.
+#define KSA_ENSURE(cond, msg) \
+    KSA_CONTRACT_CHECK_(::ksa::check::ContractKind::kEnsure, cond, msg)
+
+/// Internal invariant: `cond` must hold at this program point.
+#define KSA_INVARIANT(cond, msg) \
+    KSA_CONTRACT_CHECK_(::ksa::check::ContractKind::kInvariant, cond, msg)

@@ -1,0 +1,124 @@
+#include "check/determinism.hpp"
+
+#include <sstream>
+
+#include "check/contract.hpp"
+#include "sim/serialize.hpp"
+
+namespace ksa::check {
+
+namespace {
+
+/// Splits `text` at newlines (the KSARUN-1 format is line-oriented).
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+}
+
+}  // namespace
+
+std::string ReplayReport::to_string() const {
+    if (deterministic) return "deterministic (traces byte-identical)";
+    return "NONDETERMINISM: " + divergence;
+}
+
+ReplayReport compare_traces(const std::string& expected,
+                            const std::string& actual) {
+    ReplayReport report;
+    if (expected == actual) return report;
+    report.deterministic = false;
+    const std::vector<std::string> a = lines_of(expected);
+    const std::vector<std::string> b = lines_of(actual);
+    const std::size_t shared = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < shared; ++i) {
+        if (a[i] != b[i]) {
+            report.first_diff_line = i;
+            std::ostringstream out;
+            out << "trace line " << i + 1 << ": `" << a[i] << "` vs `" << b[i]
+                << "`";
+            report.divergence = out.str();
+            return report;
+        }
+    }
+    report.first_diff_line = shared;
+    std::ostringstream out;
+    out << "trace lengths differ: " << a.size() << " vs " << b.size()
+        << " lines (first " << shared << " identical)";
+    report.divergence = out.str();
+    return report;
+}
+
+DeterminismAuditor::DeterminismAuditor(const Algorithm& algorithm,
+                                       OracleFactory oracle_factory,
+                                       ExecutionLimits limits)
+    : algorithm_(&algorithm),
+      oracle_factory_(std::move(oracle_factory)),
+      limits_(limits) {
+    KSA_REQUIRE(!algorithm.needs_failure_detector() || oracle_factory_,
+                "DeterminismAuditor: algorithm queries a failure detector "
+                "but no oracle factory given");
+}
+
+ReplayReport DeterminismAuditor::audit_replay(const Run& run) const {
+    const std::string expected = run_to_string(run);
+    const std::vector<StepChoice> schedule = schedule_of(run);
+
+    std::unique_ptr<FdOracle> oracle;
+    if (oracle_factory_) oracle = oracle_factory_();
+    System replay(*algorithm_, run.n, run.inputs, run.plan, oracle.get());
+
+    std::size_t applied = 0;
+    try {
+        for (const StepChoice& choice : schedule) {
+            replay.apply_choice(choice);
+            ++applied;
+        }
+    } catch (const Error& e) {
+        ReplayReport report;
+        report.deterministic = false;
+        std::ostringstream out;
+        out << "replay rejected recorded choice " << applied + 1 << "/"
+            << schedule.size() << ": " << e.what();
+        report.divergence = out.str();
+        return report;
+    }
+    Run replayed = replay.finish(run.stop);
+    return compare_traces(expected, run_to_string(replayed));
+}
+
+ReplayReport DeterminismAuditor::audit_scheduler(
+        int n, const std::vector<Value>& inputs, const FailurePlan& plan,
+        const SchedulerFactory& make_scheduler) const {
+    KSA_REQUIRE(static_cast<bool>(make_scheduler),
+                "DeterminismAuditor::audit_scheduler: null scheduler factory");
+    std::string traces[2];
+    for (std::string& trace : traces) {
+        std::unique_ptr<FdOracle> oracle;
+        if (oracle_factory_) oracle = oracle_factory_();
+        std::unique_ptr<Scheduler> scheduler = make_scheduler();
+        KSA_REQUIRE(scheduler != nullptr,
+                    "DeterminismAuditor::audit_scheduler: factory returned "
+                    "no scheduler");
+        System system(*algorithm_, n, inputs, plan, oracle.get());
+        trace = run_to_string(system.execute(*scheduler, limits_));
+    }
+    return compare_traces(traces[0], traces[1]);
+}
+
+ReplayReport audit_determinism(const Algorithm& algorithm, int n,
+                               const std::vector<Value>& inputs,
+                               const FailurePlan& plan, Scheduler& scheduler,
+                               const OracleFactory& oracle_factory,
+                               ExecutionLimits limits) {
+    DeterminismAuditor auditor(algorithm, oracle_factory, limits);
+    std::unique_ptr<FdOracle> oracle;
+    if (oracle_factory) oracle = oracle_factory();
+    System system(algorithm, n, inputs, plan, oracle.get());
+    Run run = system.execute(scheduler, limits);
+    return auditor.audit_replay(run);
+}
+
+}  // namespace ksa::check

@@ -1,0 +1,109 @@
+#pragma once
+// Determinism auditing (the ksa-verify replay layer).
+//
+// sim/system.hpp promises that executions are *bit-identical* given the
+// same (algorithm, inputs, plan, oracle, choice sequence).  Every proof
+// artifact in core/ -- Theorem 1's reduction, the Lemma 11/12 pastings,
+// the Theorem 2/10 partition adversaries -- silently assumes that
+// promise; a single source of hidden nondeterminism (an unordered
+// container scan, an unseeded RNG, uninitialized state folded into a
+// digest) invalidates the whole construction without any test failing.
+//
+// The auditor mechanically enforces the promise along both axes:
+//
+//   * audit_replay: extract the recorded Run's exact StepChoice sequence
+//     (sim/serialize.hpp schedule_of()), re-execute it through the
+//     step-wise System::apply_choice API against a fresh System (and a
+//     fresh oracle from the factory), and byte-compare the two
+//     serialized traces.  Catches nondeterministic *behaviors*, oracles
+//     and engine bookkeeping.
+//
+//   * audit_scheduler: execute the same configuration twice with two
+//     fresh scheduler instances from a factory and byte-compare the
+//     traces.  Catches nondeterministic *schedulers* (the adversary is
+//     part of the trusted base: a scheduler that consults global RNG
+//     state or container hash order produces unreproducible
+//     counterexample runs).
+//
+// Byte comparison deliberately goes through the KSARUN-1 text format of
+// sim/serialize.hpp: it covers every field any validator consumes, and a
+// divergence report quotes the first differing line, which names the
+// step, field and value -- a far better debugging artifact than a bool.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fd_oracle.hpp"
+#include "sim/run.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::check {
+
+/// Produces a fresh oracle equivalent to the one used for the original
+/// execution.  Empty factory means "the algorithm uses no detector".
+/// Oracles are stateful (e.g. StableLeaders), so the auditor must not
+/// reuse the original instance.
+using OracleFactory = std::function<std::unique_ptr<FdOracle>()>;
+
+/// Produces a fresh scheduler instance for one execution.
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+/// Outcome of a determinism audit.
+struct ReplayReport {
+    bool deterministic = true;
+    /// Empty when deterministic; otherwise a description of the first
+    /// divergence ("line N: `...` vs `...`") or of a replay failure
+    /// (e.g. the replayed System rejected a recorded choice).
+    std::string divergence;
+    /// 0-based index of the first differing line of the serialized
+    /// traces; npos when the traces are equal or replay failed earlier.
+    static constexpr std::size_t kNoLine = static_cast<std::size_t>(-1);
+    std::size_t first_diff_line = kNoLine;
+
+    std::string to_string() const;
+};
+
+/// See file comment.
+class DeterminismAuditor {
+public:
+    /// `oracle_factory` may be empty iff the algorithm does not query a
+    /// failure detector.  `limits` bounds the re-executions.
+    explicit DeterminismAuditor(const Algorithm& algorithm,
+                                OracleFactory oracle_factory = {},
+                                ExecutionLimits limits = {});
+
+    /// Replays `run`'s recorded choice sequence step-wise on a fresh
+    /// System and byte-compares the serialized traces.
+    ReplayReport audit_replay(const Run& run) const;
+
+    /// Executes the configuration twice with fresh schedulers from
+    /// `make_scheduler` and byte-compares the serialized traces.
+    ReplayReport audit_scheduler(int n, const std::vector<Value>& inputs,
+                                 const FailurePlan& plan,
+                                 const SchedulerFactory& make_scheduler) const;
+
+private:
+    const Algorithm* algorithm_;
+    OracleFactory oracle_factory_;
+    ExecutionLimits limits_;
+};
+
+/// One-shot convenience: execute with a fresh scheduler, then verify the
+/// produced run replays bit-identically.  Returns the report of the
+/// replay audit.
+ReplayReport audit_determinism(const Algorithm& algorithm, int n,
+                               const std::vector<Value>& inputs,
+                               const FailurePlan& plan, Scheduler& scheduler,
+                               const OracleFactory& oracle_factory = {},
+                               ExecutionLimits limits = {});
+
+/// Diff helper shared by the audits (exposed for tests): byte-compares
+/// two serialized traces and fills a report quoting the first differing
+/// line.
+ReplayReport compare_traces(const std::string& expected,
+                            const std::string& actual);
+
+}  // namespace ksa::check

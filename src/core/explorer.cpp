@@ -1,8 +1,8 @@
 #include "core/explorer.hpp"
 
 #include <deque>
+#include <set>
 #include <sstream>
-#include <unordered_set>
 
 #include "sim/system.hpp"
 
@@ -95,7 +95,11 @@ ExploreResult explore_schedules(const Algorithm& algorithm,
             "explore_schedules: need n inputs");
 
     ExploreResult result;
-    std::unordered_set<std::string> visited;
+    // Deterministic container on purpose (ksa-verify): the frontier is
+    // cut off by max_states, so *which* states fall inside the explored
+    // set must not depend on hash-iteration order or hash seeding --
+    // two runs of the explorer must produce identical reports.
+    std::set<std::string> visited;
     std::deque<std::vector<StepChoice>> frontier;
     frontier.push_back({});
     visited.insert(full_digest(algorithm, cfg, {}));

@@ -1,8 +1,11 @@
 #include "core/pasting.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
+#include "check/contract.hpp"
+#include "sim/admissibility.hpp"
 #include "sim/schedulers.hpp"
 #include "sim/system.hpp"
 
@@ -42,7 +45,23 @@ PasteResult paste_partition_runs(
         const std::vector<std::vector<ProcessId>>& blocks,
         const FailurePlan& pasted_plan, const PasteOracleFactory& oracle_factory,
         int block_budget, Time max_steps) {
-    require(!blocks.empty(), "paste_partition_runs: need at least one block");
+    KSA_REQUIRE(!blocks.empty(),
+                "paste_partition_runs: need at least one block");
+    // Block disjointness and range: B_1..B_m must partition a subset of
+    // {1..n}.  A duplicated member would make the isolated plans overlap
+    // and the Definition 2 comparison meaningless.
+    {
+        std::set<ProcessId> seen;
+        for (const auto& block : blocks) {
+            KSA_REQUIRE(!block.empty(), "paste_partition_runs: empty block");
+            for (ProcessId p : block) {
+                KSA_REQUIRE(p >= 1 && p <= n,
+                            "paste_partition_runs: block member out of 1..n");
+                KSA_REQUIRE(seen.insert(p).second,
+                            "paste_partition_runs: blocks must be disjoint");
+            }
+        }
+    }
     PasteResult result;
 
     // The isolated executions alpha_i.
@@ -74,6 +93,31 @@ PasteResult paste_partition_runs(
                 ok = false;
         result.block_indistinguishable.push_back(ok);
         if (!ok) result.all_indistinguishable = false;
+    }
+
+    // Contract: a paste that completed cleanly (every correct process
+    // decided and quiesced, no block stalled in isolation) must be an
+    // admissible run of MASYNC -- Lemma 12's construction promises this
+    // by delaying, never dropping, cross-block traffic.  An inadmissible
+    // "clean" paste would mean the engine manufactured its own
+    // counterexample.
+    if (result.pasted.stop == StopReason::kQuiescent &&
+        result.stalled_blocks.empty()) {
+        const AdmissibilityReport adm = check_admissibility(result.pasted);
+        KSA_ENSURE(adm.admissible,
+                   "paste_partition_runs: pasted run is not admissible: " +
+                       (adm.violations.empty() ? std::string("unknown")
+                                               : adm.violations.front()));
+    }
+    for (std::size_t i = 0; i < result.isolated.size(); ++i) {
+        const Run& alpha = result.isolated[i];
+        if (alpha.stop != StopReason::kQuiescent) continue;
+        const AdmissibilityReport adm = check_admissibility(alpha);
+        KSA_ENSURE(adm.admissible,
+                   "paste_partition_runs: isolated run " + std::to_string(i) +
+                       " is not admissible: " +
+                       (adm.violations.empty() ? std::string("unknown")
+                                               : adm.violations.front()));
     }
     return result;
 }

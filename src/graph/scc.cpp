@@ -66,27 +66,27 @@ std::pair<std::vector<int>, int> tarjan(const Digraph& g) {
 
 }  // namespace
 
-SccDecomposition::SccDecomposition(const Digraph& g) : g_(&g) {
+SccDecomposition::SccDecomposition(const Digraph& g) {
     auto [comp, count] = tarjan(g);
     comp_ = std::move(comp);
     members_.resize(count);
     for (int u = 0; u < g.num_vertices(); ++u) members_[comp_[u]].push_back(u);
     for (auto& m : members_) std::sort(m.begin(), m.end());
-}
-
-Digraph SccDecomposition::condensation() const {
-    Digraph dag(num_components());
-    for (int u = 0; u < g_->num_vertices(); ++u)
-        for (int v : g_->successors(u))
+    // Build the condensation now, while g is guaranteed alive.  Keeping a
+    // pointer to g instead would dangle whenever the decomposition is
+    // constructed from a temporary (AddressSanitizer: stack-use-after-scope
+    // in Scc.CycleIsOneComponent).
+    Digraph dag(count);
+    for (int u = 0; u < g.num_vertices(); ++u)
+        for (int v : g.successors(u))
             if (comp_[u] != comp_[v]) dag.add_edge(comp_[u], comp_[v]);
-    return dag;
+    condensation_ = std::move(dag);
 }
 
 std::vector<int> SccDecomposition::source_component_ids() const {
-    Digraph dag = condensation();
     std::vector<int> out;
     for (int c = 0; c < num_components(); ++c)
-        if (dag.in_degree(c) == 0) out.push_back(c);
+        if (condensation_.in_degree(c) == 0) out.push_back(c);
     return out;
 }
 

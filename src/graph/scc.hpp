@@ -32,8 +32,11 @@ public:
     /// Sorted member list of component c.
     const std::vector<int>& members(int c) const { return members_[c]; }
 
-    /// The condensation: a DAG whose vertices are the SCC ids.
-    Digraph condensation() const;
+    /// The condensation: a DAG whose vertices are the SCC ids.  Computed
+    /// eagerly by the constructor, so the decomposition never retains a
+    /// reference to the input graph (constructing from a temporary
+    /// Digraph is safe).
+    const Digraph& condensation() const { return condensation_; }
 
     /// Ids of source components: SCCs with no incoming condensation edge.
     std::vector<int> source_component_ids() const;
@@ -43,9 +46,9 @@ public:
     std::vector<std::vector<int>> source_components() const;
 
 private:
-    const Digraph* g_;
     std::vector<int> comp_;
     std::vector<std::vector<int>> members_;
+    Digraph condensation_{0};
 };
 
 /// Convenience: the source components of g (see SccDecomposition).

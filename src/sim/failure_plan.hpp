@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "check/contract.hpp"
 #include "sim/types.hpp"
 
 namespace ksa {
@@ -42,7 +43,15 @@ public:
     FailurePlan() = default;
 
     /// Declares `p` faulty with the given spec.  Re-declaring replaces.
-    void set_crash(ProcessId p, CrashSpec spec) { crashes_[p] = spec; }
+    void set_crash(ProcessId p, CrashSpec spec) {
+        KSA_REQUIRE(p >= 1, "FailurePlan::set_crash: invalid process id");
+        KSA_REQUIRE(spec.after_own_steps >= 0,
+                    "FailurePlan::set_crash: negative step count");
+        KSA_REQUIRE(spec.after_own_steps > 0 || spec.omit_to.empty(),
+                    "FailurePlan::set_crash: an initially dead process takes "
+                    "no final step whose sends could be omitted");
+        crashes_[p] = std::move(spec);
+    }
 
     /// Declares `p` initially dead (never takes a step).
     void set_initially_dead(ProcessId p) { crashes_[p] = CrashSpec{0, {}}; }
@@ -72,7 +81,13 @@ public:
     /// The crash spec of `p`; `p` must be faulty.
     const CrashSpec& spec(ProcessId p) const {
         auto it = crashes_.find(p);
-        require(it != crashes_.end(), "FailurePlan::spec: process is correct");
+        KSA_REQUIRE(it != crashes_.end(),
+                    "FailurePlan::spec: process is correct");
+        if (it == crashes_.end()) {
+            // Reached only under check::Policy::kCount: stay memory-safe.
+            static const CrashSpec kCorrect{};
+            return kCorrect;
+        }
         return it->second;
     }
 

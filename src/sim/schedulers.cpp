@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
+
 namespace ksa {
 namespace {
 
@@ -73,12 +75,17 @@ std::optional<StepChoice> RandomScheduler::next(const SystemView& view) {
 PartitionScheduler::PartitionScheduler(
         std::vector<std::vector<ProcessId>> blocks, int block_budget)
     : blocks_(std::move(blocks)), block_budget_(block_budget) {
+    // The blocks B_1..B_m are the D_1,...,D_{k-1},D of the Theorem 2/10
+    // partition arguments: a process in two blocks would make the pasted
+    // run's plan ill-defined, so disjointness is a hard precondition.
+    KSA_REQUIRE(block_budget_ > 0, "PartitionScheduler: non-positive budget");
     std::vector<ProcessId> seen;
     for (const auto& block : blocks_) {
-        require(!block.empty(), "PartitionScheduler: empty block");
+        KSA_REQUIRE(!block.empty(), "PartitionScheduler: empty block");
         for (ProcessId p : block) {
-            require(std::find(seen.begin(), seen.end(), p) == seen.end(),
-                    "PartitionScheduler: blocks must be disjoint");
+            KSA_REQUIRE(p >= 1, "PartitionScheduler: invalid process id");
+            KSA_REQUIRE(std::find(seen.begin(), seen.end(), p) == seen.end(),
+                        "PartitionScheduler: blocks must be disjoint");
             seen.push_back(p);
         }
     }
@@ -178,8 +185,11 @@ std::optional<StepChoice> PartitionScheduler::next(const SystemView& view) {
 
 StagedScheduler::StagedScheduler(std::vector<Stage> stages)
     : stages_(std::move(stages)) {
-    for (const Stage& s : stages_)
-        require(!s.active.empty(), "StagedScheduler: stage with no active set");
+    for (const Stage& s : stages_) {
+        KSA_REQUIRE(!s.active.empty(),
+                    "StagedScheduler: stage with no active set");
+        KSA_REQUIRE(s.budget > 0, "StagedScheduler: non-positive stage budget");
+    }
 }
 
 bool StagedScheduler::stage_done(const SystemView& view,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/contract.hpp"
+
 namespace ksa {
 
 System::System(const Algorithm& algorithm, int n, std::vector<Value> inputs,
@@ -66,13 +68,16 @@ std::optional<Value> System::decision_of(ProcessId p) const {
 }
 
 void System::apply_choice(const StepChoice& choice) {
-    require(!finished_, "System::apply_choice: run already finalized");
+    KSA_REQUIRE(!finished_, "System::apply_choice: run already finalized");
     const ProcessId p = choice.process;
     check_pid(p, "System::apply_choice");
-    require(!crashed(p), "System::apply_choice: process already crashed");
+    // The model never delivers a step to a crashed process: a crashed
+    // process takes no step at any time >= its crash time (the paper's
+    // F(t)).  A scheduler violating this produces an inadmissible run.
+    KSA_REQUIRE(!crashed(p), "System::apply_choice: process already crashed");
     const int allowed = plan_.allowed_steps(p);
-    require(allowed < 0 || step_counts_[p - 1] < allowed,
-            "System::apply_choice: crash plan exhausted for this process");
+    KSA_REQUIRE(allowed < 0 || step_counts_[p - 1] < allowed,
+                "System::apply_choice: crash plan exhausted for this process");
 
     StepRecord rec;
     rec.time = now_;
@@ -87,11 +92,21 @@ void System::apply_choice(const StepChoice& choice) {
         for (MessageId id : choice.deliver) {
             auto it = std::find_if(buf.begin(), buf.end(),
                                    [id](const Message& m) { return m.id == id; });
-            require(it != buf.end(),
-                    "System::apply_choice: message id not in buffer");
+            KSA_REQUIRE(it != buf.end(),
+                        "System::apply_choice: message id not in buffer");
             rec.delivered.push_back(*it);
             buf.erase(it);
         }
+    }
+    // Buffer integrity: everything the buffer of p holds was addressed
+    // to p and sent strictly before this step.
+    for (const Message& m : rec.delivered) {
+        KSA_INVARIANT(m.to == p,
+                      "System::apply_choice: buffered message addressed to "
+                      "a different process");
+        KSA_INVARIANT(m.sent_at < now_,
+                      "System::apply_choice: message delivered no later "
+                      "than it was sent");
     }
 
     // Failure-detector query at the beginning of the step.
@@ -135,8 +150,12 @@ void System::apply_choice(const StepChoice& choice) {
     }
 
     if (out.decision) {
-        require(!decisions_[p - 1].has_value(),
-                "protocol bug: process decided twice (output is write-once)");
+        // A REQUIRE, not an ENSURE: the Behavior is caller-supplied code,
+        // so a second decision is API misuse (UsageError), exactly as the
+        // write-once doc on StepOutput::decision promises.
+        KSA_REQUIRE(!decisions_[p - 1].has_value(),
+                    "protocol bug: process decided twice (output is "
+                    "write-once)");
         decisions_[p - 1] = out.decision;
         rec.decision = out.decision;
     }
@@ -173,7 +192,29 @@ Run System::execute(Scheduler& scheduler, ExecutionLimits limits) {
 }
 
 Run System::finish(StopReason reason) {
-    require(!finished_, "System::finish: run already finalized");
+    KSA_REQUIRE(!finished_, "System::finish: run already finalized");
+    // FD-history consistency: an FD-using algorithm queries the oracle
+    // exactly once per step, at the beginning of the step; an FD-free
+    // algorithm never does.  The fd/ validators rely on this shape.
+    if (uses_fd_) {
+        KSA_ENSURE(run_.fd_history.size() == run_.steps.size(),
+                   "System::finish: failure-detector history out of sync "
+                   "with the step record");
+        for (std::size_t i = 0; i < run_.steps.size(); ++i) {
+            KSA_ENSURE(run_.fd_history[i].time == run_.steps[i].time &&
+                           run_.fd_history[i].process == run_.steps[i].process,
+                       "System::finish: failure-detector event does not "
+                       "match its step");
+        }
+    } else {
+        KSA_ENSURE(run_.fd_history.empty(),
+                   "System::finish: failure-detector history recorded for "
+                   "an algorithm that queries no detector");
+    }
+    // Step record integrity: times are the consecutive global times
+    // 1..|steps| (the paper's discrete time axis).
+    KSA_ENSURE(static_cast<Time>(run_.steps.size()) == now_ - 1,
+               "System::finish: step record does not match global time");
     finished_ = true;
     run_.stop = reason;
     return std::move(run_);

@@ -1,0 +1,169 @@
+// Tests for the ksa-verify contract layer itself: each policy
+// (throw/abort/count), the violation log, the PolicyGuard scoping, and
+// the contract wiring in FailurePlan / PartitionScheduler / System.
+
+#include <gtest/gtest.h>
+
+#include "check/contract.hpp"
+#include "sim/failure_plan.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+namespace {
+
+using check::ContractKind;
+using check::Policy;
+using check::PolicyGuard;
+
+// Helper functions exercising each macro away from any real component.
+void require_positive(int x) { KSA_REQUIRE(x > 0, "x must be positive"); }
+void ensure_even(int x) { KSA_ENSURE(x % 2 == 0, "result must be even"); }
+void invariant_small(int x) { KSA_INVARIANT(x < 100, "x out of range"); }
+
+// ------------------------------------------------------------ throw policy
+
+TEST(ContractThrowPolicy, RequireRaisesUsageError) {
+    PolicyGuard guard(Policy::kThrow);
+    EXPECT_NO_THROW(require_positive(1));
+    EXPECT_THROW(require_positive(0), UsageError);
+    // The exception message is the human message, exactly like the
+    // historical require() in sim/types.hpp.
+    try {
+        require_positive(-5);
+        FAIL() << "expected UsageError";
+    } catch (const UsageError& e) {
+        EXPECT_STREQ(e.what(), "x must be positive");
+    }
+}
+
+TEST(ContractThrowPolicy, EnsureAndInvariantRaiseSimulationBug) {
+    PolicyGuard guard(Policy::kThrow);
+    EXPECT_NO_THROW(ensure_even(4));
+    EXPECT_THROW(ensure_even(3), SimulationBug);
+    EXPECT_NO_THROW(invariant_small(5));
+    EXPECT_THROW(invariant_small(1000), SimulationBug);
+    // SimulationBug messages carry the failure site for debugging.
+    try {
+        ensure_even(7);
+        FAIL() << "expected SimulationBug";
+    } catch (const SimulationBug& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("ensure"), std::string::npos) << what;
+        EXPECT_NE(what.find("x % 2 == 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("result must be even"), std::string::npos) << what;
+    }
+}
+
+TEST(ContractThrowPolicy, CountsEvenWhenThrowing) {
+    PolicyGuard guard(Policy::kThrow);
+    EXPECT_EQ(check::violation_count(), 0u);
+    EXPECT_THROW(require_positive(0), UsageError);
+    EXPECT_THROW(ensure_even(3), SimulationBug);
+    EXPECT_EQ(check::violation_count(), 2u);
+}
+
+// ------------------------------------------------------------ count policy
+
+TEST(ContractCountPolicy, RecordsAndContinues) {
+    PolicyGuard guard(Policy::kCount);
+    EXPECT_EQ(check::violation_count(), 0u);
+    EXPECT_FALSE(check::last_violation().has_value());
+
+    require_positive(1);  // passes: not recorded
+    EXPECT_EQ(check::violation_count(), 0u);
+
+    require_positive(0);  // fails: recorded, no throw
+    ensure_even(3);
+    invariant_small(200);
+    EXPECT_EQ(check::violation_count(), 3u);
+
+    const auto last = check::last_violation();
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->kind, ContractKind::kInvariant);
+    EXPECT_EQ(last->expression, "x < 100");
+    EXPECT_EQ(last->message, "x out of range");
+    EXPECT_NE(last->file.find("test_check_contract.cpp"), std::string::npos);
+    EXPECT_GT(last->line, 0);
+    EXPECT_NE(last->to_string().find("invariant(x < 100)"),
+              std::string::npos);
+
+    check::reset_violations();
+    EXPECT_EQ(check::violation_count(), 0u);
+    EXPECT_FALSE(check::last_violation().has_value());
+}
+
+TEST(ContractCountPolicy, SurveysComponentViolationsWithoutAborting) {
+    PolicyGuard guard(Policy::kCount);
+    // Overlapping partition blocks: under kCount the constructor records
+    // the contract breach instead of throwing.
+    PartitionScheduler scheduler({{1, 2}, {2, 3}});
+    EXPECT_GE(check::violation_count(), 1u);
+    const auto last = check::last_violation();
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->message, "PartitionScheduler: blocks must be disjoint");
+}
+
+TEST(ContractCountPolicy, FailurePlanSpecStaysMemorySafe) {
+    PolicyGuard guard(Policy::kCount);
+    FailurePlan plan;
+    // spec() on a correct process is a contract breach; under kCount it
+    // must still return a harmless value instead of dereferencing end().
+    const CrashSpec& spec = plan.spec(7);
+    EXPECT_EQ(spec.after_own_steps, 0);
+    EXPECT_TRUE(spec.omit_to.empty());
+    EXPECT_EQ(check::violation_count(), 1u);
+}
+
+// ------------------------------------------------------------ abort policy
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, AbortPolicyAborts) {
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            check::set_policy(Policy::kAbort);
+            KSA_INVARIANT(1 == 2, "impossible arithmetic");
+        },
+        "ksa contract violation.*invariant.*impossible arithmetic");
+}
+
+// -------------------------------------------------------------- the guard
+
+TEST(ContractPolicyGuard, RestoresPreviousPolicyAndScopes) {
+    ASSERT_EQ(check::policy(), Policy::kThrow);  // process default
+    {
+        PolicyGuard outer(Policy::kCount);
+        EXPECT_EQ(check::policy(), Policy::kCount);
+        {
+            PolicyGuard inner(Policy::kThrow);
+            EXPECT_EQ(check::policy(), Policy::kThrow);
+        }
+        EXPECT_EQ(check::policy(), Policy::kCount);
+    }
+    EXPECT_EQ(check::policy(), Policy::kThrow);
+}
+
+// ------------------------------------------- wiring into the components
+
+TEST(ContractWiring, FailurePlanRejectsMalformedSpecs) {
+    FailurePlan plan;
+    EXPECT_THROW(plan.set_crash(0, CrashSpec{1, {}}), UsageError);
+    EXPECT_THROW(plan.set_crash(2, CrashSpec{-1, {}}), UsageError);
+    // Omissions belong to the *final step*; an initially dead process
+    // has none.
+    EXPECT_THROW(plan.set_crash(2, CrashSpec{0, {1}}), UsageError);
+    EXPECT_NO_THROW(plan.set_crash(2, CrashSpec{3, {1}}));
+}
+
+TEST(ContractWiring, SchedulerBudgetsMustBePositive) {
+    EXPECT_THROW(PartitionScheduler({{1}}, 0), UsageError);
+    StagedScheduler::Stage stage;
+    stage.active = {1};
+    stage.budget = -3;
+    EXPECT_THROW(StagedScheduler({stage}), UsageError);
+}
+
+}  // namespace
+}  // namespace ksa

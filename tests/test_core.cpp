@@ -344,6 +344,37 @@ TEST(Explorer, VerifiesFlpConsensusOnInitialCrashPlans) {
     EXPECT_TRUE(result.exhaustive) << result.summary();
 }
 
+TEST(Explorer, TwoRunsProduceIdenticalReports) {
+    // Regression (ksa-verify): the explorer's visited set used to be an
+    // unordered_set, making "which states fall inside max_states" depend
+    // on hash iteration/seeding.  Two explorations of the same
+    // configuration must agree on every observable field, including in
+    // the truncated case.
+    algo::FloodingKSet algorithm(2);
+    ExploreConfig cfg;
+    cfg.n = 3;
+    cfg.inputs = {1, 2, 3};
+    cfg.k = 1;
+    cfg.max_depth = 8;
+    cfg.max_states = 300;  // deliberately truncating
+    const ExploreResult a = explore_schedules(algorithm, cfg);
+    const ExploreResult b = explore_schedules(algorithm, cfg);
+
+    EXPECT_EQ(a.states_explored, b.states_explored);
+    EXPECT_EQ(a.schedules_expanded, b.schedules_expanded);
+    EXPECT_EQ(a.exhaustive, b.exhaustive);
+    EXPECT_EQ(a.violation_found, b.violation_found);
+    EXPECT_EQ(a.quiescent_outcomes, b.quiescent_outcomes);
+    EXPECT_EQ(a.reachable_decision_sets, b.reachable_decision_sets);
+    EXPECT_EQ(a.summary(), b.summary());
+    ASSERT_EQ(a.witness.size(), b.witness.size());
+    for (std::size_t i = 0; i < a.witness.size(); ++i) {
+        EXPECT_EQ(a.witness[i].process, b.witness[i].process);
+        EXPECT_EQ(a.witness[i].deliver, b.witness[i].deliver);
+        EXPECT_EQ(a.witness[i].deliver_all, b.witness[i].deliver_all);
+    }
+}
+
 TEST(Explorer, RejectsDetectorAlgorithms) {
     algo::FloodingKSet fine(1);
     ExploreConfig cfg;

@@ -1,0 +1,293 @@
+// Tests for the ksa-verify determinism layer.
+//
+// The heart of this file is the zoo audit: every scheduler in the zoo ×
+// every algorithm in src/algo/ is (a) executed twice with fresh
+// scheduler/oracle instances and (b) replayed step-wise from its
+// recorded choice sequence -- both must be byte-identical at the level
+// of the serialized KSARUN-1 trace.  This mechanically enforces the
+// determinism promise of sim/system.hpp that every pasting and
+// partition construction relies on.
+//
+// The file also verifies the auditor *catches* planted nondeterminism:
+// a scheduler leaking hidden global state and a behavior folding global
+// state into its digest.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "algo/kset_paxos.hpp"
+#include "algo/paxos_consensus.hpp"
+#include "algo/quorum_leader_kset.hpp"
+#include "algo/ranked_set_agreement.hpp"
+#include "check/determinism.hpp"
+#include "fd/sources.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/serialize.hpp"
+#include "sim/system.hpp"
+
+namespace ksa {
+namespace {
+
+constexpr int kN = 4;
+constexpr ExecutionLimits kLimits{.max_steps = 6000};
+
+// --------------------------------------------------------------- the zoo
+
+struct ZooAlgorithm {
+    std::string label;
+    std::shared_ptr<const Algorithm> algorithm;
+    check::OracleFactory oracle;  ///< empty for FD-free algorithms
+};
+
+check::OracleFactory benign_factory(std::vector<ProcessId> leaders) {
+    return [leaders] {
+        return fd::make_benign_sigma_omega(kN, FailurePlan{}, leaders);
+    };
+}
+
+/// Every Algorithm in src/algo/ that runs on the asynchronous System
+/// engine (the ho:: round-model algorithms FloodMin and OneThirdRule
+/// execute through sim/rounds.hpp instead and have no scheduler).
+std::vector<ZooAlgorithm> algorithm_zoo() {
+    std::vector<ZooAlgorithm> zoo;
+    zoo.push_back({"flooding",
+                   std::make_shared<algo::FloodingKSet>(kN - 1), {}});
+    zoo.push_back({"trivial-wait-free",
+                   std::make_shared<algo::TrivialWaitFree>(), {}});
+    zoo.push_back({"initial-clique",
+                   std::make_shared<algo::InitialCliqueKSet>(kN), {}});
+    zoo.push_back({"kset-paxos", std::make_shared<algo::KSetPaxos>(2),
+                   [] {
+                       return std::make_unique<fd::ComposedOracle>(
+                           std::make_unique<fd::CorrectSetQuorum>(
+                               kN, FailurePlan{}),
+                           std::make_unique<fd::StableLeaders>(
+                               std::vector<ProcessId>{2, 4}, 0));
+                   }});
+    zoo.push_back({"paxos-consensus",
+                   std::make_shared<algo::PaxosConsensus>(),
+                   benign_factory({1})});
+    zoo.push_back({"quorum-leader-kset",
+                   std::make_shared<algo::QuorumLeaderKSet>(),
+                   benign_factory({1})});
+    zoo.push_back({"ranked-set",
+                   std::make_shared<algo::RankedSetAgreement>(), [] {
+                       return std::make_unique<fd::ComposedOracle>(
+                           std::make_unique<fd::CorrectSetQuorum>(
+                               kN, FailurePlan{}),
+                           nullptr);
+                   }});
+    return zoo;
+}
+
+/// A partition prefix wrapped in fair completion, so the zoo also covers
+/// the composed-scheduler path.
+class PartitionThenFair final : public Scheduler {
+public:
+    PartitionThenFair() : completion_(partition_) {}
+    std::optional<StepChoice> next(const SystemView& view) override {
+        return completion_.next(view);
+    }
+    std::string name() const override { return completion_.name(); }
+
+private:
+    PartitionScheduler partition_{{{1, 2}, {3, 4}}, 400};
+    FairCompletionScheduler completion_;
+};
+
+struct ZooScheduler {
+    std::string label;
+    check::SchedulerFactory make;
+};
+
+/// Every Scheduler in sim/schedulers.hpp except ScriptedScheduler (the
+/// replay audit itself exercises the scripted path on every pair).
+std::vector<ZooScheduler> scheduler_zoo() {
+    std::vector<ZooScheduler> zoo;
+    zoo.push_back({"round-robin",
+                   [] { return std::make_unique<RoundRobinScheduler>(); }});
+    zoo.push_back(
+        {"random", [] { return std::make_unique<RandomScheduler>(42); }});
+    zoo.push_back(
+        {"lockstep", [] { return std::make_unique<LockstepScheduler>(); }});
+    zoo.push_back({"partition", [] {
+                       return std::make_unique<PartitionScheduler>(
+                           std::vector<std::vector<ProcessId>>{{1, 2},
+                                                               {3, 4}},
+                           400);
+                   }});
+    zoo.push_back({"staged", [] {
+                       StagedScheduler::Stage stage;
+                       stage.active = {1, 2, 3};
+                       stage.budget = 400;
+                       return std::make_unique<StagedScheduler>(
+                           std::vector<StagedScheduler::Stage>{stage});
+                   }});
+    zoo.push_back({"partition+fair-completion",
+                   [] { return std::make_unique<PartitionThenFair>(); }});
+    return zoo;
+}
+
+TEST(DeterminismZoo, EverySchedulerTimesEveryAlgorithmReplaysBitIdentically) {
+    const std::vector<Value> inputs = distinct_inputs(kN);
+    for (const ZooAlgorithm& a : algorithm_zoo()) {
+        check::DeterminismAuditor auditor(*a.algorithm, a.oracle, kLimits);
+        for (const ZooScheduler& s : scheduler_zoo()) {
+            SCOPED_TRACE(a.label + " x " + s.label);
+
+            // (a) Double execution with fresh scheduler+oracle instances.
+            const check::ReplayReport twice =
+                auditor.audit_scheduler(kN, inputs, {}, s.make);
+            EXPECT_TRUE(twice.deterministic) << twice.to_string();
+
+            // (b) Step-wise replay of the recorded choice sequence.
+            std::unique_ptr<FdOracle> oracle;
+            if (a.oracle) oracle = a.oracle();
+            std::unique_ptr<Scheduler> scheduler = s.make();
+            System system(*a.algorithm, kN, inputs, {}, oracle.get());
+            const ksa::Run run = system.execute(*scheduler, kLimits);
+            const check::ReplayReport replay = auditor.audit_replay(run);
+            EXPECT_TRUE(replay.deterministic) << replay.to_string();
+        }
+    }
+}
+
+TEST(DeterminismZoo, CrashPlansReplayBitIdenticallyToo) {
+    // The crash machinery (final-step omissions, initially dead
+    // processes) must replay exactly as well; FD-free algorithms only,
+    // with a benign-oracle spot check for paxos.
+    FailurePlan plan;
+    plan.set_initially_dead(3);
+    plan.set_crash(4, CrashSpec{2, {2}});
+    const std::vector<Value> inputs = distinct_inputs(kN);
+
+    algo::FloodingKSet flooding(2);
+    check::DeterminismAuditor flood_audit(flooding, {}, kLimits);
+    for (const ZooScheduler& s : scheduler_zoo()) {
+        SCOPED_TRACE("flooding(crashy) x " + s.label);
+        const check::ReplayReport twice =
+            flood_audit.audit_scheduler(kN, inputs, plan, s.make);
+        EXPECT_TRUE(twice.deterministic) << twice.to_string();
+    }
+
+    algo::PaxosConsensus paxos;
+    FailurePlan paxos_plan;
+    paxos_plan.set_crash(4, CrashSpec{1, {}});
+    check::OracleFactory oracle = [paxos_plan] {
+        return fd::make_benign_sigma_omega(kN, paxos_plan, {1});
+    };
+    RoundRobinScheduler rr;
+    const check::ReplayReport report = check::audit_determinism(
+        paxos, kN, inputs, paxos_plan, rr, oracle, kLimits);
+    EXPECT_TRUE(report.deterministic) << report.to_string();
+}
+
+// ---------------------------------------------- planted nondeterminism
+
+/// A scheduler leaking hidden global state across instances -- the moral
+/// equivalent of consulting ::rand() or hash-table iteration order.  Two
+/// fresh instances produce different schedules, which the double-run
+/// audit must catch.
+class LeakyGlobalScheduler final : public Scheduler {
+public:
+    std::optional<StepChoice> next(const SystemView& view) override {
+        if (issued_ >= 6) return std::nullopt;
+        ++issued_;
+        StepChoice choice;
+        choice.process = static_cast<ProcessId>(global_++ % view.n()) + 1;
+        choice.deliver_all = true;
+        return choice;
+    }
+    std::string name() const override { return "leaky-global"; }
+
+private:
+    int issued_ = 0;
+    static inline int global_ = 0;  // the planted bug
+};
+
+TEST(DeterminismAuditor, CatchesNondeterministicScheduler) {
+    algo::TrivialWaitFree algorithm;
+    check::DeterminismAuditor auditor(algorithm, {}, kLimits);
+    const check::ReplayReport report = auditor.audit_scheduler(
+        kN, distinct_inputs(kN), {},
+        [] { return std::make_unique<LeakyGlobalScheduler>(); });
+    EXPECT_FALSE(report.deterministic);
+    EXPECT_NE(report.divergence.find("trace"), std::string::npos)
+        << report.to_string();
+    EXPECT_NE(report.first_diff_line, check::ReplayReport::kNoLine);
+}
+
+/// A behavior folding hidden global state into its digest: execution and
+/// replay observe different digests, which the replay audit must catch.
+class LeakyDigestBehavior final : public Behavior {
+public:
+    StepOutput on_step(const StepInput&) override {
+        StepOutput out;
+        if (!decided_) {
+            out.decision = 1;
+            decided_ = true;
+        }
+        return out;
+    }
+    std::string state_digest() const override {
+        return "g" + std::to_string(global_++);  // the planted bug
+    }
+
+private:
+    bool decided_ = false;
+    static inline int global_ = 0;
+};
+
+class LeakyDigestAlgorithm final : public Algorithm {
+public:
+    std::unique_ptr<Behavior> make_behavior(ProcessId, int,
+                                            Value) const override {
+        return std::make_unique<LeakyDigestBehavior>();
+    }
+    std::string name() const override { return "leaky-digest"; }
+};
+
+TEST(DeterminismAuditor, CatchesNondeterministicBehaviorOnReplay) {
+    LeakyDigestAlgorithm algorithm;
+    RoundRobinScheduler rr;
+    System system(algorithm, 2, {5, 6}, {});
+    const ksa::Run run = system.execute(rr, kLimits);
+
+    check::DeterminismAuditor auditor(algorithm, {}, kLimits);
+    const check::ReplayReport report = auditor.audit_replay(run);
+    EXPECT_FALSE(report.deterministic);
+    EXPECT_NE(report.first_diff_line, check::ReplayReport::kNoLine);
+}
+
+// ------------------------------------------------------------- plumbing
+
+TEST(DeterminismAuditor, CompareTracesQuotesFirstDivergingLine) {
+    const check::ReplayReport equal =
+        check::compare_traces("a\nb\nc\n", "a\nb\nc\n");
+    EXPECT_TRUE(equal.deterministic);
+    EXPECT_EQ(equal.first_diff_line, check::ReplayReport::kNoLine);
+
+    const check::ReplayReport mid =
+        check::compare_traces("a\nb\nc\n", "a\nX\nc\n");
+    EXPECT_FALSE(mid.deterministic);
+    EXPECT_EQ(mid.first_diff_line, 1u);
+    EXPECT_NE(mid.divergence.find("`b` vs `X`"), std::string::npos);
+
+    const check::ReplayReport tail =
+        check::compare_traces("a\nb\n", "a\nb\nc\n");
+    EXPECT_FALSE(tail.deterministic);
+    EXPECT_NE(tail.divergence.find("lengths differ"), std::string::npos);
+}
+
+TEST(DeterminismAuditor, RequiresOracleFactoryForFdAlgorithms) {
+    algo::PaxosConsensus paxos;
+    EXPECT_THROW({ check::DeterminismAuditor auditor(paxos); }, UsageError);
+}
+
+}  // namespace
+}  // namespace ksa

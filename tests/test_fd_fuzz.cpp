@@ -115,7 +115,9 @@ TEST_P(OmegaKFuzz, StabilizedHistoriesValidateAndCorruptedOnesDoNot) {
                 leaders.push_back(p);
         }
         std::sort(leaders.begin(), leaders.end());
-        if (leaders != ld) EXPECT_FALSE(validate_omega_k(split, k).ok);
+        if (leaders != ld) {
+            EXPECT_FALSE(validate_omega_k(split, k).ok);
+        }
     }
 
     // Corruption 2: wrong size -> validity off.

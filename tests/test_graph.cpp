@@ -167,7 +167,9 @@ TEST_P(SourceComponentProperty, Lemma6SizeAndCountBounds) {
             << "source component smaller than delta+1";
     EXPECT_LE(static_cast<int>(sources.size()), n / (delta + 1));
     // 2*delta >= n  =>  unique source component.
-    if (2 * delta >= n) EXPECT_EQ(sources.size(), 1u);
+    if (2 * delta >= n) {
+        EXPECT_EQ(sources.size(), 1u);
+    }
 }
 
 TEST_P(SourceComponentProperty, Lemma7PerWeaklyConnectedComponent) {

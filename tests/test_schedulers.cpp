@@ -14,6 +14,19 @@
 namespace ksa {
 namespace {
 
+TEST(PartitionScheduler, RejectsOverlappingBlocks) {
+    // The documented precondition "blocks must be disjoint" is enforced
+    // by KSA_REQUIRE in the constructor (ksa-verify): an overlapping
+    // partitioning would make the Theorem 2/10 constructions unsound.
+    EXPECT_THROW(PartitionScheduler({{1, 2}, {2, 3}}), UsageError);
+    EXPECT_THROW(PartitionScheduler({{4}, {1, 2, 3, 4}}), UsageError);
+    EXPECT_THROW(
+        PartitionScheduler(std::vector<std::vector<ProcessId>>{{1}, {}}),
+        UsageError);  // empty block
+    EXPECT_THROW(PartitionScheduler({{0, 1}}), UsageError);   // bad pid
+    EXPECT_NO_THROW(PartitionScheduler({{1, 2}, {3, 4}}));
+}
+
 TEST(StagedScheduler, BudgetsAndStallAccounting) {
     // Stage 0 can never complete (active singleton with threshold 3);
     // stage 1 completes.  Stall list must contain exactly stage 0.
@@ -48,7 +61,9 @@ TEST(StagedScheduler, ReleaseTimeSeparatesPhases) {
     ASSERT_NE(release, kNever);
     // Before the release, only {1,2} stepped.
     for (const StepRecord& s : run.steps)
-        if (s.time < release) EXPECT_LE(s.process, 2);
+        if (s.time < release) {
+            EXPECT_LE(s.process, 2);
+        }
     // And p3/p4 decided only after it.
     EXPECT_GE(run.decision_time_of(3), release);
 }

@@ -1,0 +1,270 @@
+// ksa_lint -- the project-specific model-conformance linter.
+//
+// General-purpose static analysis (clang-tidy, sanitizers; see
+// doc/analysis.md) cannot know the *model* rules this repository lives
+// by: executions must be bit-identical across replays (sim/system.hpp),
+// so any iteration-order, RNG or hidden-IO dependence in the engine is a
+// proof-soundness bug even when it is perfectly well-defined C++.  This
+// tool scans source files for those hazards:
+//
+//   unordered-container   std::unordered_{set,map,multiset,multimap} in
+//                         sim/ or core/: hash-iteration order leaks into
+//                         traces, digests and exploration frontiers.
+//   raw-random            rand()/srand()/std::random_device anywhere in
+//                         src/: nondeterministic or hidden-global
+//                         randomness.  Randomized components must take a
+//                         seed and use std::mt19937_64 (RandomScheduler
+//                         is the pattern).
+//   missing-override      a Scheduler/Behavior/Algorithm/FdOracle virtual
+//                         re-declared without `override`/`final`:
+//                         interface drift then silently detaches a
+//                         subclass from the engine.
+//   stream-io-in-library  std::cout/std::cerr/printf in src/ library
+//                         code: libraries report through return values
+//                         and reports, not process-global streams
+//                         (rendering belongs to examples/ and tools/).
+//
+// Suppression: append  // ksa-lint: allow(<rule>)  to the offending line
+// or the line directly above it.  Suppressions are for *justified*
+// exceptions (say why in a comment); the ctest-registered clean run
+// (`ksa_lint <repo>/src`) keeps src/ at zero unsuppressed findings.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct Rule {
+    std::string name;
+    std::regex pattern;
+    std::string message;
+    /// Returns true when the rule applies to this file at all.
+    bool (*applies)(const fs::path& file);
+};
+
+/// Path helpers ------------------------------------------------------------
+
+bool path_contains_dir(const fs::path& file, const std::string& dir) {
+    for (const fs::path& part : file)
+        if (part == dir) return true;
+    return false;
+}
+
+bool in_deterministic_hot_path(const fs::path& file) {
+    // The engine (sim/) and the proof constructions (core/) are the
+    // replay-critical layers.
+    return path_contains_dir(file, "sim") || path_contains_dir(file, "core");
+}
+
+bool any_source(const fs::path&) { return true; }
+
+bool in_library_code(const fs::path& file) {
+    // Library code lives under src/; examples/ and tools/ are entitled
+    // to stream IO (it is their job).
+    return path_contains_dir(file, "src");
+}
+
+bool is_interface_header(const fs::path& file) {
+    // The headers that *introduce* the virtuals: declaring them there
+    // without `override` is correct.
+    const std::string name = file.filename().string();
+    return name == "scheduler.hpp" || name == "behavior.hpp" ||
+           name == "fd_oracle.hpp";
+}
+
+bool override_rule_applies(const fs::path& file) {
+    return !is_interface_header(file);
+}
+
+/// The rule table ----------------------------------------------------------
+
+const std::vector<Rule>& rules() {
+    static const std::vector<Rule> kRules = {
+        {"unordered-container",
+         std::regex(R"(std::unordered_(set|map|multiset|multimap)\b)"),
+         "hash-ordered container in a replay-critical layer; iteration "
+         "order is not deterministic across builds -- use std::set/std::map "
+         "or sort before iterating",
+         &in_deterministic_hot_path},
+        {"raw-random",
+         // ksa-lint: allow(raw-random) -- the pattern itself.
+         std::regex(R"((\b(s?rand)\s*\()|(std::random_device\b))"),
+         "unseeded/global randomness; take an explicit seed and use "
+         "std::mt19937_64 so runs stay replayable",
+         &any_source},
+        {"missing-override",
+         // A re-declaration of one of the engine's virtuals that carries
+         // neither `override` nor `final` nor a pure-virtual marker on
+         // the same line.  The virtual set is small and stable, which
+         // keeps this textual check precise.
+         std::regex(
+             R"((next\s*\(\s*const\s+SystemView|on_step\s*\(\s*const\s+StepInput|state_digest\s*\(\s*\)\s*const|make_behavior\s*\(\s*ProcessId|query\s*\(\s*const\s+QueryContext|needs_failure_detector\s*\(\s*\)\s*const))"),
+         "re-declared engine virtual without `override`/`final`; interface "
+         "drift would silently detach this subclass",
+         &override_rule_applies},
+        {"stream-io-in-library",
+         std::regex(R"((std::cout\b|std::cerr\b|\bprintf\s*\())"),
+         "process-global stream IO in library code; return a report/string "
+         "and let examples/ or tools/ render it",
+         &in_library_code},
+    };
+    return kRules;
+}
+
+/// Per-line machinery ------------------------------------------------------
+
+bool is_suppressed(const std::string& line, const std::string& prev,
+                   const std::string& rule) {
+    const std::string tag = "ksa-lint: allow(" + rule + ")";
+    return line.find(tag) != std::string::npos ||
+           prev.find(tag) != std::string::npos;
+}
+
+/// `missing-override` exemptions the regex cannot see: virtual
+/// introductions (`virtual ... = 0;` or `virtual ...;` in the interface)
+/// and the contract-layer's own mentions in comments.
+bool line_declares_virtual(const std::string& line) {
+    return line.find("virtual ") != std::string::npos;
+}
+
+bool looks_like_comment(const std::string& line) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) return true;
+    return line.compare(first, 2, "//") == 0 || line[first] == '*' ||
+           line.compare(first, 2, "/*") == 0;
+}
+
+/// An out-of-class member *definition* (`Type Class::next(...)`) cannot
+/// repeat `override`; only in-class re-declarations are checked.
+bool is_out_of_class_definition(const std::string& line,
+                                const std::smatch& match) {
+    const std::size_t pos = static_cast<std::size_t>(match.position(0));
+    return pos >= 2 && line.compare(pos - 2, 2, "::") == 0;
+}
+
+/// Joins `lines[index..]` into the complete declaration statement: C++
+/// declarations may wrap, and `override` usually sits on the last line.
+std::string statement_from(const std::vector<std::string>& lines,
+                           std::size_t index) {
+    std::string statement;
+    const std::size_t limit = std::min(lines.size(), index + 8);
+    for (std::size_t i = index; i < limit; ++i) {
+        statement += lines[i];
+        statement += ' ';
+        // A declaration ends at `;` or at the body's opening `{`.
+        if (lines[i].find(';') != std::string::npos ||
+            lines[i].find('{') != std::string::npos)
+            break;
+    }
+    return statement;
+}
+
+void scan_file(const fs::path& file, std::vector<Finding>& findings) {
+    std::ifstream in(file);
+    if (!in) {
+        throw std::runtime_error("cannot open " + file.string());
+    }
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& line = lines[i];
+        if (looks_like_comment(line)) continue;
+        const std::string& prev = i > 0 ? lines[i - 1] : line;
+        for (const Rule& rule : rules()) {
+            if (!rule.applies(file)) continue;
+            std::smatch match;
+            if (!std::regex_search(line, match, rule.pattern)) continue;
+            if (rule.name == "missing-override") {
+                if (line_declares_virtual(line)) continue;
+                if (is_out_of_class_definition(line, match)) continue;
+                const std::string statement = statement_from(lines, i);
+                if (statement.find("override") != std::string::npos ||
+                    statement.find("final") != std::string::npos)
+                    continue;
+            }
+            if (is_suppressed(line, prev, rule.name)) continue;
+            findings.push_back(
+                {file.string(), i + 1, rule.name, rule.message});
+        }
+    }
+}
+
+bool is_source_file(const fs::path& file) {
+    const std::string ext = file.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+int usage() {
+    std::cerr
+        << "usage: ksa_lint [--list-rules] <file-or-directory>...\n"
+        << "Scans C++ sources for ksa model-conformance hazards.\n"
+        << "Suppress a finding with `// ksa-lint: allow(<rule>)` on the\n"
+        << "offending line or the line above it.\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const Rule& rule : rules())
+                std::cout << rule.name << ": " << rule.message << "\n";
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") return usage();
+        roots.emplace_back(arg);
+    }
+    if (roots.empty()) return usage();
+
+    std::vector<Finding> findings;
+    std::size_t files_scanned = 0;
+    try {
+        for (const fs::path& root : roots) {
+            if (fs::is_regular_file(root)) {
+                scan_file(root, findings);
+                ++files_scanned;
+                continue;
+            }
+            if (!fs::is_directory(root)) {
+                std::cerr << "ksa_lint: no such file or directory: " << root
+                          << "\n";
+                return 2;
+            }
+            for (const auto& entry : fs::recursive_directory_iterator(root)) {
+                if (!entry.is_regular_file()) continue;
+                if (!is_source_file(entry.path())) continue;
+                scan_file(entry.path(), findings);
+                ++files_scanned;
+            }
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "ksa_lint: " << e.what() << "\n";
+        return 2;
+    }
+
+    for (const Finding& f : findings)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    std::cout << "ksa_lint: " << files_scanned << " file(s), "
+              << findings.size() << " finding(s)\n";
+    return findings.empty() ? 0 : 1;
+}
