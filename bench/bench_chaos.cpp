@@ -1,0 +1,124 @@
+// Chaos-layer costs: what adversarial fault injection adds to a run,
+// what a resilience sweep costs per trial, and how hard the shrinker
+// works for its reductions.
+//
+//   (a) injector overhead -- steps-to-quiescence and wall time of the
+//       Theorem 8 algorithm under a bare random schedule vs the same
+//       schedule wrapped in guard-mode chaos, across n.  The drops the
+//       guard converts into delays and the duplicate deliveries both
+//       lengthen runs; this table quantifies by how much.
+//   (b) sweep throughput -- trials/second of the full resilience grid,
+//       the number CI budgets against.
+//   (c) shrink effort -- planted violations at increasing mess levels
+//       (duplication rate), with fault events before/after, replay
+//       candidates tried and wall time.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "algo/initial_clique.hpp"
+#include "chaos/chaos_trace.hpp"
+#include "chaos/fault_injector.hpp"
+#include "chaos/profile.hpp"
+#include "chaos/resilience.hpp"
+#include "chaos/shrink.hpp"
+#include "sim/schedulers.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+int main() {
+    using namespace ksa;
+
+    std::cout << "B-chaos (a): guard-mode injector overhead, "
+                 "flp_kset(n, f=1), k=1, 20 seeds each\n\n";
+    std::cout << std::setw(4) << "n" << std::setw(12) << "bare steps"
+              << std::setw(13) << "chaos steps" << std::setw(10) << "faults"
+              << std::setw(12) << "bare ms" << std::setw(12) << "chaos ms"
+              << "\n";
+    for (int n = 3; n <= 7; ++n) {
+        const auto algorithm = algo::make_flp_kset(n, 1);
+        FailurePlan plan;
+        plan.set_initially_dead(2);
+
+        long bare_steps = 0, chaos_steps = 0, faults = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+            RandomScheduler sched(seed);
+            Run run = execute_run(*algorithm, n, distinct_inputs(n), plan,
+                                  sched);
+            bare_steps += static_cast<long>(run.steps.size());
+        }
+        const double bare_ms = ms_since(t0);
+
+        const auto t1 = std::chrono::steady_clock::now();
+        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+            RandomScheduler sched(seed);
+            chaos::FaultInjector injector(sched,
+                                          chaos::guarded_profile(seed));
+            Run run = execute_run(*algorithm, n, distinct_inputs(n), plan,
+                                  injector);
+            chaos_steps += static_cast<long>(run.steps.size());
+            faults += injector.stats().total_faults();
+        }
+        const double chaos_ms = ms_since(t1);
+
+        std::cout << std::setw(4) << n << std::setw(12) << bare_steps / 20
+                  << std::setw(13) << chaos_steps / 20 << std::setw(10)
+                  << faults / 20 << std::setw(12) << std::fixed
+                  << std::setprecision(2) << bare_ms << std::setw(12)
+                  << chaos_ms << "\n";
+    }
+
+    std::cout << "\nB-chaos (b): resilience sweep throughput "
+                 "(n in [2,7], 20 seeds/cell)\n\n";
+    {
+        chaos::SweepConfig config;
+        config.profile = chaos::guarded_profile(1);
+        const auto t0 = std::chrono::steady_clock::now();
+        const chaos::SweepReport report = chaos::resilience_sweep(config);
+        const double ms = ms_since(t0);
+        std::cout << "  " << report.total_trials() << " trials in "
+                  << std::fixed << std::setprecision(1) << ms << " ms ("
+                  << std::setprecision(0)
+                  << report.total_trials() * 1000.0 / ms
+                  << " trials/s), solvable side "
+                  << (report.boundary_clean() ? "clean" : "NOT CLEAN")
+                  << "\n";
+    }
+
+    std::cout << "\nB-chaos (c): shrink effort on planted violations "
+                 "(n=4, f=2, k=1, partition + guard chaos)\n\n";
+    std::cout << std::setw(10) << "dup rate" << std::setw(10) << "faults"
+              << std::setw(10) << "shrunk" << std::setw(12) << "candidates"
+              << std::setw(10) << "ms" << "\n";
+    for (int dup : {200, 400, 700}) {
+        const auto algorithm = algo::make_flp_kset(4, 2);
+        PartitionScheduler partition({{1, 2}, {3, 4}});
+        chaos::ChaosProfile profile = chaos::guarded_profile(11);
+        profile.duplicate_per_mille = dup;
+        profile.max_duplicates = 32;
+        chaos::FaultInjector injector(partition, profile);
+        Run run = execute_run(*algorithm, 4, distinct_inputs(4),
+                              FailurePlan{}, injector);
+        const auto t0 = std::chrono::steady_clock::now();
+        const chaos::ShrinkResult shrunk = chaos::shrink_chaos_trace(
+            *algorithm, chaos::extract_chaos_trace(run),
+            chaos::violates_k_agreement(1));
+        std::cout << std::setw(10) << dup << std::setw(10)
+                  << shrunk.original_faults << std::setw(10)
+                  << shrunk.shrunk_faults << std::setw(12)
+                  << shrunk.candidates_tried << std::setw(10) << std::fixed
+                  << std::setprecision(2) << ms_since(t0) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include "chaos/chaos_trace.hpp"
+
+#include "sim/serialize.hpp"
+
+namespace ksa::chaos {
+
+std::size_t ChaosTrace::num_faults() const {
+    std::size_t c = 0;
+    for (const StepChoice& choice : choices) c += choice.faults.size();
+    return c;
+}
+
+ChaosTrace extract_chaos_trace(const Run& run) {
+    ChaosTrace trace;
+    trace.n = run.n;
+    trace.inputs = run.inputs;
+    trace.plan = run.static_plan();
+    trace.choices = schedule_of(run);
+    trace.scheduler = run.scheduler;
+    trace.stop = run.stop;
+    return trace;
+}
+
+Run replay_chaos_trace(const Algorithm& algorithm, const ChaosTrace& trace) {
+    System system(algorithm, trace.n, trace.inputs, trace.plan);
+    system.set_scheduler_label(trace.scheduler);
+    for (const StepChoice& choice : trace.choices) system.apply_choice(choice);
+    return system.finish(trace.stop);
+}
+
+}  // namespace ksa::chaos

@@ -1,0 +1,54 @@
+#pragma once
+// Chaos traces: the replayable essence of a chaos run.
+//
+// A recorded Run carries everything (messages, digests, detector
+// samples); what the shrinker needs to *mutate* is much smaller -- the
+// initial configuration plus the exact StepChoice sequence, fault
+// events included.  A ChaosTrace is that projection.  Replaying a trace
+// through the step-wise System API reconstructs the full Run; replaying
+// the trace extracted from a run reproduces the run bit for bit (the
+// DeterminismAuditor's promise, extended to fault events).
+//
+// The shrinker in chaos/shrink.hpp works entirely on ChaosTraces: every
+// shrink candidate is "the same trace with fewer fault events or fewer
+// choices", and a candidate is valid iff its replay is legal and the
+// violation predicate still holds on the reconstructed run.
+
+#include <vector>
+
+#include "sim/behavior.hpp"
+#include "sim/failure_plan.hpp"
+#include "sim/run.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::chaos {
+
+/// See file comment.
+struct ChaosTrace {
+    int n = 0;
+    std::vector<Value> inputs;
+    /// The *static* crash plan (Run::static_plan()): injected crashes
+    /// re-enter through the fault events in `choices`.
+    FailurePlan plan;
+    /// The exact step sequence, fault events included.
+    std::vector<StepChoice> choices;
+    /// Scheduler label of the original run, copied onto replays so the
+    /// serialized forms stay byte-identical.
+    std::string scheduler;
+    /// Stop reason of the original run, stamped onto full replays.
+    StopReason stop = StopReason::kSchedulerEnded;
+
+    std::size_t num_steps() const { return choices.size(); }
+    std::size_t num_faults() const;
+};
+
+/// Projects a recorded run onto its trace.
+ChaosTrace extract_chaos_trace(const Run& run);
+
+/// Replays `trace` step by step against a fresh System.  Throws (as the
+/// System does) if the trace is not a legal run of the algorithm --
+/// shrink candidates rely on that signal.
+Run replay_chaos_trace(const Algorithm& algorithm, const ChaosTrace& trace);
+
+}  // namespace ksa::chaos

@@ -1,0 +1,78 @@
+#include "chaos/profile.hpp"
+
+#include <sstream>
+
+#include "check/contract.hpp"
+
+namespace ksa::chaos {
+
+namespace {
+
+void check_per_mille(int v, const char* what) {
+    if (v < 0 || v > 1000) {
+        std::ostringstream out;
+        out << "ChaosProfile: " << what << " = " << v
+            << " is not a per-mille value in [0, 1000]";
+        throw UsageError(out.str());
+    }
+}
+
+}  // namespace
+
+void ChaosProfile::validate() const {
+    check_per_mille(drop_per_mille, "drop_per_mille");
+    check_per_mille(duplicate_per_mille, "duplicate_per_mille");
+    check_per_mille(delay_per_mille, "delay_per_mille");
+    check_per_mille(burst_per_mille, "burst_per_mille");
+    check_per_mille(crash_per_mille, "crash_per_mille");
+    check_per_mille(crash_omission_per_mille, "crash_omission_per_mille");
+    require(max_delay >= 1, "ChaosProfile: max_delay must be >= 1");
+    require(burst_len >= 1, "ChaosProfile: burst_len must be >= 1");
+    require(max_drops >= 0, "ChaosProfile: max_drops must be >= 0");
+    require(max_duplicates >= 0, "ChaosProfile: max_duplicates must be >= 0");
+    require(max_injected_crashes >= 0,
+            "ChaosProfile: max_injected_crashes must be >= 0");
+    require(max_total_faulty >= -1,
+            "ChaosProfile: max_total_faulty must be >= -1");
+    require(crash_per_mille == 0 || max_injected_crashes > 0,
+            "ChaosProfile: crash_per_mille > 0 needs max_injected_crashes > 0");
+}
+
+std::string to_string(ChaosProfile::Mode mode) {
+    return mode == ChaosProfile::Mode::kAdmissible ? "guard" : "havoc";
+}
+
+std::string ChaosProfile::describe() const {
+    std::ostringstream out;
+    out << "seed=" << seed << ",mode=" << to_string(mode)
+        << ",drop=" << drop_per_mille << ",dup=" << duplicate_per_mille
+        << ",delay=" << delay_per_mille;
+    if (burst_per_mille > 0) out << ",burst=" << burst_per_mille;
+    if (crash_per_mille > 0)
+        out << ",crash=" << crash_per_mille << "x" << max_injected_crashes;
+    return out.str();
+}
+
+ChaosProfile guarded_profile(std::uint64_t seed) {
+    ChaosProfile p;
+    p.seed = seed;
+    p.mode = ChaosProfile::Mode::kAdmissible;
+    p.drop_per_mille = 60;
+    p.duplicate_per_mille = 60;
+    p.delay_per_mille = 150;
+    p.burst_per_mille = 15;
+    return p;
+}
+
+ChaosProfile havoc_profile(std::uint64_t seed) {
+    ChaosProfile p;
+    p.seed = seed;
+    p.mode = ChaosProfile::Mode::kHavoc;
+    p.drop_per_mille = 250;
+    p.duplicate_per_mille = 60;
+    p.delay_per_mille = 100;
+    p.burst_per_mille = 10;
+    return p;
+}
+
+}  // namespace ksa::chaos

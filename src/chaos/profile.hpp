@@ -1,0 +1,90 @@
+#pragma once
+// Chaos profiles: the knobs of the fault-injection adversary.
+//
+// A ChaosProfile is a small, fully seeded description of *how much* and
+// *what kind of* channel/process misbehavior the FaultInjector layers on
+// top of a base schedule.  Profiles are value types: the same profile
+// over the same base scheduler yields bit-identical runs, which is what
+// makes chaos runs first-class citizens of the ksa-verify determinism
+// audits.
+//
+// Two guard modes (Section II's MASYNC admissibility is the dividing
+// line):
+//
+//   * kAdmissible -- injection is constrained so the produced run stays
+//     admissible: message "drops" aimed at correct destinations are
+//     converted into bounded delays, duplicates are delivered
+//     eventually, and injected crashes realize their (extended) crash
+//     plan exactly.  Used to stress possibility results: a correct
+//     algorithm must shrug all of it off.
+//   * kHavoc -- injection is unconstrained: permanent losses to correct
+//     destinations are allowed.  The produced runs are deliberately
+//     inadmissible; the point is verifying that the admissibility
+//     checker and the failure-detector validators *flag* them rather
+//     than silently accepting garbage executions.
+//
+// All probabilities are integer per-mille values (0..1000) drawn against
+// a seeded std::mt19937_64; no floating point is involved, so profiles
+// hash/compare/replay identically everywhere.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace ksa::chaos {
+
+/// See file comment.
+struct ChaosProfile {
+    enum class Mode {
+        kAdmissible,  ///< guard on: injected faults keep the run admissible
+        kHavoc,       ///< guard off: permanent losses allowed
+    };
+
+    /// RNG seed; every random decision of the injector derives from it.
+    std::uint64_t seed = 1;
+    Mode mode = Mode::kAdmissible;
+
+    // -- per-message dice (per-mille, rolled per buffered message) ----
+    int drop_per_mille = 40;       ///< permanent loss (guard: see above)
+    int duplicate_per_mille = 40;  ///< clone into the destination buffer
+    int delay_per_mille = 120;     ///< withhold for a bounded time
+
+    // -- per-step dice ------------------------------------------------
+    int burst_per_mille = 10;  ///< start a delay burst (nothing delivered)
+    int crash_per_mille = 0;   ///< inject a staggered mid-run crash
+
+    /// Per-destination chance that the final step of an injected crash
+    /// omits its send (building the paper's send-omission failure mode).
+    int crash_omission_per_mille = 300;
+
+    // -- bounds (keep every chaos run finite and replayable) ----------
+    Time max_delay = 12;   ///< longest withholding of a single message
+    int burst_len = 4;     ///< steps a delay burst lasts
+    int max_drops = 16;    ///< total kDropMessage budget
+    int max_duplicates = 8;  ///< total kDuplicateMessage budget
+    int max_injected_crashes = 0;  ///< staggered crashes beyond the plan
+    /// Cap on |faulty| (planned + injected).  -1 means n-1 (at least one
+    /// process stays correct, as every model in the paper requires).
+    int max_total_faulty = -1;
+
+    /// Throws UsageError when a knob is out of range (negative rate, a
+    /// per-mille above 1000, a non-positive bound with a positive rate).
+    void validate() const;
+
+    /// Compact one-line rendering used in scheduler names and reports,
+    /// e.g. `seed=7,mode=guard,drop=40,dup=40,delay=120`.
+    std::string describe() const;
+};
+
+/// A profile that exercises every admissible fault class with moderate
+/// rates; the workhorse of the resilience sweep.
+ChaosProfile guarded_profile(std::uint64_t seed);
+
+/// An unconstrained profile (kHavoc) with aggressive drop rates, used to
+/// verify the admissibility checker flags the damage.
+ChaosProfile havoc_profile(std::uint64_t seed);
+
+std::string to_string(ChaosProfile::Mode mode);
+
+}  // namespace ksa::chaos

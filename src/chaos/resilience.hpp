@@ -1,0 +1,117 @@
+#pragma once
+// The resilience harness: sweeping the Theorem 8 boundary under chaos.
+//
+// Theorem 8 says k-set agreement with up to f initial crashes among n
+// processes is solvable iff k*n > (k+1)*f, and the constructive side is
+// the initial-clique algorithm with threshold L = n - f (algo/
+// initial_clique.hpp).  The harness turns that statement into an
+// empirical grid: for every (n, k, f) cell it runs many seeded trials
+// of the algorithm under a chaos-perturbed random schedule -- duplicated
+// and delayed messages, delivery bursts, up to f seeded initial deaths
+// -- and classifies each recorded run:
+//
+//   kDecidedCorrectly  -- admissible, decided, spec satisfied;
+//   kAgreementViolated -- more than k distinct decisions;
+//   kValidityViolated  -- a decision nobody proposed;
+//   kTimedOut          -- hit the step limit (termination suspect);
+//   kInadmissible      -- the run violates MASYNC admissibility (only
+//                         expected from havoc-mode profiles).
+//
+// On the solvable side of the boundary every cell must be 100%
+// kDecidedCorrectly -- guard-mode chaos is exactly the adversary the
+// possibility proof quantifies over.  On the impossible side the grid
+// reports whatever the trials observe; the *reliable* violations there
+// come from the partition adversary (core/theorem8.cpp), and the chaos
+// layer's role is producing messy violating runs for the shrinker.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_injector.hpp"
+#include "chaos/profile.hpp"
+#include "sim/run.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::chaos {
+
+/// Classification of one chaos trial (see file comment).
+enum class Outcome {
+    kDecidedCorrectly,
+    kAgreementViolated,
+    kValidityViolated,
+    kTimedOut,
+    kInadmissible,
+};
+
+std::string to_string(Outcome outcome);
+
+/// Classifies a recorded run against k-set agreement + admissibility.
+Outcome classify_run(const Run& run, int k);
+
+/// One chaos trial of the Theorem 8 algorithm (L = n - f) on n
+/// processes: seeds a FailurePlan with up to f initial deaths, wraps a
+/// RandomScheduler in a FaultInjector with `profile`, executes and
+/// classifies.  `trial_seed` drives the death sampling and the base
+/// schedule; the profile's own seed drives the injector.
+struct TrialResult {
+    Outcome outcome = Outcome::kDecidedCorrectly;
+    Run run;
+    ChaosStats stats;
+};
+
+TrialResult chaos_trial(int n, int k, int f, const ChaosProfile& profile,
+                        std::uint64_t trial_seed, ExecutionLimits limits = {});
+
+/// Aggregated outcomes of one (n, k, f) cell.
+struct CellResult {
+    int n = 0, k = 0, f = 0;
+    bool solvable = false;  ///< theorem8_solvable(n, f, k)
+    int trials = 0;
+    int decided = 0;
+    int agreement_violations = 0;
+    int validity_violations = 0;
+    int timeouts = 0;
+    int inadmissible = 0;
+    int faults_injected = 0;  ///< sum of injector fault events
+
+    /// A solvable cell is clean iff every trial decided correctly.
+    bool clean() const {
+        return agreement_violations == 0 && validity_violations == 0 &&
+               timeouts == 0 && inadmissible == 0;
+    }
+};
+
+/// Sweep configuration; defaults match the CI smoke bounds.
+struct SweepConfig {
+    int min_n = 2;
+    int max_n = 7;
+    int seeds_per_cell = 20;
+    std::uint64_t base_seed = 1;
+    /// Template profile; its seed is re-derived per trial.
+    ChaosProfile profile;
+    ExecutionLimits limits;
+};
+
+/// The full grid report.
+struct SweepReport {
+    SweepConfig config;
+    std::vector<CellResult> cells;
+
+    int total_trials() const;
+    /// True iff every solvable-side cell is clean (the Theorem 8
+    /// possibility statement, empirically).
+    bool boundary_clean() const;
+
+    /// Machine-readable rendering (stable key order, no dependencies).
+    std::string to_json() const;
+    /// Human-readable rendering: one markdown table over the grid plus a
+    /// verdict line.
+    std::string to_markdown() const;
+};
+
+/// Runs trials for every cell n in [min_n, max_n], k in [1, n-1],
+/// f in [0, n-1].
+SweepReport resilience_sweep(const SweepConfig& config);
+
+}  // namespace ksa::chaos

@@ -1,0 +1,229 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "check/contract.hpp"
+#include "sim/message.hpp"
+
+namespace ksa::chaos {
+
+namespace {
+
+/// Replays a candidate and evaluates the predicate.  An illegal replay
+/// (the System throws) means "does not reproduce".
+std::optional<Run> try_candidate(const Algorithm& algorithm,
+                                 const ChaosTrace& trace,
+                                 const RunPredicate& still_violates,
+                                 int& tried) {
+    ++tried;
+    try {
+        Run run = replay_chaos_trace(algorithm, trace);
+        if (still_violates(run)) return run;
+    } catch (const Error&) {
+        // Candidate is not a legal run -- discard.
+    }
+    return std::nullopt;
+}
+
+ChaosTrace truncated(const ChaosTrace& trace, std::size_t len) {
+    ChaosTrace out = trace;
+    out.choices.assign(trace.choices.begin(),
+                       trace.choices.begin() + static_cast<std::ptrdiff_t>(len));
+    if (len != trace.choices.size()) out.stop = StopReason::kSchedulerEnded;
+    return out;
+}
+
+/// After fault events were removed, deliveries of duplicate clones that
+/// no longer exist must go too.  The clone-id scheme of sim/message.hpp
+/// makes this local: clone d of source s has id base + s*16 + d, and the
+/// System hands out indices 1..count in order, so a delivery of clone d
+/// is satisfiable iff the candidate still duplicates s at least d times.
+void sanitize_clone_deliveries(ChaosTrace& trace) {
+    std::map<MessageId, int> dups_per_source;
+    for (const StepChoice& c : trace.choices)
+        for (const FaultAction& a : c.faults)
+            if (a.kind == FaultAction::Kind::kDuplicateMessage)
+                ++dups_per_source[a.message];
+    for (StepChoice& c : trace.choices) {
+        std::erase_if(c.deliver, [&](MessageId id) {
+            if (!is_injected_message_id(id)) return false;
+            const MessageId rel = id - kInjectedMessageIdBase;
+            const MessageId src = rel / kMaxDuplicatesPerMessage;
+            const int d = static_cast<int>(rel % kMaxDuplicatesPerMessage);
+            const auto it = dups_per_source.find(src);
+            const int avail = it == dups_per_source.end() ? 0 : it->second;
+            return d > avail;
+        });
+    }
+}
+
+/// Flat positions of all fault events: (choice index, fault index).
+std::vector<std::pair<std::size_t, std::size_t>> fault_positions(
+        const ChaosTrace& trace) {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (std::size_t i = 0; i < trace.choices.size(); ++i)
+        for (std::size_t j = 0; j < trace.choices[i].faults.size(); ++j)
+            out.emplace_back(i, j);
+    return out;
+}
+
+/// The trace with the fault events at positions [begin, end) removed.
+ChaosTrace without_faults(
+        const ChaosTrace& trace,
+        const std::vector<std::pair<std::size_t, std::size_t>>& positions,
+        std::size_t begin, std::size_t end) {
+    std::set<std::pair<std::size_t, std::size_t>> removed(
+        positions.begin() + static_cast<std::ptrdiff_t>(begin),
+        positions.begin() + static_cast<std::ptrdiff_t>(end));
+    ChaosTrace out = trace;
+    for (std::size_t i = 0; i < out.choices.size(); ++i) {
+        std::vector<FaultAction> kept;
+        for (std::size_t j = 0; j < out.choices[i].faults.size(); ++j)
+            if (removed.count({i, j}) == 0)
+                kept.push_back(out.choices[i].faults[j]);
+        out.choices[i].faults = std::move(kept);
+    }
+    sanitize_clone_deliveries(out);
+    return out;
+}
+
+/// One greedy ddmin sweep over the fault events: repeatedly try to
+/// remove chunks, halving the chunk size, restarting after every
+/// successful removal.  Returns true iff anything was removed.
+bool ddmin_faults(const Algorithm& algorithm, ChaosTrace& best,
+                  const RunPredicate& still_violates, int& tried) {
+    bool any = false;
+    for (;;) {
+        const auto positions = fault_positions(best);
+        if (positions.empty()) return any;
+        bool removed = false;
+        for (std::size_t chunk = positions.size(); chunk >= 1 && !removed;
+             chunk /= 2) {
+            for (std::size_t start = 0; start < positions.size() && !removed;
+                 start += chunk) {
+                const std::size_t end =
+                    std::min(start + chunk, positions.size());
+                ChaosTrace candidate =
+                    without_faults(best, positions, start, end);
+                if (try_candidate(algorithm, candidate, still_violates,
+                                  tried)) {
+                    best = std::move(candidate);
+                    removed = true;
+                    any = true;
+                }
+            }
+            if (chunk == 1) break;
+        }
+        if (!removed) return any;
+    }
+}
+
+/// Backward greedy pass deleting single choices.  Returns true iff
+/// anything was removed.
+bool remove_single_choices(const Algorithm& algorithm, ChaosTrace& best,
+                           const RunPredicate& still_violates, int& tried) {
+    bool any = false;
+    for (std::size_t i = best.choices.size(); i-- > 0;) {
+        if (best.choices.size() <= 1) break;
+        ChaosTrace candidate = best;
+        candidate.choices.erase(candidate.choices.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        candidate.stop = StopReason::kSchedulerEnded;
+        sanitize_clone_deliveries(candidate);
+        if (try_candidate(algorithm, candidate, still_violates, tried)) {
+            best = std::move(candidate);
+            any = true;
+        }
+    }
+    return any;
+}
+
+}  // namespace
+
+std::string ShrinkResult::to_string() const {
+    std::ostringstream out;
+    out << "shrunk faults " << original_faults << " -> " << shrunk_faults
+        << ", steps " << original_steps << " -> " << shrunk_steps << " ("
+        << candidates_tried << " candidates tried)";
+    return out.str();
+}
+
+ShrinkResult shrink_chaos_trace(const Algorithm& algorithm,
+                                const ChaosTrace& trace,
+                                const RunPredicate& still_violates,
+                                ShrinkOptions options) {
+    require(static_cast<bool>(still_violates),
+            "shrink_chaos_trace: null predicate");
+    require(!trace.choices.empty(), "shrink_chaos_trace: empty trace");
+
+    ShrinkResult result;
+    result.original_faults = trace.num_faults();
+    result.original_steps = trace.num_steps();
+
+    // The input must reproduce, otherwise there is nothing to minimize.
+    Run initial = replay_chaos_trace(algorithm, trace);
+    require(still_violates(initial),
+            "shrink_chaos_trace: the initial trace does not violate the "
+            "predicate");
+
+    ChaosTrace best = trace;
+    int tried = 0;
+
+    // Pass 1: shortest violating prefix.  Decisions are irrevocable, so
+    // "prefix of length L violates" is monotone in L and binary search
+    // applies.
+    if (options.truncate_tail) {
+        std::size_t lo = 1, hi = best.choices.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (try_candidate(algorithm, truncated(best, mid), still_violates,
+                              tried))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        if (hi < best.choices.size()) best = truncated(best, hi);
+    }
+
+    // Passes 2+3, iterated to a fixpoint.
+    for (int round = 0; round < options.max_rounds; ++round) {
+        bool progress = false;
+        if (options.remove_faults)
+            progress |= ddmin_faults(algorithm, best, still_violates, tried);
+        if (options.remove_choices)
+            progress |=
+                remove_single_choices(algorithm, best, still_violates, tried);
+        if (!progress) break;
+    }
+
+    result.trace = best;
+    result.run = replay_chaos_trace(algorithm, best);
+    KSA_ENSURE(still_violates(result.run),
+               "shrink_chaos_trace: minimized trace stopped violating");
+    result.shrunk_faults = best.num_faults();
+    result.shrunk_steps = best.num_steps();
+    result.candidates_tried = tried;
+    return result;
+}
+
+RunPredicate violates_k_agreement(int k) {
+    return [k](const Run& run) {
+        return static_cast<int>(run.distinct_decisions().size()) > k;
+    };
+}
+
+RunPredicate violates_validity() {
+    return [](const Run& run) {
+        const std::set<Value> proposed(run.inputs.begin(), run.inputs.end());
+        for (Value v : run.distinct_decisions())
+            if (proposed.count(v) == 0) return true;
+        return false;
+    };
+}
+
+}  // namespace ksa::chaos

@@ -1,0 +1,74 @@
+#pragma once
+// Counterexample shrinking for chaos runs.
+//
+// A resilience sweep that finds a violating run usually finds a *messy*
+// one: dozens of injected faults and hundreds of steps, most of them
+// irrelevant to the violation.  The shrinker reduces such a run to a
+// minimal reproducer with greedy delta debugging over its ChaosTrace:
+//
+//   1. tail truncation -- decisions are irrevocable, so if a prefix of
+//      the choice sequence already exhibits the violation, every longer
+//      prefix does too; binary search finds the shortest violating
+//      prefix;
+//   2. fault-event ddmin -- repeatedly try removing chunks of the
+//      injected fault events (halving the chunk size down to single
+//      events), keeping a removal whenever the replay is still legal
+//      and still violating;
+//   3. choice removal -- a backward greedy pass deleting single step
+//      choices whose absence preserves the violation.
+//
+// A candidate whose replay the System rejects (e.g. deleting a
+// duplication fault whose clone a later step delivers) simply does not
+// reproduce and is discarded; the Error is the signal, not a failure.
+// The result is replayable bit-for-bit through replay_chaos_trace and
+// serializable for archiving.
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/chaos_trace.hpp"
+
+namespace ksa::chaos {
+
+/// True iff the reconstructed run still exhibits the violation being
+/// minimized.  Must be deterministic.
+using RunPredicate = std::function<bool(const Run&)>;
+
+struct ShrinkOptions {
+    bool truncate_tail = true;   ///< pass 1
+    bool remove_faults = true;   ///< pass 2
+    bool remove_choices = true;  ///< pass 3
+    /// Maximum number of full (2)+(3) rounds; each round only runs if
+    /// the previous one made progress.
+    int max_rounds = 8;
+};
+
+struct ShrinkResult {
+    ChaosTrace trace;  ///< the minimized trace
+    Run run;           ///< its replay (still violating)
+
+    std::size_t original_faults = 0;
+    std::size_t shrunk_faults = 0;
+    std::size_t original_steps = 0;
+    std::size_t shrunk_steps = 0;
+    int candidates_tried = 0;  ///< replays attempted during the search
+
+    std::string to_string() const;
+};
+
+/// Minimizes `trace` while `still_violates` holds on its replay.
+/// Throws UsageError if the initial trace does not violate (nothing to
+/// shrink) or does not replay.
+ShrinkResult shrink_chaos_trace(const Algorithm& algorithm,
+                                const ChaosTrace& trace,
+                                const RunPredicate& still_violates,
+                                ShrinkOptions options = {});
+
+/// Predicate: the run decides more than k distinct values (k-agreement
+/// violated, Section II-A).
+RunPredicate violates_k_agreement(int k);
+
+/// Predicate: some decision was never proposed (validity violated).
+RunPredicate violates_validity();
+
+}  // namespace ksa::chaos

@@ -68,7 +68,13 @@ ReplayReport DeterminismAuditor::audit_replay(const Run& run) const {
 
     std::unique_ptr<FdOracle> oracle;
     if (oracle_factory_) oracle = oracle_factory_();
-    System replay(*algorithm_, run.n, run.inputs, run.plan, oracle.get());
+    // Replay against the *static* plan: crash injections recorded in the
+    // schedule's fault events re-extend it to the effective plan, exactly
+    // as the original execution did.  The scheduler label is metadata the
+    // stepping API cannot reproduce, so copy it for byte-identity.
+    System replay(*algorithm_, run.n, run.inputs, run.static_plan(),
+                  oracle.get());
+    replay.set_scheduler_label(run.scheduler);
 
     std::size_t applied = 0;
     try {

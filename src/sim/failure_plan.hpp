@@ -17,6 +17,7 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 #include <vector>
 
 #include "check/contract.hpp"
@@ -34,6 +35,42 @@ struct CrashSpec {
     std::set<ProcessId> omit_to;
 
     friend bool operator==(const CrashSpec&, const CrashSpec&) = default;
+
+    /// Builds the spec of a crash whose final step's sends are omitted to
+    /// *every* receiver 1..n (a "crash between receive and send": the
+    /// process performs its last state transition but nothing it sends
+    /// survives).  Requires after_own_steps > 0.
+    static CrashSpec omitting_all(int after_own_steps, int n) {
+        KSA_REQUIRE(after_own_steps > 0,
+                    "CrashSpec::omitting_all: an initially dead process has "
+                    "no final step whose sends could be omitted");
+        KSA_REQUIRE(n >= 1, "CrashSpec::omitting_all: n must be >= 1");
+        CrashSpec spec;
+        spec.after_own_steps = after_own_steps;
+        for (ProcessId q = 1; q <= n; ++q) spec.omit_to.insert(q);
+        return spec;
+    }
+
+    /// Canonical rendering for traces and reports: "initially-dead" or
+    /// "after <s> steps" with the omission set, e.g.
+    /// "after 2 steps omit{1,4}".
+    std::string to_string() const {
+        if (after_own_steps == 0) return "initially-dead";
+        std::ostringstream out;
+        out << "after " << after_own_steps
+            << (after_own_steps == 1 ? " step" : " steps");
+        if (!omit_to.empty()) {
+            out << " omit{";
+            bool first = true;
+            for (ProcessId q : omit_to) {
+                if (!first) out << ',';
+                first = false;
+                out << q;
+            }
+            out << '}';
+        }
+        return out.str();
+    }
 };
 
 /// A complete crash plan for a run: which processes fail, and how.
@@ -50,7 +87,18 @@ public:
         KSA_REQUIRE(spec.after_own_steps > 0 || spec.omit_to.empty(),
                     "FailurePlan::set_crash: an initially dead process takes "
                     "no final step whose sends could be omitted");
+        KSA_REQUIRE(spec.omit_to.empty() || *spec.omit_to.begin() >= 1,
+                    "FailurePlan::set_crash: omission set contains an "
+                    "invalid process id");
         crashes_[p] = std::move(spec);
+    }
+
+    /// Declares `p` faulty, crashing after `after_own_steps` own steps
+    /// with the sends of its final step omitted to *all* n receivers --
+    /// the convenience for "crash between the receive and the send phase
+    /// of a step" that per-receiver omit_to sets spell out by hand.
+    void set_crash_omit_all(ProcessId p, int after_own_steps, int n) {
+        set_crash(p, CrashSpec::omitting_all(after_own_steps, n));
     }
 
     /// Declares `p` initially dead (never takes a step).
@@ -108,6 +156,20 @@ public:
 
     /// Number of faulty processes.
     int num_faulty() const { return static_cast<int>(crashes_.size()); }
+
+    /// Canonical rendering for traces: "none" for the empty plan, else
+    /// "p2 after 1 step omit{3}; p4 initially-dead".
+    std::string to_string() const {
+        if (crashes_.empty()) return "none";
+        std::ostringstream out;
+        bool first = true;
+        for (const auto& [p, spec] : crashes_) {
+            if (!first) out << "; ";
+            first = false;
+            out << 'p' << p << ' ' << spec.to_string();
+        }
+        return out.str();
+    }
 
     friend bool operator==(const FailurePlan&, const FailurePlan&) = default;
 

@@ -19,6 +19,21 @@ namespace ksa {
 /// Unique message identifier, assigned by the System in send order.
 using MessageId = std::uint64_t;
 
+/// Ids at or above this bound belong to *injected* messages: clones
+/// created by a kDuplicateMessage fault (src/chaos/).  A clone of source
+/// message s is the d-th duplicate of s and gets id
+///   kInjectedMessageIdBase + s.id * kMaxDuplicatesPerMessage + d,
+/// a scheme chosen so that clone ids depend only on their own source --
+/// removing an unrelated fault event during counterexample shrinking
+/// leaves them stable, unlike a shared running counter would.
+inline constexpr MessageId kInjectedMessageIdBase = MessageId{1} << 48;
+inline constexpr MessageId kMaxDuplicatesPerMessage = 16;
+
+/// True iff `id` was assigned to an injected duplicate.
+inline constexpr bool is_injected_message_id(MessageId id) {
+    return id >= kInjectedMessageIdBase;
+}
+
 /// A message in flight or delivered.  Value type; equality ignores the
 /// simulator-assigned identity fields so that runs can be compared on
 /// their communication content alone.

@@ -124,13 +124,49 @@ std::size_t Run::messages_sent() const {
 
 std::vector<MessageId> Run::undelivered_to(ProcessId p) const {
     std::set<MessageId> sent_ids;
-    for (const StepRecord& s : steps)
+    for (const StepRecord& s : steps) {
         for (const Message& m : s.sent)
             if (m.to == p) sent_ids.insert(m.id);
+        // Injected duplicates are in-flight messages like any other:
+        // leaving a clone addressed to a correct process undelivered
+        // violates eventual delivery exactly as losing the original does.
+        for (const Message& m : s.injected)
+            if (m.to == p) sent_ids.insert(m.id);
+    }
     for (const StepRecord& s : steps)
         if (s.process == p)
             for (const Message& m : s.delivered) sent_ids.erase(m.id);
     return {sent_ids.begin(), sent_ids.end()};
+}
+
+std::vector<std::pair<std::size_t, FaultAction>> Run::fault_events() const {
+    std::vector<std::pair<std::size_t, FaultAction>> out;
+    for (std::size_t i = 0; i < steps.size(); ++i)
+        for (const FaultAction& a : steps[i].faults) out.emplace_back(i, a);
+    return out;
+}
+
+std::size_t Run::num_fault_events() const {
+    std::size_t c = 0;
+    for (const StepRecord& s : steps) c += s.faults.size();
+    return c;
+}
+
+std::set<ProcessId> Run::injected_crash_victims() const {
+    std::set<ProcessId> out;
+    for (const StepRecord& s : steps)
+        for (const FaultAction& a : s.faults)
+            if (a.kind == FaultAction::Kind::kCrashProcess)
+                out.insert(a.process);
+    return out;
+}
+
+FailurePlan Run::static_plan() const {
+    const std::set<ProcessId> injected = injected_crash_victims();
+    FailurePlan out;
+    for (ProcessId p : plan.faulty())
+        if (injected.count(p) == 0) out.set_crash(p, plan.spec(p));
+    return out;
 }
 
 bool indistinguishable_for(const Run& a, const Run& b, ProcessId p) {

@@ -22,6 +22,7 @@
 #include "sim/failure_plan.hpp"
 #include "sim/fd_oracle.hpp"
 #include "sim/message.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/types.hpp"
 
 namespace ksa {
@@ -33,6 +34,10 @@ struct StepRecord {
     std::vector<Message> delivered;    ///< subset L received in this step
     std::vector<Message> sent;         ///< messages placed into buffers
     std::vector<Message> omitted;      ///< sends dropped by a final crashing step
+    std::vector<FaultAction> faults;   ///< injected fault events applied before
+                                       ///< this step's deliveries, in order
+    std::vector<Message> dropped;      ///< messages removed by kDropMessage
+    std::vector<Message> injected;     ///< clones added by kDuplicateMessage
     std::optional<FdSample> fd;        ///< failure-detector sample, if queried
     std::optional<Value> decision;     ///< decision made in this step, if any
     std::string digest_after;          ///< state digest after the step
@@ -54,8 +59,13 @@ std::string to_string(StopReason r);
 struct Run {
     int n = 0;                          ///< system size the algorithm believes
     std::string algorithm;              ///< algorithm name
+    std::string scheduler;              ///< scheduler label (seed and all: a
+                                        ///< run is replayable from its record
+                                        ///< alone; empty in step-wise mode)
     std::vector<Value> inputs;          ///< proposal x_p, index p-1
-    FailurePlan plan;                   ///< the crash plan that was enforced
+    FailurePlan plan;                   ///< the *effective* crash plan: the
+                                        ///< static plan extended by every
+                                        ///< injected kCrashProcess fault
     std::vector<StepRecord> steps;      ///< the executed step sequence
     FdHistory fd_history;               ///< all failure-detector samples
     StopReason stop = StopReason::kSchedulerEnded;
@@ -110,8 +120,28 @@ struct Run {
     /// Total number of messages sent in this prefix.
     std::size_t messages_sent() const;
 
-    /// Message ids sent to `p` that were never delivered in this prefix.
+    /// Message ids sent to `p` (duplicate injections included) that were
+    /// never delivered in this prefix.  Messages removed by an injected
+    /// drop stay listed: a drop to a correct receiver is exactly the
+    /// eventual-delivery violation admissibility checking must flag.
     std::vector<MessageId> undelivered_to(ProcessId p) const;
+
+    // -- chaos-layer accessors ---------------------------------------
+
+    /// All injected fault events in step order, paired with the 0-based
+    /// index of the step they were applied in.
+    std::vector<std::pair<std::size_t, FaultAction>> fault_events() const;
+
+    /// Number of injected fault events in this prefix.
+    std::size_t num_fault_events() const;
+
+    /// Victims of injected kCrashProcess faults.
+    std::set<ProcessId> injected_crash_victims() const;
+
+    /// The *static* crash plan: `plan` with every injected-crash victim
+    /// removed.  This is the plan a from-scratch re-execution of the
+    /// recorded choice sequence (faults included) must start from.
+    FailurePlan static_plan() const;
 };
 
 /// Indistinguishability until decision (Definition 2): process p has the

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "sim/failure_plan.hpp"
@@ -18,6 +19,40 @@
 #include "sim/types.hpp"
 
 namespace ksa {
+
+/// One adversarial fault event, executed by the System *before* the
+/// deliveries of the step it is attached to.  Fault events extend the
+/// crash-only adversary of FailurePlan with the message-channel faults
+/// of the chaos layer (src/chaos/): permanent message loss, duplication
+/// and staggered crashes decided mid-run.  Every applied action is
+/// recorded into the StepRecord, serialized in the KSARUN format and
+/// re-applied on replay, so faulty runs stay bit-identically replayable.
+struct FaultAction {
+    enum class Kind {
+        /// Removes `message` from its destination buffer permanently: the
+        /// lossy-channel fault.  Dropping a message addressed to a
+        /// correct process makes the run inadmissible (eventual delivery
+        /// is violated), which sim/admissibility.cpp reports.
+        kDropMessage,
+        /// Clones `message` (same sender, receiver, payload and send
+        /// time; fresh id from the injected-id space) into its
+        /// destination buffer: the duplicating-channel fault.
+        kDuplicateMessage,
+        /// Crashes `process` -- which must be correct so far -- after its
+        /// *next* own step, with the sends of that final step omitted to
+        /// `omit_to`.  The effective FailurePlan of the run (and its
+        /// record) is extended accordingly, so admissibility and
+        /// failure-detector validation see the realized failure pattern.
+        kCrashProcess,
+    };
+
+    Kind kind = Kind::kDropMessage;
+    MessageId message = 0;        ///< target of the message faults
+    ProcessId process = 0;        ///< victim of kCrashProcess
+    std::set<ProcessId> omit_to;  ///< kCrashProcess: final-step omissions
+
+    friend bool operator==(const FaultAction&, const FaultAction&) = default;
+};
 
 /// One scheduling decision: which process steps next and which messages
 /// from its buffer are delivered to it in that step.
@@ -29,6 +64,9 @@ struct StepChoice {
     /// Convenience flag: deliver everything currently buffered for
     /// `process` (overrides `deliver`).
     bool deliver_all = false;
+    /// Fault events applied before the deliveries of this step, in
+    /// order.  A message dropped here must not also appear in `deliver`.
+    std::vector<FaultAction> faults;
 };
 
 /// Read-only view of the execution state, offered to schedulers.

@@ -1,6 +1,7 @@
 #include "sim/schedulers.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "check/contract.hpp"
 
@@ -45,6 +46,12 @@ std::optional<StepChoice> RoundRobinScheduler::next(const SystemView& view) {
         }
     }
     return std::nullopt;
+}
+
+std::string RandomScheduler::name() const {
+    std::ostringstream out;
+    out << "random(seed=" << seed_ << ",max_age=" << max_age_ << ")";
+    return out.str();
 }
 
 std::optional<StepChoice> RandomScheduler::next(const SystemView& view) {

@@ -52,12 +52,19 @@ private:
 class RandomScheduler final : public Scheduler {
 public:
     explicit RandomScheduler(std::uint64_t seed, Time max_age = 64)
-        : rng_(seed), max_age_(max_age) {}
+        : seed_(seed), rng_(seed), max_age_(max_age) {}
 
     std::optional<StepChoice> next(const SystemView& view) override;
-    std::string name() const override { return "random"; }
+    /// Embeds the seed (and aging bound), e.g. `random(seed=7,max_age=64)`,
+    /// so archived runs and trace headers record how to regenerate the
+    /// schedule.
+    std::string name() const override;
+
+    /// The seed this schedule was constructed from.
+    std::uint64_t seed() const { return seed_; }
 
 private:
+    std::uint64_t seed_;
     std::mt19937_64 rng_;
     Time max_age_;
 };

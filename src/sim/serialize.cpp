@@ -91,12 +91,57 @@ Message read_message(std::istringstream& in) {
     return m;
 }
 
+void write_fault(std::ostream& out, const FaultAction& a) {
+    out << "fault ";
+    switch (a.kind) {
+        case FaultAction::Kind::kDropMessage:
+            out << "d " << a.message;
+            break;
+        case FaultAction::Kind::kDuplicateMessage:
+            out << "u " << a.message;
+            break;
+        case FaultAction::Kind::kCrashProcess:
+            out << "c " << a.process << ' ' << a.omit_to.size();
+            for (ProcessId q : a.omit_to) out << ' ' << q;
+            break;
+    }
+    out << '\n';
+}
+
+FaultAction read_fault(std::istringstream& in) {
+    FaultAction a;
+    std::string sub;
+    in >> sub;
+    if (sub == "d") {
+        a.kind = FaultAction::Kind::kDropMessage;
+        in >> a.message;
+    } else if (sub == "u") {
+        a.kind = FaultAction::Kind::kDuplicateMessage;
+        in >> a.message;
+    } else if (sub == "c") {
+        a.kind = FaultAction::Kind::kCrashProcess;
+        std::size_t omits = 0;
+        in >> a.process >> omits;
+        for (std::size_t i = 0; i < omits; ++i) {
+            ProcessId q = 0;
+            in >> q;
+            a.omit_to.insert(q);
+        }
+    } else {
+        throw UsageError("read_run: unknown fault subkind '" + sub + "'");
+    }
+    if (!in) throw UsageError("read_run: malformed fault line");
+    return a;
+}
+
 }  // namespace
 
 void write_run(std::ostream& out, const Run& run) {
     out << "KSARUN 1\n";
     out << "n " << run.n << '\n';
     out << "algo " << encode(run.algorithm) << '\n';
+    if (!run.scheduler.empty())
+        out << "sched " << encode(run.scheduler) << '\n';
     out << "stop " << static_cast<int>(run.stop) << '\n';
     out << "inputs";
     for (Value v : run.inputs) out << ' ' << v;
@@ -124,9 +169,12 @@ void write_run(std::ostream& out, const Run& run) {
             << (s.fd ? 1 : 0);
         if (s.fd) write_sample(out, *s.fd);
         out << ' ' << encode(s.digest_after) << '\n';
+        for (const FaultAction& a : s.faults) write_fault(out, a);
         for (const Message& m : s.delivered) write_message(out, 'd', m);
         for (const Message& m : s.sent) write_message(out, 's', m);
         for (const Message& m : s.omitted) write_message(out, 'o', m);
+        for (const Message& m : s.dropped) write_message(out, 'x', m);
+        for (const Message& m : s.injected) write_message(out, 'i', m);
     }
     out << "end\n";
 }
@@ -157,6 +205,10 @@ Run read_run(std::istream& in) {
             std::string enc;
             ls >> enc;
             run.algorithm = decode(enc);
+        } else if (kind == "sched") {
+            std::string enc;
+            ls >> enc;
+            run.scheduler = decode(enc);
         } else if (kind == "stop") {
             int v = 0;
             ls >> v;
@@ -192,7 +244,12 @@ Run read_run(std::istream& in) {
             ls >> digest;
             s.digest_after = decode(digest);
             run.steps.push_back(std::move(s));
-        } else if (kind == "d" || kind == "s" || kind == "o") {
+        } else if (kind == "fault") {
+            if (run.steps.empty())
+                throw UsageError("read_run: fault line before any step");
+            run.steps.back().faults.push_back(read_fault(ls));
+        } else if (kind == "d" || kind == "s" || kind == "o" || kind == "x" ||
+                   kind == "i") {
             if (run.steps.empty())
                 throw UsageError("read_run: message line before any step");
             Message m = read_message(ls);
@@ -200,8 +257,12 @@ Run read_run(std::istream& in) {
                 run.steps.back().delivered.push_back(std::move(m));
             else if (kind == "s")
                 run.steps.back().sent.push_back(std::move(m));
-            else
+            else if (kind == "o")
                 run.steps.back().omitted.push_back(std::move(m));
+            else if (kind == "x")
+                run.steps.back().dropped.push_back(std::move(m));
+            else
+                run.steps.back().injected.push_back(std::move(m));
         } else {
             throw UsageError("read_run: unknown record '" + kind + "'");
         }
@@ -220,6 +281,7 @@ std::vector<StepChoice> schedule_of(const Run& run) {
     for (const StepRecord& s : run.steps) {
         StepChoice c;
         c.process = s.process;
+        c.faults = s.faults;
         for (const Message& m : s.delivered) c.deliver.push_back(m.id);
         out.push_back(std::move(c));
     }

@@ -67,6 +67,78 @@ std::optional<Value> System::decision_of(ProcessId p) const {
     return decisions_[p - 1];
 }
 
+std::deque<Message>* System::find_buffered(
+        MessageId id, std::deque<Message>::iterator* out_it) {
+    for (auto& buf : buffers_) {
+        auto it = std::find_if(buf.begin(), buf.end(),
+                               [id](const Message& m) { return m.id == id; });
+        if (it != buf.end()) {
+            *out_it = it;
+            return &buf;
+        }
+    }
+    return nullptr;
+}
+
+void System::apply_fault(const FaultAction& action, StepRecord& rec) {
+    switch (action.kind) {
+        case FaultAction::Kind::kDropMessage: {
+            std::deque<Message>::iterator it;
+            std::deque<Message>* buf = find_buffered(action.message, &it);
+            KSA_REQUIRE(buf != nullptr,
+                        "System::apply_fault: dropped message not buffered");
+            if (buf == nullptr) return;  // Policy::kCount: stay memory-safe
+            rec.dropped.push_back(*it);
+            buf->erase(it);
+            return;
+        }
+        case FaultAction::Kind::kDuplicateMessage: {
+            std::deque<Message>::iterator it;
+            std::deque<Message>* buf = find_buffered(action.message, &it);
+            KSA_REQUIRE(buf != nullptr,
+                        "System::apply_fault: duplicated message not buffered");
+            if (buf == nullptr) return;
+            // Cloning a clone would nest the derived-id scheme of
+            // message.hpp; the chaos layer only duplicates originals.
+            KSA_REQUIRE(!is_injected_message_id(it->id),
+                        "System::apply_fault: cannot duplicate an injected "
+                        "duplicate");
+            int& count = duplicate_counts_[it->id];
+            KSA_REQUIRE(count + 1 < static_cast<int>(kMaxDuplicatesPerMessage),
+                        "System::apply_fault: per-message duplication bound "
+                        "exhausted");
+            Message clone = *it;
+            clone.id = kInjectedMessageIdBase +
+                       it->id * kMaxDuplicatesPerMessage +
+                       static_cast<MessageId>(++count);
+            rec.injected.push_back(clone);
+            buffers_[clone.to - 1].push_back(std::move(clone));
+            return;
+        }
+        case FaultAction::Kind::kCrashProcess: {
+            const ProcessId q = action.process;
+            check_pid(q, "System::apply_fault (crash victim)");
+            KSA_REQUIRE(!crashed(q),
+                        "System::apply_fault: victim already crashed");
+            CrashSpec spec;
+            spec.after_own_steps = step_counts_[q - 1] + 1;
+            spec.omit_to = action.omit_to;
+            if (plan_.is_faulty(q)) {
+                // Replaying a recorded run: the effective plan already
+                // carries this injection.  Accept iff it matches exactly.
+                KSA_REQUIRE(plan_.spec(q) == spec,
+                            "System::apply_fault: crash injection conflicts "
+                            "with the crash plan in force");
+                return;
+            }
+            plan_.set_crash(q, spec);
+            run_.plan.set_crash(q, std::move(spec));
+            return;
+        }
+    }
+    KSA_REQUIRE(false, "System::apply_fault: unknown fault kind");
+}
+
 void System::apply_choice(const StepChoice& choice) {
     KSA_REQUIRE(!finished_, "System::apply_choice: run already finalized");
     const ProcessId p = choice.process;
@@ -75,13 +147,20 @@ void System::apply_choice(const StepChoice& choice) {
     // process takes no step at any time >= its crash time (the paper's
     // F(t)).  A scheduler violating this produces an inadmissible run.
     KSA_REQUIRE(!crashed(p), "System::apply_choice: process already crashed");
-    const int allowed = plan_.allowed_steps(p);
-    KSA_REQUIRE(allowed < 0 || step_counts_[p - 1] < allowed,
-                "System::apply_choice: crash plan exhausted for this process");
 
     StepRecord rec;
     rec.time = now_;
     rec.process = p;
+
+    // Fault events first: they perturb the buffers (and possibly the
+    // plan) that the remainder of the step observes.  An injected crash
+    // of `p` itself makes *this* step its final one.
+    for (const FaultAction& action : choice.faults) apply_fault(action, rec);
+    rec.faults = choice.faults;
+
+    const int allowed = plan_.allowed_steps(p);
+    KSA_REQUIRE(allowed < 0 || step_counts_[p - 1] < allowed,
+                "System::apply_choice: crash plan exhausted for this process");
 
     // Collect the delivered subset L from p's buffer.
     auto& buf = buffers_[p - 1];
@@ -169,8 +248,13 @@ void System::apply_choice(const StepChoice& choice) {
     ++now_;
 }
 
+void System::set_scheduler_label(std::string label) {
+    run_.scheduler = std::move(label);
+}
+
 Run System::execute(Scheduler& scheduler, ExecutionLimits limits) {
     require(!finished_, "System::execute: run already finalized");
+    run_.scheduler = scheduler.name();
     bool hit_limit = false;
     while (true) {
         if (now_ > limits.max_steps) {

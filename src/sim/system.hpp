@@ -17,7 +17,9 @@
 // choice sequence) yields bit-identical Runs.
 
 #include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/behavior.hpp"
@@ -61,10 +63,19 @@ public:
 
     // -- stepping ----------------------------------------------------
 
-    /// Executes one atomic step as described by `choice`.  Throws
-    /// UsageError if the choice is illegal (crashed/dead process, message
-    /// id not in the buffer, plan exhausted).
+    /// Executes one atomic step as described by `choice`.  Any fault
+    /// events attached to the choice (chaos layer) are applied first, in
+    /// order: drops remove buffered messages, duplicates clone them, and
+    /// crash injections extend the effective FailurePlan so the victim's
+    /// next step is its final one.  Throws UsageError if the choice is
+    /// illegal (crashed/dead process, message id not in the buffer, plan
+    /// exhausted, conflicting fault).
     void apply_choice(const StepChoice& choice);
+
+    /// Records the scheduler label into the run metadata (System::execute
+    /// does this automatically; step-wise drivers replaying a recorded
+    /// run set it from Run::scheduler to keep replays byte-identical).
+    void set_scheduler_label(std::string label);
 
     /// Runs `scheduler` until it stops or `limits.max_steps` is reached,
     /// then finalizes and returns the recorded Run.  The System is spent
@@ -79,6 +90,11 @@ public:
 
 private:
     void check_pid(ProcessId p, const char* who) const;
+    void apply_fault(const FaultAction& action, StepRecord& rec);
+    /// Locates a buffered message by id; returns the owning buffer or
+    /// nullptr.  `out_it` receives the message's position on success.
+    std::deque<Message>* find_buffered(MessageId id,
+                                       std::deque<Message>::iterator* out_it);
 
     int n_;
     std::string algo_name_;
@@ -95,6 +111,7 @@ private:
 
     Time now_ = 1;
     MessageId next_msg_id_ = 1;
+    std::map<MessageId, int> duplicate_counts_;  ///< clones per source id
     Run run_;
     bool finished_ = false;
 };

@@ -5,6 +5,37 @@
 
 namespace ksa {
 
+namespace {
+
+/// Renders one injected fault event for the trace, e.g. `drop#7`,
+/// `dup#7` or `crash p3 omit{1,2}`.
+void print_fault(std::ostream& out, const FaultAction& a) {
+    switch (a.kind) {
+        case FaultAction::Kind::kDropMessage:
+            out << "drop#" << a.message;
+            return;
+        case FaultAction::Kind::kDuplicateMessage:
+            out << "dup#" << a.message;
+            return;
+        case FaultAction::Kind::kCrashProcess: {
+            out << "crash p" << a.process;
+            if (a.omit_to.empty()) return;
+            out << " omit{";
+            bool first = true;
+            for (ProcessId q : a.omit_to) {
+                if (!first) out << ',';
+                first = false;
+                out << q;
+            }
+            out << '}';
+            return;
+        }
+    }
+    out << "fault?";
+}
+
+}  // namespace
+
 std::string run_summary(const Run& run) {
     std::ostringstream out;
     out << run.algorithm << " n=" << run.n << " steps=" << run.steps.size()
@@ -28,8 +59,20 @@ void print_trace(std::ostream& out, const Run& run) {
         out << run.inputs[i];
     }
     out << "]\n";
+    if (!run.scheduler.empty())
+        out << "  scheduler: " << run.scheduler << '\n';
+    if (!run.plan.faulty().empty())
+        out << "  plan: " << run.plan.to_string() << '\n';
     for (const StepRecord& s : run.steps) {
         out << "  t=" << s.time << " p" << s.process;
+        if (!s.faults.empty()) {
+            out << " faults{";
+            for (std::size_t i = 0; i < s.faults.size(); ++i) {
+                if (i > 0) out << ';';
+                print_fault(out, s.faults[i]);
+            }
+            out << '}';
+        }
         if (s.fd) out << " fd=" << s.fd->to_string();
         if (!s.delivered.empty()) {
             out << " recv{";
@@ -41,6 +84,8 @@ void print_trace(std::ostream& out, const Run& run) {
         }
         if (!s.sent.empty()) out << " sent=" << s.sent.size();
         if (!s.omitted.empty()) out << " omitted=" << s.omitted.size();
+        if (!s.dropped.empty()) out << " dropped=" << s.dropped.size();
+        if (!s.injected.empty()) out << " injected=" << s.injected.size();
         if (s.decision) out << " DECIDE " << *s.decision;
         if (s.final_crash_step) out << " CRASH";
         out << '\n';

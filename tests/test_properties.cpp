@@ -269,9 +269,11 @@ TEST_P(ReplayMetamorphic, RecordedScheduleReplaysToIdenticalDigests) {
         EXPECT_EQ(original.steps[i].digest_after,
                   replayed.steps[i].digest_after);
     // And the serialized form of both runs is byte-identical (modulo the
-    // stop reason, which the script cannot know).
+    // stop reason and the scheduler label, which the script cannot know;
+    // step-wise replay drivers copy the label via set_scheduler_label).
     ksa::Run normalized = replayed;
     normalized.stop = original.stop;
+    normalized.scheduler = original.scheduler;
     EXPECT_EQ(run_to_string(original), run_to_string(normalized));
 }
 

@@ -66,9 +66,13 @@ bool path_contains_dir(const fs::path& file, const std::string& dir) {
 }
 
 bool in_deterministic_hot_path(const fs::path& file) {
-    // The engine (sim/) and the proof constructions (core/) are the
-    // replay-critical layers.
-    return path_contains_dir(file, "sim") || path_contains_dir(file, "core");
+    // The engine (sim/), the proof constructions (core/) and the
+    // fault-injection adversary (chaos/) are the replay-critical layers:
+    // chaos runs must replay bit-identically through the determinism
+    // auditor, so the injector is held to the same determinism bar as
+    // the engine it perturbs.
+    return path_contains_dir(file, "sim") || path_contains_dir(file, "core") ||
+           path_contains_dir(file, "chaos");
 }
 
 bool any_source(const fs::path&) { return true; }
