@@ -13,13 +13,19 @@
 // k <= f border.
 
 #include <algorithm>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
 #include "core/border_map.hpp"
+#include "exec/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace ksa;
+    // Rows are computed in parallel and printed in row order; output is
+    // byte-identical for every thread count.
+    const int threads =
+        argc > 1 ? std::atoi(argv[1]) : exec::hardware_threads();
     std::cout << "E10: solvability maps (columns k = 1.." << "n-1)\n";
     std::cout << "  S solvable here | X impossible (easy reduction) | "
                  "x impossible (topology only)\n";
@@ -32,7 +38,7 @@ int main() {
         std::cout << std::setw(6) << "f" << "  " << std::left
                   << std::setw(width) << "initial-crash" << "async-crash"
                   << std::right << "\n";
-        for (const core::BorderRow& row : core::border_map(n)) {
+        for (const core::BorderRow& row : core::border_map(n, threads)) {
             std::cout << std::setw(6) << row.f << "  " << std::left
                       << std::setw(width) << row.initial << row.async_
                       << std::right << "\n";

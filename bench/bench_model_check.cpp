@@ -6,18 +6,77 @@
 // schedule breaks k-agreement) or exhaustive absence of violations
 // (possible side: a verified small-case instance of Theorem 8's
 // possibility half for the given crash plan).
+//
+// Second half: the engine comparison.  Every case is explored by all
+// three engines -- the pre-snapshot replay baseline, the snapshot
+// reference mode and the snapshot fast mode (1 thread and N threads) --
+// with wall times and cross-engine agreement written to a
+// BENCH_explorer.json artifact (schema: doc/performance.md).  This is
+// the measurement backing the snapshot engine's speedup claim; the
+// baseline is kept in-tree precisely so the comparison stays honest.
+//
+// Usage: bench_model_check [--out FILE] [--threads N] [--quick]
+//   --quick caps depths for the CI smoke (label `perf`); the committed
+//   BENCH_explorer.json comes from a full run.
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
 #include "algo/flooding.hpp"
 #include "algo/initial_clique.hpp"
+#include "bench_util.hpp"
 #include "core/bounds.hpp"
 #include "core/explorer.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/system.hpp"
 
-int main() {
+namespace {
+
+using namespace ksa;
+
+/// Cross-engine agreement on everything the explorer reports (the
+/// witness schedule is compared step by step).
+bool same_result(const core::ExploreResult& a, const core::ExploreResult& b) {
+    if (a.states_explored != b.states_explored) return false;
+    if (a.schedules_expanded != b.schedules_expanded) return false;
+    if (a.exhaustive != b.exhaustive) return false;
+    if (a.violation_found != b.violation_found) return false;
+    if (a.quiescent_outcomes != b.quiescent_outcomes) return false;
+    if (a.reachable_decision_sets != b.reachable_decision_sets) return false;
+    if (a.witness.size() != b.witness.size()) return false;
+    for (std::size_t i = 0; i < a.witness.size(); ++i) {
+        if (a.witness[i].process != b.witness[i].process) return false;
+        if (a.witness[i].deliver != b.witness[i].deliver) return false;
+        if (a.witness[i].deliver_all != b.witness[i].deliver_all) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
     using namespace ksa;
+
+    std::string out_path;
+    int threads = exec::hardware_threads();
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else {
+            std::cerr << "usage: bench_model_check [--out FILE] "
+                         "[--threads N] [--quick]\n";
+            return 2;
+        }
+    }
+
     std::cout << "M2: bounded exhaustive schedule exploration\n\n";
     std::cout << std::left << std::setw(26) << "algorithm" << std::right
               << std::setw(4) << "n" << std::setw(4) << "k" << std::setw(7)
@@ -32,41 +91,55 @@ int main() {
         std::vector<ProcessId> dead;
         int depth;
         bool expect_violation;
+        /// Timing repetitions: sub-millisecond cases repeat the
+        /// exploration and report the mean, so the engine comparison is
+        /// not dominated by timer resolution.
+        int reps;
         const char* why;
     };
     std::vector<Case> cases;
     // Impossible side: flooding is no consensus protocol (k=1, f=1).
     cases.push_back({std::make_unique<algo::FloodingKSet>(2), 3, 1, {}, 10,
-                     true, "flooding != consensus"});
+                     true, 5, "flooding != consensus"});
     // Flooding does achieve 2-set agreement at n=3, f=1: no schedule
     // reaches 3 distinct decisions while respecting the threshold.
     cases.push_back({std::make_unique<algo::FloodingKSet>(2), 3, 2, {}, 10,
-                     false, "flooding = (f+1)-set"});
+                     false, 5, "flooding = (f+1)-set"});
     // Possible side: the FLP protocol with one initial crash stays
     // consensus under EVERY schedule (Theorem 8, k=1, n=3, f=1).
-    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {3}, 14, false,
+    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {3}, 14, false, 30,
                      "Thm 8 possibility"});
-    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false,
+    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false, 1,
                      "Thm 8, no crash"});
     // k-set generalization: L=2 on n=4 bounds decisions by 2.
-    cases.push_back({algo::make_flp_kset(4, 2), 4, 2, {1, 2}, 12, false,
+    cases.push_back({algo::make_flp_kset(4, 2), 4, 2, {1, 2}, 12, false, 30,
                      "Thm 8, k=2"});
     // Trivial protocol: n distinct decisions immediately.
     cases.push_back({std::make_unique<algo::TrivialWaitFree>(), 3, 2, {}, 4,
-                     true, "n-set only"});
+                     true, 100, "n-set only"});
 
-    bool all = true;
-    for (const Case& c : cases) {
+    auto config_for = [&](const Case& c) {
         core::ExploreConfig cfg;
         cfg.n = c.n;
         cfg.inputs = distinct_inputs(c.n);
         cfg.plan.set_initially_dead(c.dead);
         cfg.k = c.k;
-        cfg.max_depth = c.depth;
+        cfg.max_depth = quick ? std::min(c.depth, 8) : c.depth;
         cfg.max_states = 400000;
+        return cfg;
+    };
+
+    bool all = true;
+    for (const Case& c : cases) {
+        core::ExploreConfig cfg = config_for(c);
+        cfg.threads = threads;
         core::ExploreResult r = core::explore_schedules(*c.algorithm, cfg);
-        const bool as_expected = r.violation_found == c.expect_violation;
-        all = all && as_expected && (r.exhaustive || r.violation_found);
+        // Quick mode caps depths, so exhaustiveness and violation
+        // expectations (which assume the full depth) are not enforced.
+        const bool as_expected =
+            quick || r.violation_found == c.expect_violation;
+        all = all && as_expected &&
+              (quick || r.exhaustive || r.violation_found);
         std::cout << std::left << std::setw(26) << c.algorithm->name()
                   << std::right << std::setw(4) << c.n << std::setw(4) << c.k
                   << std::setw(7) << c.dead.size() << std::setw(10)
@@ -80,5 +153,95 @@ int main() {
               << (all ? "every verdict matches the theory"
                       : "MISMATCH AGAINST THEORY")
               << "\n";
-    return all ? 0 : 1;
+
+    // ------------------------------------------------------------------
+    // Engine comparison.
+    std::cout << "\nengine comparison (replay baseline vs snapshot engine, "
+              << threads << " threads)\n\n";
+    std::cout << std::left << std::setw(26) << "case" << std::right
+              << std::setw(7) << "depth" << std::setw(10) << "states"
+              << std::setw(13) << "baseline ms" << std::setw(10) << "ref ms"
+              << std::setw(10) << "fast ms" << std::setw(11) << "fast-N ms"
+              << std::setw(10) << "speedup" << std::setw(8) << "agree\n";
+
+    ksa::bench::BenchReport report("explorer");
+    bool engines_agree = true;
+    for (const Case& c : cases) {
+        core::ExploreConfig cfg = config_for(c);
+        const int reps = quick ? 1 : c.reps;
+
+        core::ExploreResult baseline_r, ref_r, fast_r, fast_mt_r;
+        cfg.mode = core::ExploreMode::kReplayBaseline;
+        const double baseline_ms =
+            ksa::bench::time_call_ms([&] {
+                for (int r = 0; r < reps; ++r)
+                    baseline_r = core::explore_schedules(*c.algorithm, cfg);
+            }) /
+            reps;
+        cfg.mode = core::ExploreMode::kReference;
+        cfg.threads = 1;
+        const double ref_ms =
+            ksa::bench::time_call_ms([&] {
+                for (int r = 0; r < reps; ++r)
+                    ref_r = core::explore_schedules(*c.algorithm, cfg);
+            }) /
+            reps;
+        cfg.mode = core::ExploreMode::kFast;
+        cfg.threads = 1;
+        const double fast_ms =
+            ksa::bench::time_call_ms([&] {
+                for (int r = 0; r < reps; ++r)
+                    fast_r = core::explore_schedules(*c.algorithm, cfg);
+            }) /
+            reps;
+        cfg.threads = threads;
+        const double fast_mt_ms =
+            ksa::bench::time_call_ms([&] {
+                for (int r = 0; r < reps; ++r)
+                    fast_mt_r = core::explore_schedules(*c.algorithm, cfg);
+            }) /
+            reps;
+
+        const bool agree = same_result(baseline_r, ref_r) &&
+                           same_result(baseline_r, fast_r) &&
+                           same_result(baseline_r, fast_mt_r);
+        engines_agree = engines_agree && agree;
+        const double best_ms = std::min(fast_ms, fast_mt_ms);
+        const double speedup = best_ms > 0 ? baseline_ms / best_ms : 0.0;
+
+        std::cout << std::left << std::setw(26) << c.why << std::right
+                  << std::setw(7) << cfg.max_depth << std::setw(10)
+                  << fast_r.states_explored << std::setw(13) << std::fixed
+                  << std::setprecision(1) << baseline_ms << std::setw(10)
+                  << ref_ms << std::setw(10) << fast_ms << std::setw(11)
+                  << fast_mt_ms << std::setw(9) << speedup << "x"
+                  << std::setw(8) << (agree ? "yes" : "NO") << "\n";
+        std::cout.unsetf(std::ios::fixed);
+
+        report.entry(c.why)
+            .str("algorithm", c.algorithm->name())
+            .num("n", c.n)
+            .num("k", c.k)
+            .num("dead", c.dead.size())
+            .num("max_depth", cfg.max_depth)
+            .num("timing_reps", reps)
+            .num("states", fast_r.states_explored)
+            .num("expansions", fast_r.schedules_expanded)
+            .boolean("violation", fast_r.violation_found)
+            .num("threads", threads)
+            .num("baseline_ms", baseline_ms)
+            .num("reference_ms", ref_ms)
+            .num("fast_ms", fast_ms)
+            .num("fast_mt_ms", fast_mt_ms)
+            .num("speedup_vs_baseline", speedup)
+            .boolean("engines_agree", agree);
+    }
+    std::cout << "\n"
+              << (engines_agree
+                      ? "all engines agree bit-identically on every case"
+                      : "ENGINE DISAGREEMENT -- the snapshot engine is wrong")
+              << "\n";
+
+    if (!out_path.empty()) report.write(out_path);
+    return all && engines_agree ? 0 : 1;
 }

@@ -1,0 +1,119 @@
+// P1 -- the deterministic parallel sweep engine, measured.
+//
+// Runs the Theorem 8 resilience sweep (chaos trials over the full
+// (n, k, f) grid) and the large-n border maps with 1 thread and with N
+// threads, checks that the reports are byte-identical (the exec-layer
+// determinism contract, enforced end-to-end), and writes wall times and
+// scaling to BENCH_sweep.json (schema: doc/performance.md).
+//
+// Usage: bench_parallel_sweep [--out FILE] [--threads N] [--quick]
+
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chaos/profile.hpp"
+#include "chaos/resilience.hpp"
+#include "core/border_map.hpp"
+#include "exec/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ksa;
+
+    std::string out_path;
+    int threads = exec::hardware_threads();
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else {
+            std::cerr << "usage: bench_parallel_sweep [--out FILE] "
+                         "[--threads N] [--quick]\n";
+            return 2;
+        }
+    }
+
+    std::cout << "P1: deterministic parallel sweeps (1 thread vs " << threads
+              << " threads)\n\n";
+    ksa::bench::BenchReport report("parallel-sweep");
+    bool all_identical = true;
+
+    // -- resilience sweep --------------------------------------------
+    chaos::SweepConfig cfg;
+    cfg.min_n = 2;
+    cfg.max_n = quick ? 5 : 7;
+    cfg.seeds_per_cell = quick ? 6 : 20;
+    cfg.base_seed = 1;
+    cfg.profile = chaos::guarded_profile(1);
+
+    cfg.threads = 1;
+    chaos::SweepReport seq;
+    const double sweep_seq_ms = ksa::bench::time_call_ms(
+        [&] { seq = chaos::resilience_sweep(cfg); });
+    cfg.threads = threads;
+    chaos::SweepReport par;
+    const double sweep_par_ms = ksa::bench::time_call_ms(
+        [&] { par = chaos::resilience_sweep(cfg); });
+
+    const bool sweep_identical = seq.to_json() == par.to_json() &&
+                                 seq.to_markdown() == par.to_markdown();
+    all_identical = all_identical && sweep_identical;
+    std::cout << "resilience_sweep  n<=" << cfg.max_n << ", "
+              << cfg.seeds_per_cell << " seeds/cell: " << std::fixed
+              << std::setprecision(1) << sweep_seq_ms << " ms -> "
+              << sweep_par_ms << " ms ("
+              << (sweep_par_ms > 0 ? sweep_seq_ms / sweep_par_ms : 0.0)
+              << "x), reports "
+              << (sweep_identical ? "byte-identical" : "DIFFER") << "\n";
+    report.entry("resilience_sweep")
+        .num("max_n", cfg.max_n)
+        .num("seeds_per_cell", cfg.seeds_per_cell)
+        .num("cells", seq.cells.size())
+        .num("trials", seq.total_trials())
+        .num("threads", threads)
+        .num("seq_ms", sweep_seq_ms)
+        .num("par_ms", sweep_par_ms)
+        .num("speedup", sweep_par_ms > 0 ? sweep_seq_ms / sweep_par_ms : 0.0)
+        .boolean("reports_identical", sweep_identical)
+        .boolean("boundary_clean", seq.boundary_clean());
+
+    // -- border map ---------------------------------------------------
+    const int map_n = quick ? 64 : 256;
+    std::vector<core::BorderRow> rows_seq, rows_par;
+    const double map_seq_ms = ksa::bench::time_call_ms(
+        [&] { rows_seq = core::border_map(map_n, 1); });
+    const double map_par_ms = ksa::bench::time_call_ms(
+        [&] { rows_par = core::border_map(map_n, threads); });
+    bool map_identical = rows_seq.size() == rows_par.size();
+    for (std::size_t i = 0; map_identical && i < rows_seq.size(); ++i)
+        map_identical = rows_seq[i].f == rows_par[i].f &&
+                        rows_seq[i].initial == rows_par[i].initial &&
+                        rows_seq[i].async_ == rows_par[i].async_;
+    all_identical = all_identical && map_identical;
+    std::cout << "border_map        n=" << map_n << ": " << map_seq_ms
+              << " ms -> " << map_par_ms << " ms, rows "
+              << (map_identical ? "byte-identical" : "DIFFER") << "\n";
+    std::cout.unsetf(std::ios::fixed);
+    report.entry("border_map")
+        .num("n", map_n)
+        .num("rows", rows_seq.size())
+        .num("threads", threads)
+        .num("seq_ms", map_seq_ms)
+        .num("par_ms", map_par_ms)
+        .boolean("rows_identical", map_identical);
+
+    std::cout << "\n"
+              << (all_identical
+                      ? "every parallel report is byte-identical to its "
+                        "sequential reference"
+                      : "DETERMINISM VIOLATION across thread counts")
+              << "\n";
+    if (!out_path.empty()) report.write(out_path);
+    return all_identical ? 0 : 1;
+}

@@ -31,6 +31,10 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<FloodingBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream d;
         d << "FL(p" << id() << ",x=" << input() << ",ann=" << announced_
@@ -43,6 +47,19 @@ public:
         }
         d << "})";
         return d.str();
+    }
+
+    /// Same fields as state_digest, folded directly (no string).
+    void fold_state(StateHasher& h) const override {
+        h.str("FL");
+        h.i64(id());
+        h.i64(input());
+        h.u64(announced_ ? 1 : 0);
+        h.u64(seen_.size());
+        for (const auto& [q, v] : seen_) {
+            h.i64(q);
+            h.i64(v);
+        }
     }
 
 private:
@@ -61,11 +78,23 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<TrivialBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream d;
         d << "TR(p" << id() << ",x=" << input() << ",dec=" << has_decided()
           << ')';
         return d.str();
+    }
+
+    /// Same fields as state_digest, folded directly (no string).
+    void fold_state(StateHasher& h) const override {
+        h.str("TR");
+        h.i64(id());
+        h.i64(input());
+        h.u64(has_decided() ? 1 : 0);
     }
 };
 

@@ -34,6 +34,10 @@ public:
         return out.str();
     }
 
+    std::unique_ptr<ho::RoundBehavior> clone() const override {
+        return std::make_unique<FloodMinBehavior>(*this);
+    }
+
 private:
     ProcessId id_;
     Value est_;

@@ -42,6 +42,10 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<InitialCliqueBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream d;
         d << "IC(p" << id() << ",x=" << input() << ",ph=" << phase_
@@ -56,6 +60,25 @@ public:
         }
         d << "})";
         return d.str();
+    }
+
+    /// Same fields as state_digest, folded directly (no string).
+    void fold_state(StateHasher& h) const override {
+        h.str("IC");
+        h.i64(id());
+        h.i64(input());
+        h.i64(phase_);
+        h.u64(heard_.size());
+        for (int q : heard_) h.i64(q);
+        h.u64(required_.size());
+        for (int q : required_) h.i64(q);
+        h.u64(known_.size());
+        for (const auto& [q, info] : known_) {
+            h.i64(q);
+            h.i64(info.first);
+            h.u64(info.second.size());
+            for (int u : info.second) h.i64(u);
+        }
     }
 
 private:

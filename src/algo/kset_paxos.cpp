@@ -68,6 +68,10 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<KSetPaxosBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream out;
         out << "KP(p" << id() << ",x=" << input() << ",dec=" << has_decided();

@@ -43,6 +43,10 @@ public:
         return out.str();
     }
 
+    std::unique_ptr<ho::RoundBehavior> clone() const override {
+        return std::make_unique<OneThirdBehavior>(*this);
+    }
+
 private:
     ProcessId id_;
     int n_;

@@ -59,6 +59,10 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<PaxosBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream d;
         d << "PX(p" << id() << ",x=" << input() << ",est=" << est_

@@ -61,6 +61,10 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<QuorumLeaderBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream d;
         d << "QL(p" << id() << ",x=" << input() << ",est=" << est_

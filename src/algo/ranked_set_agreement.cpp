@@ -32,6 +32,10 @@ public:
         return out;
     }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<RankedBehavior>(*this);
+    }
+
     std::string state_digest() const override {
         std::ostringstream d;
         d << "RK(p" << id() << ",x=" << input() << ",ann=" << announced_

@@ -6,6 +6,7 @@
 
 #include "algo/initial_clique.hpp"
 #include "check/contract.hpp"
+#include "exec/parallel_map.hpp"
 #include "core/bounds.hpp"
 #include "core/kset_spec.hpp"
 #include "sim/admissibility.hpp"
@@ -121,9 +122,23 @@ SweepReport resilience_sweep(const SweepConfig& config) {
 
     SweepReport report;
     report.config = config;
-    for (int n = config.min_n; n <= config.max_n; ++n) {
-        for (int k = 1; k <= n - 1; ++k) {
-            for (int f = 0; f <= n - 1; ++f) {
+
+    // Step 1 of the parallel-sweep recipe (exec/parallel_map.hpp):
+    // materialize the iteration space.  Every trial's seed is derived
+    // from its cell coordinates alone, so cells are independent work
+    // items and the cell-parallel report is byte-identical to the
+    // sequential one.
+    struct CellCoord {
+        int n, k, f;
+    };
+    std::vector<CellCoord> coords;
+    for (int n = config.min_n; n <= config.max_n; ++n)
+        for (int k = 1; k <= n - 1; ++k)
+            for (int f = 0; f <= n - 1; ++f) coords.push_back({n, k, f});
+
+    report.cells = exec::parallel_map_deterministic(
+            config.threads, coords.size(), [&](std::size_t i) {
+                const auto [n, k, f] = coords[i];
                 CellResult cell;
                 cell.n = n;
                 cell.k = k;
@@ -150,10 +165,8 @@ SweepReport resilience_sweep(const SweepConfig& config) {
                             break;
                     }
                 }
-                report.cells.push_back(cell);
-            }
-        }
-    }
+                return cell;
+            });
     return report;
 }
 

@@ -91,6 +91,13 @@ struct SweepConfig {
     /// Template profile; its seed is re-derived per trial.
     ChaosProfile profile;
     ExecutionLimits limits;
+    /// Worker threads for cell-parallel execution (1 = sequential).
+    /// Every trial's seed is derived from its (n, k, f, trial)
+    /// coordinates, never from shared state, so the report --
+    /// including its JSON and markdown renderings, which deliberately
+    /// do not mention the thread count -- is byte-identical for every
+    /// value (tests/test_exec.cpp holds the sweep to this).
+    int threads = 1;
 };
 
 /// The full grid report.

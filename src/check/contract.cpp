@@ -1,7 +1,9 @@
 #include "check/contract.hpp"
 
+#include <atomic>  // ksa-lint: allow(threading-outside-exec) -- see below
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>  // ksa-lint: allow(threading-outside-exec) -- see below
 #include <sstream>
 
 #include "sim/types.hpp"
@@ -10,11 +12,20 @@ namespace ksa::check {
 
 namespace {
 
-// Process-global contract state.  The engine is single-threaded (see the
-// file comment in contract.hpp); plain statics keep the hot path to one
-// predictable branch.
-Policy g_policy = Policy::kThrow;
-std::size_t g_count = 0;
+// Process-global contract state.  Contract checks fire inside behaviors
+// and Systems, which the explorer's layer-parallel BFS steps from pool
+// threads (src/exec/) -- so this bookkeeping must be thread-safe.  It
+// is bookkeeping, not a parallelism construct: relaxed atomics for the
+// policy and counter keep the hot path at one load plus one predictable
+// branch, and a mutex guards only the rarely-written last-violation
+// record.  This is the sanctioned use of the lint escape hatch; actual
+// parallelism still belongs in src/exec/ alone.
+// ksa-lint: allow(threading-outside-exec)
+std::atomic<Policy> g_policy{Policy::kThrow};
+// ksa-lint: allow(threading-outside-exec)
+std::atomic<std::size_t> g_count{0};
+// ksa-lint: allow(threading-outside-exec)
+std::mutex g_last_mutex;
 std::optional<Violation> g_last;
 
 }  // namespace
@@ -35,16 +46,26 @@ std::string Violation::to_string() const {
     return out.str();
 }
 
-Policy policy() noexcept { return g_policy; }
+Policy policy() noexcept { return g_policy.load(std::memory_order_relaxed); }
 
-void set_policy(Policy policy) noexcept { g_policy = policy; }
+void set_policy(Policy policy) noexcept {
+    g_policy.store(policy, std::memory_order_relaxed);
+}
 
-std::size_t violation_count() noexcept { return g_count; }
+std::size_t violation_count() noexcept {
+    return g_count.load(std::memory_order_relaxed);
+}
 
-std::optional<Violation> last_violation() { return g_last; }
+std::optional<Violation> last_violation() {
+    // ksa-lint: allow(threading-outside-exec)
+    std::lock_guard<std::mutex> lock(g_last_mutex);
+    return g_last;
+}
 
 void reset_violations() noexcept {
-    g_count = 0;
+    g_count.store(0, std::memory_order_relaxed);
+    // ksa-lint: allow(threading-outside-exec)
+    std::lock_guard<std::mutex> lock(g_last_mutex);
     g_last.reset();
 }
 
@@ -56,10 +77,14 @@ void report_violation(ContractKind kind, const char* expression,
     v.file = file;
     v.line = line;
     v.message = message;
-    ++g_count;
-    g_last = v;
+    g_count.fetch_add(1, std::memory_order_relaxed);
+    {
+        // ksa-lint: allow(threading-outside-exec)
+        std::lock_guard<std::mutex> lock(g_last_mutex);
+        g_last = v;
+    }
 
-    switch (g_policy) {
+    switch (g_policy.load(std::memory_order_relaxed)) {
         case Policy::kThrow:
             if (kind == ContractKind::kRequire) throw UsageError(message);
             throw SimulationBug(v.to_string());

@@ -28,9 +28,14 @@
 //       execution continues past the failed check, so the code after it
 //       must not rely on the condition -- use only for read-only audits.
 //
-// The policy is process-global on purpose: the engine is single-threaded
-// and the policy is an execution-environment property (like a sanitizer),
-// not a per-call-site one.  Use PolicyGuard to scope a change.
+// The policy is process-global on purpose: it is an execution-
+// environment property (like a sanitizer), not a per-call-site one.
+// Use PolicyGuard to scope a change.  Checks may fire from the exec
+// layer's pool threads (the explorer steps Systems in parallel), so
+// the policy/counter are atomics and the last-violation record is
+// mutex-guarded; set_policy itself should still be called from the
+// main thread between parallel regions -- scoping a policy change
+// around a concurrently-running sweep is a caller bug.
 
 #include <cstddef>
 #include <optional>

@@ -1,6 +1,7 @@
 #include "core/border_map.hpp"
 
 #include "core/bounds.hpp"
+#include "exec/parallel_map.hpp"
 
 namespace ksa::core {
 
@@ -32,19 +33,23 @@ Verdict detector_verdict(int n, int k) {
                                       : Verdict::kImpossibleEasy;
 }
 
-std::vector<BorderRow> border_map(int n) {
+std::vector<BorderRow> border_map(int n) { return border_map(n, 1); }
+
+std::vector<BorderRow> border_map(int n, int threads) {
     require(n >= 2, "border_map: n must be >= 2");
-    std::vector<BorderRow> rows;
-    for (int f = 1; f < n; ++f) {
-        BorderRow row;
-        row.f = f;
-        for (int k = 1; k < n; ++k) {
-            row.initial += verdict_char(initial_crash_verdict(n, f, k));
-            row.async_ += verdict_char(async_crash_verdict(n, f, k));
-        }
-        rows.push_back(std::move(row));
-    }
-    return rows;
+    // Rows f = 1..n-1 are independent work items; each writes only its
+    // own slot and the slots come back in row order, so the map is
+    // byte-identical across thread counts.
+    return exec::parallel_map_deterministic(
+            threads, static_cast<std::size_t>(n - 1), [n](std::size_t i) {
+                BorderRow row;
+                row.f = static_cast<int>(i) + 1;
+                for (int k = 1; k < n; ++k) {
+                    row.initial += verdict_char(initial_crash_verdict(n, row.f, k));
+                    row.async_ += verdict_char(async_crash_verdict(n, row.f, k));
+                }
+                return row;
+            });
 }
 
 std::string detector_line(int n) {

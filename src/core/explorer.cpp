@@ -1,58 +1,22 @@
 #include "core/explorer.hpp"
 
+#include <algorithm>
 #include <deque>
-#include <set>
+#include <memory>
 #include <sstream>
+#include <utility>
 
+#include "exec/parallel_map.hpp"
+#include "exec/thread_pool.hpp"
+#include "sim/digest.hpp"
 #include "sim/system.hpp"
 
 namespace ksa::core {
 
 namespace {
 
-/// Content-based digest of a full configuration: local states, decisions,
-/// crash flags, and buffer contents (sender + payload, in order; message
-/// ids are simulator bookkeeping and intentionally excluded so that
-/// content-equal states reached by different schedules deduplicate).
-std::string configuration_digest(const System& sys, int n) {
-    std::ostringstream out;
-    for (ProcessId p = 1; p <= n; ++p) {
-        out << '|' << (sys.crashed(p) ? "X" : "");
-        auto d = sys.decision_of(p);
-        if (d) out << "D" << *d;
-        out << ';';
-        for (const Message& m : sys.buffer(p))
-            out << m.from << ':' << m.payload.to_string() << ',';
-    }
-    return out.str();
-}
-
-/// Runs `script` on a fresh system; returns the system for inspection.
-std::unique_ptr<System> replay(const Algorithm& algorithm,
-                               const ExploreConfig& cfg,
-                               const std::vector<StepChoice>& script) {
-    auto sys = std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
-    for (const StepChoice& c : script) sys->apply_choice(c);
-    return sys;
-}
-
-/// Configuration-state digest *including* the per-process behavior state.
-std::string full_digest(const Algorithm& algorithm, const ExploreConfig& cfg,
-                        const std::vector<StepChoice>& script) {
-    // Behavior digests are recorded per step in the Run; rather than
-    // threading them out of System we reconstruct them by replaying and
-    // finishing a throwaway copy.
-    auto sys = std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
-    for (const StepChoice& c : script) sys->apply_choice(c);
-    std::string conf = configuration_digest(*sys, cfg.n);
-    Run run = sys->finish(StopReason::kSchedulerEnded);
-    std::vector<std::string> last(cfg.n);
-    for (const StepRecord& s : run.steps) last[s.process - 1] = s.digest_after;
-    std::ostringstream out;
-    out << conf << '#';
-    for (const std::string& d : last) out << d << '|';
-    return out.str();
-}
+// ---------------------------------------------------------------------
+// Shared predicates (identical across all three engines).
 
 bool quiescent(const System& sys, const ExploreConfig& cfg) {
     for (ProcessId p = 1; p <= cfg.n; ++p) {
@@ -74,35 +38,719 @@ std::set<Value> decision_set(const System& sys, int n) {
     return out;
 }
 
-}  // namespace
+/// The three delivery modes for process p, in canonical order: deliver
+/// nothing, deliver the oldest buffered message, deliver the whole
+/// buffer (only when it differs from "oldest").  Every engine enumerates
+/// children in exactly this order so that BFS insertion order -- and
+/// therefore witness selection and max_states truncation -- is engine-
+/// independent.
+std::vector<StepChoice> delivery_modes(const System& sys, ProcessId p) {
+    std::vector<StepChoice> modes;
+    {
+        StepChoice none;
+        none.process = p;
+        modes.push_back(none);
+    }
+    const auto& buf = sys.buffer(p);
+    if (!buf.empty()) {
+        StepChoice oldest;
+        oldest.process = p;
+        oldest.deliver.push_back(buf.front().id);
+        modes.push_back(oldest);
+        if (buf.size() > 1) {
+            StepChoice all;
+            all.process = p;
+            for (const Message& m : buf) all.deliver.push_back(m.id);
+            modes.push_back(all);
+        }
+    }
+    return modes;
+}
 
-std::string ExploreResult::summary() const {
+// ---------------------------------------------------------------------
+// State keys.
+//
+// All engines deduplicate on the same logical state:
+//
+//   per process: crash flag, decision (if any), buffer contents in
+//   arrival order (sender + payload; message ids are simulator
+//   bookkeeping and intentionally excluded so content-equal states
+//   reached by different schedules deduplicate), and -- iff the process
+//   has stepped at least once -- its canonical behavior digest.
+//
+// "Iff stepped" matters: the pre-snapshot engine recovered behavior
+// digests from StepRecord::digest_after, which only exists for
+// processes that stepped, so an unstepped process contributed the empty
+// string.  The live engines reproduce that convention exactly so that
+// all modes partition the state space identically, state counts match,
+// and the golden equivalence suite can require bit-identical
+// ExploreResults.
+//
+// Behavior digests are the expensive part of a key (one string
+// rendering over the whole local state).  A child configuration differs
+// from its parent by exactly one step of one process, so the snapshot
+// engine carries the digest vector alongside each node and re-renders
+// only the stepped process's entry: n-1 of the n renderings the replay
+// baseline pays per candidate disappear.
+
+/// Canonical string key (reference mode).  `digests[p-1]` must be
+/// steps_of(p) > 0 ? last_digest(p) : "" -- byte-identical to the
+/// pre-snapshot engine's full_digest() of the same configuration.
+std::string canonical_state_string(const System& sys, int n,
+                                   const std::vector<std::string>& digests) {
     std::ostringstream out;
-    out << "explored " << states_explored << " states ("
-        << schedules_expanded << " expansions), "
-        << (exhaustive ? "exhaustive" : "TRUNCATED") << ", "
-        << quiescent_outcomes.size() << " quiescent outcomes, "
-        << reachable_decision_sets.size() << " reachable decision sets, "
-        << (violation_found ? "VIOLATION FOUND" : "no violation");
+    for (ProcessId p = 1; p <= n; ++p) {
+        out << '|' << (sys.crashed(p) ? "X" : "");
+        auto d = sys.decision_of(p);
+        if (d) out << "D" << *d;
+        out << ';';
+        for (const Message& m : sys.buffer(p))
+            out << m.from << ':' << m.payload.to_string() << ',';
+    }
+    out << '#';
+    for (const std::string& d : digests) out << d << '|';
     return out.str();
 }
 
-ExploreResult explore_schedules(const Algorithm& algorithm,
-                                const ExploreConfig& cfg) {
-    require(!algorithm.needs_failure_detector(),
-            "explore_schedules: detector-using algorithms are not supported");
-    require(static_cast<int>(cfg.inputs.size()) == cfg.n,
-            "explore_schedules: need n inputs");
+/// Folds one buffered message (sender + payload; identity fields
+/// excluded, mirroring the canonical rendering).
+void hash_message(StateHasher& h, ProcessId from, const Payload& payload) {
+    h.i64(from);
+    h.str(payload.tag);
+    h.u64(payload.ints.size());
+    for (int v : payload.ints) h.i64(v);
+    h.u64(payload.lists.size());
+    for (const auto& list : payload.lists) {
+        h.u64(list.size());
+        for (int v : list) h.i64(v);
+    }
+}
 
+/// 128-bit digest of one buffered message.  The fast engine hashes each
+/// message ONCE -- when it is sent -- caches the digest alongside the
+/// node, and folds the cached 128 bits into every state key the message
+/// participates in, instead of re-walking the payload per candidate
+/// (profiling shows payload re-walks dominating otherwise: a message
+/// sits in a buffer across many layers and each layer hashes 3n
+/// candidate children).
+Digest128 msg_hash(ProcessId from, const Payload& payload) {
+    StateHasher h;
+    hash_message(h, from, payload);
+    return h.digest();
+}
+
+/// 128-bit digest of one behavior's local state (Behavior::fold_state
+/// in a fresh hasher).  The fast engine keys behavior state on these
+/// instead of digest strings; the fold_state contract ("distinguishes
+/// exactly what state_digest distinguishes") makes the partition
+/// identical to the reference mode's, modulo hash collisions.
+Digest128 behavior_hash(const Behavior& b) {
+    StateHasher h;
+    b.fold_state(h);
+    return h.digest();
+}
+
+/// Per-process behavior-state entry of a fast-mode key.  `stepped`
+/// mirrors the baseline's convention of keying an unstepped process on
+/// the empty string (see the state-key comment): an unstepped process
+/// contributes only the flag, a stepped one its fold_state digest.
+struct BehaviorMark {
+    bool stepped = false;
+    Digest128 hash{};
+};
+
+void fold_mark(StateHasher& h, const BehaviorMark& m) {
+    h.u64(m.stepped ? 1 : 0);
+    if (m.stepped) h.fold(m.hash);
+}
+
+/// 128-bit hash key (fast mode): folds the same logical fields the
+/// canonical string renders -- buffered messages and behavior states
+/// via their cached digests -- without materializing any intermediate
+/// string.  Variable-length fields are length-prefixed so distinct
+/// configurations produce distinct feed sequences.  This version
+/// recomputes every per-message and per-behavior digest from the live
+/// System; it is used for the root key and for the debug cross-check
+/// of ghost keys (an independent path that also validates the cache
+/// bookkeeping).
+Digest128 hash_state(const System& sys, int n) {
+    StateHasher h;
+    for (ProcessId p = 1; p <= n; ++p) {
+        h.u64(sys.crashed(p) ? 1 : 0);
+        auto d = sys.decision_of(p);
+        h.u64(d ? 1 : 0);
+        if (d) h.i64(*d);
+        const auto& buf = sys.buffer(p);
+        h.u64(buf.size());
+        for (const Message& m : buf) h.fold(msg_hash(m.from, m.payload));
+    }
+    for (ProcessId p = 1; p <= n; ++p) {
+        BehaviorMark m;
+        m.stepped = sys.steps_of(p) > 0;
+        if (m.stepped) m.hash = behavior_hash(sys.behavior_of(p));
+        fold_mark(h, m);
+    }
+    return h.digest();
+}
+
+// ---------------------------------------------------------------------
+// Ghost stepping (fast mode).
+//
+// The profile of the snapshot engine is dominated by materializing and
+// destroying forked Systems for candidate children that deduplication
+// then rejects (the reachable graph has far more edges than vertices).
+// The fast engine therefore computes a child's dedup key WITHOUT
+// forking: it clones only the stepping process's behavior, runs the
+// step on the clone, and hashes the parent's configuration with the
+// step's effects patched in -- p's delivered prefix removed from its
+// buffer, the step's surviving sends appended to their destination
+// buffers, p's decision/crash flag/behavior digest updated.  Only
+// children that survive deduplication are realized with a real
+// System::fork() + apply_choice() (at most one per *state*, not one
+// per *edge*).  Debug builds re-hash every realized child and assert
+// the ghost key matches (the executable form of this equivalence).
+
+/// Effects of one ghost step of `stepper` on a behavior clone.
+struct GhostStep {
+    StepOutput out;                 ///< sends + decision of the step
+    bool final_crash = false;       ///< step count hit the crash plan
+    const std::set<ProcessId>* omit_to = nullptr;  ///< final-step omissions
+    std::size_t delivered = 0;      ///< length of the delivered buffer prefix
+    Digest128 bhash{};              ///< behavior_hash() after the step
+
+    /// True iff the send `(dest)` actually reaches its buffer.
+    bool send_survives(ProcessId dest) const {
+        return !(final_crash && omit_to != nullptr && omit_to->count(dest) != 0);
+    }
+};
+
+/// Runs one ghost step.  The delivery modes of the explorer always
+/// deliver a *prefix* of the buffer (nothing / the oldest message / the
+/// whole buffer), so the delivered set is just a prefix length.
+/// `scratch` is a caller-owned StepInput reused across candidates to
+/// amortize its allocations.
+GhostStep ghost_step(const System& sys, ProcessId p, std::size_t delivered,
+                     StepInput& scratch) {
+    GhostStep g;
+    g.delivered = delivered;
+    const auto& buf = sys.buffer(p);
+    scratch.delivered.assign(
+            buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(delivered));
+    std::unique_ptr<Behavior> behavior = sys.clone_behavior(p);
+    g.out = behavior->on_step(scratch);
+    const int allowed = sys.plan().allowed_steps(p);
+    g.final_crash = allowed >= 0 && sys.steps_of(p) + 1 == allowed;
+    if (g.final_crash) g.omit_to = &sys.plan().spec(p).omit_to;
+    g.bhash = behavior_hash(*behavior);
+    return g;
+}
+
+/// One message the ghost step adds to a buffer, pre-hashed.  Kept in
+/// emission order; the accepted child's per-message digest cache is
+/// extended from this list without re-hashing the payloads.
+struct ArrivingSend {
+    ProcessId dest = 0;
+    Digest128 hash{};
+};
+
+/// Per-node cache of buffered-message digests: `mhash[p-1][i]` is
+/// msg_hash() of the i-th message of p's buffer.  A child's cache is
+/// the parent's with the stepper's delivered prefix erased and the
+/// step's surviving sends appended -- every message is hashed exactly
+/// once in its lifetime.
+using MessageHashes = std::vector<std::vector<Digest128>>;
+
+/// Hash of the child configuration reached from `sys` by the ghost
+/// step: field-for-field identical to hash_state() of the realized
+/// child (debug builds assert this on every accepted child).  Fills
+/// `arriving` with the surviving sends in emission order.
+Digest128 hash_child(const System& sys, int n, ProcessId stepper,
+                     const GhostStep& g,
+                     const std::vector<BehaviorMark>& parent_marks,
+                     const MessageHashes& parent_mhash,
+                     std::vector<ArrivingSend>& arriving) {
+    arriving.clear();
+    for (const auto& [dest, payload] : g.out.sends)
+        if (g.send_survives(dest))
+            arriving.push_back({dest, msg_hash(stepper, payload)});
+    StateHasher h;
+    for (ProcessId q = 1; q <= n; ++q) {
+        const bool crashed_q = q == stepper ? g.final_crash : sys.crashed(q);
+        h.u64(crashed_q ? 1 : 0);
+        auto d = sys.decision_of(q);
+        if (q == stepper && g.out.decision) d = g.out.decision;
+        h.u64(d ? 1 : 0);
+        if (d) h.i64(*d);
+        const auto& mh = parent_mhash[q - 1];
+        const std::size_t skip = q == stepper ? g.delivered : 0;
+        std::size_t arriving_q = 0;
+        for (const ArrivingSend& a : arriving)
+            if (a.dest == q) ++arriving_q;
+        h.u64(mh.size() - skip + arriving_q);
+        for (std::size_t i = skip; i < mh.size(); ++i) h.fold(mh[i]);
+        // apply_choice appends sends in emission order, after removing
+        // the delivered prefix (self-sends land behind the survivors).
+        for (const ArrivingSend& a : arriving)
+            if (a.dest == q) h.fold(a.hash);
+    }
+    for (ProcessId q = 1; q <= n; ++q) {
+        if (q == stepper)
+            fold_mark(h, BehaviorMark{true, g.bhash});
+        else
+            fold_mark(h, parent_marks[q - 1]);
+    }
+    return h.digest();
+}
+
+// ---------------------------------------------------------------------
+// Snapshot engine (fast + reference modes).
+//
+// The frontier holds *live* System snapshots; a child is parent->fork()
+// plus one apply_choice.  Recording is off: the schedule script kept
+// alongside each node is the record, and skipping the per-step Run
+// bookkeeping (including the digest_after rendering) is a large part of
+// the speedup over the replay baseline.
+//
+// The BFS is layered so that layers can be expanded in parallel:
+// expansion (pure, per-node) happens through
+// exec::parallel_map_deterministic, and all mutation of the shared
+// result/visited state happens in a sequential merge that consumes the
+// expansions in input order.  The merge replays the exact bookkeeping
+// order of the sequential pre-snapshot engine -- pop-time max_states
+// check, expansion counting, first-in-BFS-order witness, child
+// insertion order -- so the output is byte-identical across engines and
+// thread counts.
+
+/// One link of a shared schedule-prefix chain.  Frontier nodes share
+/// their prefixes structurally instead of copying O(depth) StepChoices
+/// per node; a witness schedule is materialized only when a violation
+/// is actually found.  shared_ptr reference counts are atomic, so
+/// chains may be extended concurrently from distinct expansions.
+struct ScriptLink {
+    std::shared_ptr<const ScriptLink> parent;
+    StepChoice choice;
+};
+
+std::vector<StepChoice> materialize_script(const ScriptLink* tail) {
+    std::vector<StepChoice> out;
+    for (const ScriptLink* l = tail; l != nullptr; l = l->parent.get())
+        out.push_back(l->choice);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+template <typename Key>
+struct Child {
+    Key key{};
+    std::unique_ptr<System> sys;
+    std::vector<std::string> digests;  ///< per-process behavior digests
+    StepChoice choice;
+};
+
+template <typename Key>
+struct Expansion {
+    std::set<Value> decided;
+    bool is_quiescent = false;
+    std::vector<Value> outcome;  ///< filled iff is_quiescent
+    bool at_depth = false;
+    std::vector<Child<Key>> children;
+};
+
+template <typename Key>
+struct Node {
+    std::unique_ptr<System> sys;
+    /// steps_of(p) > 0 ? last_digest(p) : "" per process -- see the
+    /// state-key comment.
+    std::vector<std::string> digests;
+    std::shared_ptr<const ScriptLink> script;  ///< nullptr at the root
+    int depth = 0;
+};
+
+/// Expands one frontier node: classifies it and, unless it is quiescent
+/// or at the depth bound, forks one child per (live process, delivery
+/// mode).  Touches only the node and freshly forked copies -- safe to
+/// run concurrently on distinct nodes.
+template <typename Key, typename KeyFn>
+Expansion<Key> expand_node(const Node<Key>& node, const ExploreConfig& cfg,
+                           const KeyFn& make_key) {
+    Expansion<Key> e;
+    const System& sys = *node.sys;
+    e.decided = decision_set(sys, cfg.n);
+    if (quiescent(sys, cfg)) {
+        e.is_quiescent = true;
+        e.outcome.assign(cfg.n, kNoValue);
+        for (ProcessId p = 1; p <= cfg.n; ++p) {
+            auto d = sys.decision_of(p);
+            if (d) e.outcome[p - 1] = *d;
+        }
+        return e;
+    }
+    if (node.depth >= cfg.max_depth) {
+        e.at_depth = true;
+        return e;
+    }
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        if (!sys.can_step(p)) continue;
+        // Skip steps that provably change nothing: a decided correct
+        // process with an empty buffer.
+        if (!cfg.plan.is_faulty(p) && sys.decision_of(p) &&
+            sys.buffer(p).empty())
+            continue;
+        for (StepChoice& mode : delivery_modes(sys, p)) {
+            Child<Key> child;
+            child.sys = sys.fork();
+            child.sys->apply_choice(mode);
+            // Only process p stepped: every other behavior digest is
+            // unchanged from the parent.
+            child.digests = node.digests;
+            child.digests[p - 1] = child.sys->last_digest(p);
+            child.key = make_key(*child.sys, child.digests);
+            child.choice = std::move(mode);
+            e.children.push_back(std::move(child));
+        }
+    }
+    return e;
+}
+
+template <typename Key, typename KeyFn>
+ExploreResult explore_snapshot(const Algorithm& algorithm,
+                               const ExploreConfig& cfg,
+                               const KeyFn& make_key) {
     ExploreResult result;
     // Deterministic container on purpose (ksa-verify): the frontier is
     // cut off by max_states, so *which* states fall inside the explored
     // set must not depend on hash-iteration order or hash seeding --
     // two runs of the explorer must produce identical reports.
+    std::set<Key> visited;
+
+    exec::ThreadPool pool(cfg.threads < 1 ? 1 : cfg.threads);
+
+    std::vector<Node<Key>> layer;
+    {
+        auto root =
+                std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+        root->set_recording(false);
+        Node<Key> node;
+        node.digests.assign(static_cast<std::size_t>(cfg.n), std::string());
+        visited.insert(make_key(*root, node.digests));
+        node.sys = std::move(root);
+        layer.push_back(std::move(node));
+    }
+
+    bool truncated = false;
+    while (!layer.empty() && !truncated) {
+        // Parallel phase: expand every node of the layer independently.
+        std::vector<Expansion<Key>> expansions = exec::parallel_map_deterministic(
+                pool, layer.size(),
+                [&](std::size_t i) { return expand_node(layer[i], cfg, make_key); });
+
+        // Sequential merge, in input order (= the sequential engine's
+        // pop order).
+        std::vector<Node<Key>> next;
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            if (visited.size() > cfg.max_states) {
+                result.exhaustive = false;
+                truncated = true;
+                break;
+            }
+            ++result.schedules_expanded;
+            Expansion<Key>& e = expansions[i];
+            result.reachable_decision_sets.insert(e.decided);
+            if (static_cast<int>(e.decided.size()) > cfg.k &&
+                !result.violation_found) {
+                result.violation_found = true;
+                result.witness = materialize_script(layer[i].script.get());
+            }
+            if (e.is_quiescent) {
+                result.quiescent_outcomes.insert(std::move(e.outcome));
+                continue;
+            }
+            if (e.at_depth) {
+                result.exhaustive = false;
+                continue;
+            }
+            for (Child<Key>& c : e.children) {
+                if (visited.insert(c.key).second) {
+                    Node<Key> node;
+                    node.sys = std::move(c.sys);
+                    node.digests = std::move(c.digests);
+                    node.script = std::make_shared<const ScriptLink>(
+                            ScriptLink{layer[i].script, std::move(c.choice)});
+                    node.depth = layer[i].depth + 1;
+                    next.push_back(std::move(node));
+                }
+            }
+        }
+        layer = std::move(next);
+    }
+    result.states_explored = visited.size();
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Fast engine: ghost expansion + fork-only-accepted realization.
+//
+// Same layered BFS and identical merge bookkeeping as explore_snapshot,
+// but Phase A (expansion) produces only ghost keys -- no forks -- and a
+// second parallel Phase B realizes exactly the deduplication survivors.
+// Since the reachable graph typically has several times more edges than
+// vertices, this removes the dominant cost of the snapshot engine
+// (constructing and destroying rejected forked Systems).
+
+/// A candidate child, described without materializing it -- not even
+/// its StepChoice: the (stepper, delivered-prefix-length) pair fully
+/// describes the step, and the choice is built from the parent's
+/// buffer only for the children that survive deduplication.
+struct FastChild {
+    Digest128 key{};
+    ProcessId stepper = 0;
+    std::size_t delivered = 0;  ///< length of the delivered buffer prefix
+    Digest128 bhash{};          ///< stepper's behavior hash after the step
+    std::vector<ArrivingSend> arriving;  ///< pre-hashed surviving sends
+};
+
+struct FastExpansion {
+    std::set<Value> decided;
+    bool is_quiescent = false;
+    std::vector<Value> outcome;  ///< filled iff is_quiescent
+    bool at_depth = false;
+    std::vector<FastChild> children;
+};
+
+struct FastNode {
+    std::unique_ptr<System> sys;
+    std::vector<BehaviorMark> marks;  ///< cached behavior-state digests
+    MessageHashes mhash;              ///< cached buffered-message digests
+    std::shared_ptr<const ScriptLink> script;
+    int depth = 0;
+};
+
+/// Phase A: classifies the node and ghost-steps every (live process,
+/// delivery mode) candidate.  Reads the node and clones single
+/// behaviors only -- safe to run concurrently on distinct nodes.
+FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg) {
+    FastExpansion e;
+    const System& sys = *node.sys;
+    e.decided = decision_set(sys, cfg.n);
+    if (quiescent(sys, cfg)) {
+        e.is_quiescent = true;
+        e.outcome.assign(cfg.n, kNoValue);
+        for (ProcessId p = 1; p <= cfg.n; ++p) {
+            auto d = sys.decision_of(p);
+            if (d) e.outcome[p - 1] = *d;
+        }
+        return e;
+    }
+    if (node.depth >= cfg.max_depth) {
+        e.at_depth = true;
+        return e;
+    }
+    e.children.reserve(static_cast<std::size_t>(3 * cfg.n));
+    StepInput scratch;
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        if (!sys.can_step(p)) continue;
+        if (!cfg.plan.is_faulty(p) && sys.decision_of(p) &&
+            sys.buffer(p).empty())
+            continue;
+        // The delivered-prefix lengths of delivery_modes(), without
+        // materializing StepChoices: nothing, the oldest message, the
+        // whole buffer (iff it differs from "oldest").
+        const std::size_t buf_size = sys.buffer(p).size();
+        std::size_t prefixes[3];
+        std::size_t num_prefixes = 0;
+        prefixes[num_prefixes++] = 0;
+        if (buf_size >= 1) prefixes[num_prefixes++] = 1;
+        if (buf_size > 1) prefixes[num_prefixes++] = buf_size;
+        for (std::size_t m = 0; m < num_prefixes; ++m) {
+            GhostStep g = ghost_step(sys, p, prefixes[m], scratch);
+            FastChild child;
+            child.key = hash_child(sys, cfg.n, p, g, node.marks,
+                                   node.mhash, child.arriving);
+            child.stepper = p;
+            child.delivered = prefixes[m];
+            child.bhash = g.bhash;
+            e.children.push_back(std::move(child));
+        }
+    }
+    return e;
+}
+
+ExploreResult explore_fast(const Algorithm& algorithm,
+                           const ExploreConfig& cfg) {
+    ExploreResult result;
+    std::set<Digest128> visited;  // deterministic container on purpose
+
+    exec::ThreadPool pool(cfg.threads < 1 ? 1 : cfg.threads);
+
+    std::vector<FastNode> layer;
+    {
+        auto root =
+                std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+        root->set_recording(false);
+        FastNode node;
+        node.marks.assign(static_cast<std::size_t>(cfg.n), BehaviorMark{});
+        node.mhash.assign(static_cast<std::size_t>(cfg.n), {});
+        for (ProcessId p = 1; p <= cfg.n; ++p)
+            for (const Message& m : root->buffer(p))
+                node.mhash[p - 1].push_back(msg_hash(m.from, m.payload));
+        visited.insert(hash_state(*root, cfg.n));
+        node.sys = std::move(root);
+        layer.push_back(std::move(node));
+    }
+
+    /// A deduplication survivor waiting for Phase B realization.
+    struct Accepted {
+        std::size_t parent;  ///< index into the current layer
+        StepChoice choice;
+        Digest128 bhash{};
+        std::vector<ArrivingSend> arriving;
+        Digest128 key{};
+    };
+
+    bool truncated = false;
+    while (!layer.empty() && !truncated) {
+        // Phase A (parallel): ghost-expand every node of the layer.
+        std::vector<FastExpansion> expansions = exec::parallel_map_deterministic(
+                pool, layer.size(),
+                [&](std::size_t i) { return expand_fast(layer[i], cfg); });
+
+        // Sequential merge, identical bookkeeping order to the other
+        // engines (pop-order max_states check, expansion counting,
+        // first-in-BFS-order witness, child insertion order).
+        std::vector<Accepted> accepted;
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            if (visited.size() > cfg.max_states) {
+                result.exhaustive = false;
+                truncated = true;
+                break;
+            }
+            ++result.schedules_expanded;
+            FastExpansion& e = expansions[i];
+            result.reachable_decision_sets.insert(e.decided);
+            if (static_cast<int>(e.decided.size()) > cfg.k &&
+                !result.violation_found) {
+                result.violation_found = true;
+                result.witness = materialize_script(layer[i].script.get());
+            }
+            if (e.is_quiescent) {
+                result.quiescent_outcomes.insert(std::move(e.outcome));
+                continue;
+            }
+            if (e.at_depth) {
+                result.exhaustive = false;
+                continue;
+            }
+            for (FastChild& c : e.children) {
+                if (visited.insert(c.key).second) {
+                    // Materialize the StepChoice (delivered prefix ->
+                    // message ids) only for survivors.
+                    StepChoice choice;
+                    choice.process = c.stepper;
+                    const auto& buf = layer[i].sys->buffer(c.stepper);
+                    choice.deliver.reserve(c.delivered);
+                    for (std::size_t m = 0; m < c.delivered; ++m)
+                        choice.deliver.push_back(buf[m].id);
+                    accepted.push_back(Accepted{i, std::move(choice), c.bhash,
+                                                std::move(c.arriving), c.key});
+                }
+            }
+        }
+
+        // Phase B (parallel): realize only the survivors -- one fork
+        // per *state*, not per candidate edge.  fork() only reads the
+        // parent, so siblings of the same parent can realize
+        // concurrently.
+        std::vector<FastNode> next = exec::parallel_map_deterministic(
+                pool, accepted.size(), [&](std::size_t j) {
+                    Accepted& a = accepted[j];
+                    const FastNode& parent = layer[a.parent];
+                    const ProcessId stepper = a.choice.process;
+                    const std::size_t delivered = a.choice.deliver.size();
+                    FastNode node;
+                    node.sys = parent.sys->fork(false);
+                    node.sys->apply_choice(a.choice);
+                    node.marks = parent.marks;
+                    node.marks[stepper - 1] = BehaviorMark{true, a.bhash};
+                    // Advance the message-digest cache exactly the way
+                    // apply_choice advanced the buffers: delivered
+                    // prefix out, surviving sends in, emission order.
+                    node.mhash = parent.mhash;
+                    auto& sm = node.mhash[stepper - 1];
+                    sm.erase(sm.begin(),
+                             sm.begin() + static_cast<std::ptrdiff_t>(delivered));
+                    for (const ArrivingSend& s : a.arriving)
+                        node.mhash[s.dest - 1].push_back(s.hash);
+                    node.script = std::make_shared<const ScriptLink>(
+                            ScriptLink{parent.script, std::move(a.choice)});
+                    node.depth = parent.depth + 1;
+#ifndef NDEBUG
+                    // The executable form of the ghost-step contract:
+                    // the realized child re-hashes (from the live
+                    // System, through an independent code path) to the
+                    // ghost key.
+                    require(hash_state(*node.sys, cfg.n) == a.key,
+                            "explore_fast: ghost key != realized state hash");
+#endif
+                    return node;
+                });
+        layer = std::move(next);
+    }
+    result.states_explored = visited.size();
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Replay baseline.
+//
+// The pre-snapshot engine, kept verbatim: every frontier entry is a
+// schedule script, every expansion replays the script on a fresh System
+// and every candidate key additionally replays *and finishes* a
+// throwaway copy to recover behavior digests from the Run record.  It
+// exists (a) as the baseline bench_model_check measures the snapshot
+// engine against and (b) as a third independent implementation for the
+// golden equivalence suite.  Single-threaded by nature.
+
+/// Runs `script` on a fresh system; returns the system for inspection.
+std::unique_ptr<System> replay(const Algorithm& algorithm,
+                               const ExploreConfig& cfg,
+                               const std::vector<StepChoice>& script) {
+    auto sys = std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+    for (const StepChoice& c : script) sys->apply_choice(c);
+    return sys;
+}
+
+/// Configuration-state digest *including* the per-process behavior
+/// state, reconstructed the pre-snapshot way: replay, then finish() a
+/// throwaway copy and read the digests out of the Run record.
+std::string baseline_full_digest(const Algorithm& algorithm,
+                                 const ExploreConfig& cfg,
+                                 const std::vector<StepChoice>& script) {
+    auto sys = std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+    for (const StepChoice& c : script) sys->apply_choice(c);
+    std::ostringstream out;
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        out << '|' << (sys->crashed(p) ? "X" : "");
+        auto d = sys->decision_of(p);
+        if (d) out << "D" << *d;
+        out << ';';
+        for (const Message& m : sys->buffer(p))
+            out << m.from << ':' << m.payload.to_string() << ',';
+    }
+    Run run = sys->finish(StopReason::kSchedulerEnded);
+    std::vector<std::string> last(cfg.n);
+    for (const StepRecord& s : run.steps) last[s.process - 1] = s.digest_after;
+    out << '#';
+    for (const std::string& d : last) out << d << '|';
+    return out.str();
+}
+
+ExploreResult explore_replay_baseline(const Algorithm& algorithm,
+                                      const ExploreConfig& cfg) {
+    ExploreResult result;
     std::set<std::string> visited;
     std::deque<std::vector<StepChoice>> frontier;
     frontier.push_back({});
-    visited.insert(full_digest(algorithm, cfg, {}));
+    visited.insert(baseline_full_digest(algorithm, cfg, {}));
 
     while (!frontier.empty()) {
         if (visited.size() > cfg.max_states) {
@@ -135,37 +783,15 @@ ExploreResult explore_schedules(const Algorithm& algorithm,
             continue;
         }
 
-        // Children: for every live process, the three delivery modes.
         for (ProcessId p = 1; p <= cfg.n; ++p) {
             if (!sys->can_step(p)) continue;
-            const auto& buf = sys->buffer(p);
-            const bool faulty = cfg.plan.is_faulty(p);
-            // Skip steps that provably change nothing: a decided correct
-            // process with an empty buffer.
-            if (!faulty && sys->decision_of(p) && buf.empty()) continue;
-
-            std::vector<StepChoice> modes;
-            {
-                StepChoice none;
-                none.process = p;
-                modes.push_back(none);
-            }
-            if (!buf.empty()) {
-                StepChoice oldest;
-                oldest.process = p;
-                oldest.deliver.push_back(buf.front().id);
-                modes.push_back(oldest);
-                if (buf.size() > 1) {
-                    StepChoice all;
-                    all.process = p;
-                    for (const Message& m : buf) all.deliver.push_back(m.id);
-                    modes.push_back(all);
-                }
-            }
-            for (StepChoice& mode : modes) {
+            if (!cfg.plan.is_faulty(p) && sys->decision_of(p) &&
+                sys->buffer(p).empty())
+                continue;
+            for (StepChoice& mode : delivery_modes(*sys, p)) {
                 std::vector<StepChoice> child = script;
-                child.push_back(mode);
-                std::string digest = full_digest(algorithm, cfg, child);
+                child.push_back(std::move(mode));
+                std::string digest = baseline_full_digest(algorithm, cfg, child);
                 if (visited.insert(std::move(digest)).second)
                     frontier.push_back(std::move(child));
             }
@@ -173,6 +799,51 @@ ExploreResult explore_schedules(const Algorithm& algorithm,
     }
     result.states_explored = visited.size();
     return result;
+}
+
+}  // namespace
+
+std::string to_string(ExploreMode mode) {
+    switch (mode) {
+        case ExploreMode::kFast: return "fast";
+        case ExploreMode::kReference: return "reference";
+        case ExploreMode::kReplayBaseline: return "replay-baseline";
+    }
+    return "unknown";
+}
+
+std::string ExploreResult::summary() const {
+    std::ostringstream out;
+    out << "explored " << states_explored << " states ("
+        << schedules_expanded << " expansions), "
+        << (exhaustive ? "exhaustive" : "TRUNCATED") << ", "
+        << quiescent_outcomes.size() << " quiescent outcomes, "
+        << reachable_decision_sets.size() << " reachable decision sets, "
+        << (violation_found ? "VIOLATION FOUND" : "no violation");
+    return out.str();
+}
+
+ExploreResult explore_schedules(const Algorithm& algorithm,
+                                const ExploreConfig& cfg) {
+    require(!algorithm.needs_failure_detector(),
+            "explore_schedules: detector-using algorithms are not supported");
+    require(static_cast<int>(cfg.inputs.size()) == cfg.n,
+            "explore_schedules: need n inputs");
+
+    switch (cfg.mode) {
+        case ExploreMode::kFast:
+            return explore_fast(algorithm, cfg);
+        case ExploreMode::kReference:
+            return explore_snapshot<std::string>(
+                    algorithm, cfg,
+                    [&cfg](const System& sys,
+                           const std::vector<std::string>& digests) {
+                        return canonical_state_string(sys, cfg.n, digests);
+                    });
+        case ExploreMode::kReplayBaseline:
+            return explore_replay_baseline(algorithm, cfg);
+    }
+    throw UsageError("explore_schedules: unknown ExploreMode");
 }
 
 }  // namespace ksa::core

@@ -24,6 +24,20 @@
 //   * whether the bound was exhaustive (no frontier node hit the depth
 //     cap), in which case the absence of a violation is a *verified*
 //     small-case possibility result for the fixed plan.
+//
+// Engine (see doc/performance.md for the full design):
+//
+//   * the BFS frontier holds live System snapshots; children are made
+//     by System::fork() + one apply_choice, never by replaying the
+//     whole schedule prefix from the initial configuration;
+//   * frontier layers are expanded in parallel (exec/parallel_map.hpp)
+//     and merged sequentially in input order, so N-thread output is
+//     byte-identical to 1-thread output;
+//   * deduplication keys are deterministic 128-bit hashes
+//     (sim/digest.hpp) in the default fast mode, canonical strings in
+//     reference mode, and every mode inserts states in the same BFS
+//     order -- the max_states truncation cuts the same frontier
+//     regardless of mode or thread count.
 
 #include <cstdint>
 #include <set>
@@ -37,6 +51,29 @@
 
 namespace ksa::core {
 
+/// Which digest/stepping engine the exploration uses.  All modes
+/// produce identical ExploreResults on the same config (the golden
+/// equivalence suite in tests/test_explorer_equiv.cpp enforces it);
+/// they differ only in speed.
+enum class ExploreMode {
+    /// Snapshot stepping + incremental 128-bit hash dedup (default).
+    kFast,
+    /// Snapshot stepping + canonical-string dedup: the reference the
+    /// fast path is cross-checked against.  Slower (one full string
+    /// rendering per candidate state), collision-free by construction.
+    kReference,
+    /// The pre-snapshot engine: every candidate state is digested by
+    /// replaying its entire schedule prefix on a fresh System and
+    /// finishing a throwaway copy.  Kept verbatim as the baseline that
+    /// BENCH_explorer.json measures the snapshot engine against, and as
+    /// a second cross-check.  Single-threaded; ignores `threads`.
+    kReplayBaseline,
+};
+
+/// Renders an ExploreMode for reports ("fast" / "reference" /
+/// "replay-baseline").
+std::string to_string(ExploreMode mode);
+
 /// Exploration parameters.
 struct ExploreConfig {
     int n = 0;
@@ -45,6 +82,10 @@ struct ExploreConfig {
     int k = 1;             ///< violation threshold: > k distinct decisions
     int max_depth = 12;    ///< schedule length bound
     std::size_t max_states = 200000;  ///< safety cap on distinct states
+    ExploreMode mode = ExploreMode::kFast;
+    /// Worker threads for layer-parallel expansion (1 = sequential).
+    /// Output is byte-identical for every value.
+    int threads = 1;
 };
 
 /// Exploration outcome.

@@ -24,6 +24,10 @@ public:
 
     std::string state_digest() const override { return inner_->state_digest(); }
 
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<RestrictedBehavior>(inner_->clone(), domain_);
+    }
+
 private:
     std::unique_ptr<Behavior> inner_;
     const std::vector<ProcessId>* domain_;

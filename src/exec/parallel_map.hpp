@@ -1,0 +1,56 @@
+#pragma once
+// Order-preserving parallel combinators (see thread_pool.hpp for the
+// determinism discipline this layer enforces).
+//
+// parallel_map_deterministic is the repository's one idiom for "make a
+// sweep parallel": evaluate fn(0..count-1) on a pool, return the
+// results *in input order*.  Because each invocation writes only its
+// own pre-allocated slot and the caller consumes slots sequentially,
+// the returned vector is byte-identical for every thread count --
+// which is exactly the property the sweep reports
+// (chaos::resilience_sweep, core::border_map, the theorem benches) and
+// the layer-parallel explorer BFS are tested for.
+//
+// Recipe for parallelizing a new sweep (doc/performance.md §"Adding a
+// parallel sweep" walks through a full example):
+//
+//   1. materialize the iteration space into an index-addressable list
+//      of *independent* work items (no shared mutable state; seeds and
+//      parameters derived from the item, never from a shared counter);
+//   2. results = parallel_map_deterministic(threads, items.size(), fn);
+//   3. fold `results` into the report sequentially, in input order;
+//   4. add a 1-thread-vs-N-thread byte-identity test.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace ksa::exec {
+
+/// Evaluates fn(i) for i in [0, count) on `pool` and returns the
+/// results in input order.  R must be default-constructible and
+/// move-assignable.  fn is invoked concurrently on distinct indices;
+/// it must not touch shared mutable state.
+template <typename Fn>
+auto parallel_map_deterministic(ThreadPool& pool, std::size_t count, Fn&& fn)
+        -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<R> out(count);
+    pool.run_indexed(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+/// Convenience overload owning a throwaway pool: the usual entry point
+/// for one-shot sweeps.  `threads <= 1` runs inline on the caller's
+/// thread (the reference behavior).
+template <typename Fn>
+auto parallel_map_deterministic(int threads, std::size_t count, Fn&& fn)
+        -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    ThreadPool pool(threads);
+    return parallel_map_deterministic(pool, count, std::forward<Fn>(fn));
+}
+
+}  // namespace ksa::exec

@@ -1,0 +1,67 @@
+#pragma once
+// The execution layer: deterministic parallelism.
+//
+// Everything in this repository is bound by the PR-1 determinism
+// contract: reports, sweeps and exploration results must be
+// byte-identical across runs -- and, since this layer exists, across
+// thread counts.  src/exec/ is the ONLY place in src/ where threading
+// primitives may appear (ksa_lint rule `threading-outside-exec`); every
+// other layer expresses parallelism through the order-preserving
+// combinators of parallel_map.hpp, which confine all nondeterminism
+// (OS scheduling) to *when* work happens, never to *what* is produced:
+//
+//   * work items must be independent (no shared mutable state);
+//   * items are partitioned into static, index-ordered contiguous
+//     chunks -- the partition depends only on (count, threads), not on
+//     timing;
+//   * each item writes only its own output slot, and the caller
+//     consumes the slots in input order;
+//   * an exception escaping an item cancels nothing but is re-thrown
+//     deterministically: after all items ran, the one with the lowest
+//     index wins.
+//
+// Under this discipline, N-thread output is byte-identical to 1-thread
+// output by construction; tests/test_exec.cpp and the TSan preset hold
+// the implementation to it.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace ksa::exec {
+
+/// Best-effort hardware concurrency, never less than 1.
+int hardware_threads();
+
+/// A fixed-size pool of worker threads executing index ranges.
+/// Construction with `threads <= 1` creates no workers at all; every
+/// run_indexed call then executes inline on the caller's thread, which
+/// is the reference behavior the parallel path must reproduce.
+class ThreadPool {
+public:
+    /// Spawns `threads - 1` workers (the caller's thread is the last
+    /// worker of every run_indexed call, so `threads` CPUs are busy).
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// The configured parallelism (>= 1).
+    int size() const;
+
+    /// Runs fn(i) for every i in [0, count) exactly once, partitioned
+    /// into size() static contiguous chunks in index order, and blocks
+    /// until every call returned.  fn must be safe to invoke from
+    /// multiple threads on distinct indices.  If calls throw, the
+    /// exception of the lowest chunk index is re-thrown after all
+    /// chunks finished (deterministic error reporting).
+    void run_indexed(std::size_t count,
+                     const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ksa::exec

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/digest.hpp"
 #include "sim/message.hpp"
 #include "sim/payload.hpp"
 #include "sim/types.hpp"
@@ -83,6 +84,37 @@ public:
     /// the same algorithm are in the same state iff their digests are
     /// equal; this is what run indistinguishability compares.
     virtual std::string state_digest() const = 0;
+
+    /// Folds the complete local state into `h` WITHOUT materializing the
+    /// digest string.  Contract: fold_state must distinguish exactly the
+    /// states state_digest distinguishes -- two behaviors of the same
+    /// algorithm feed identical byte streams iff their state_digest()s
+    /// are equal.  The default implementation hashes the digest string
+    /// and is always correct; hot algorithms override it to fold their
+    /// raw fields directly, because the fast explorer calls this once
+    /// per candidate child (core/explorer.cpp ghost stepping) and the
+    /// string rendering dominates its profile otherwise.  The golden
+    /// equivalence suite cross-checks fast (fold_state-keyed) against
+    /// reference (state_digest-keyed) exploration, so an override that
+    /// drifts from its state_digest shows up as a state-count mismatch.
+    virtual void fold_state(StateHasher& h) const { h.str(state_digest()); }
+
+    /// Deep copy of the complete local state.  The clone must be
+    /// behaviorally indistinguishable from the original: identical
+    /// state_digest() now, and identical outputs/digests under any
+    /// identical sequence of future StepInputs.  Behaviors are value
+    /// types (no hidden global state is allowed -- see the determinism
+    /// contract above), so implementations are one line:
+    ///
+    ///     std::unique_ptr<Behavior> clone() const override {
+    ///         return std::make_unique<MyBehavior>(*this);
+    ///     }
+    ///
+    /// This is what makes configurations snapshot-able: System::fork()
+    /// clones every behavior so the explorer (core/explorer.hpp) can
+    /// expand children from a live parent state instead of replaying the
+    /// whole schedule prefix from the initial configuration.
+    virtual std::unique_ptr<Behavior> clone() const = 0;
 };
 
 /// A distributed algorithm: a recipe producing the initial Behavior of

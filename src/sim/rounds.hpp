@@ -48,6 +48,10 @@ public:
 
     /// Canonical state digest (same contract as Behavior).
     virtual std::string state_digest() const = 0;
+
+    /// Deep copy (same contract as Behavior::clone): the clone must be
+    /// digest- and transition-identical to the original from here on.
+    virtual std::unique_ptr<RoundBehavior> clone() const = 0;
 };
 
 /// A round-based algorithm.

@@ -34,6 +34,65 @@ System::System(const Algorithm& algorithm, int n, std::vector<Value> inputs,
     run_.plan = plan_;
 }
 
+System::System(ForkTag, const System& other)
+    : n_(other.n_),
+      algo_name_(other.algo_name_),
+      uses_fd_(other.uses_fd_),
+      inputs_(other.inputs_),
+      plan_(other.plan_),
+      oracle_(other.oracle_),  // borrowed in both systems, see fork() doc
+      buffers_(other.buffers_),
+      step_counts_(other.step_counts_),
+      crashed_(other.crashed_),
+      decisions_(other.decisions_),
+      now_(other.now_),
+      next_msg_id_(other.next_msg_id_),
+      duplicate_counts_(other.duplicate_counts_),
+      finished_(other.finished_),
+      recording_(other.recording_) {
+    if (recording_) run_ = other.run_;
+    behaviors_.reserve(static_cast<std::size_t>(n_));
+}
+
+std::unique_ptr<System> System::fork(bool verify_digests) const {
+    KSA_REQUIRE(!finished_, "System::fork: run already finalized");
+    // make_unique cannot reach the private constructor; plain new can.
+    std::unique_ptr<System> copy(new System(ForkTag{}, *this));
+    if (!recording_) {
+        // Header-only Run for the non-recording fork (finish() promises
+        // exactly these fields).
+        copy->run_.n = n_;
+        copy->run_.algorithm = algo_name_;
+        copy->run_.inputs = inputs_;
+        copy->run_.plan = plan_;
+    }
+    for (ProcessId p = 1; p <= n_; ++p) {
+        copy->behaviors_.push_back(behaviors_[p - 1]->clone());
+        if (verify_digests) {
+            KSA_REQUIRE(copy->behaviors_[p - 1]->state_digest() ==
+                            behaviors_[p - 1]->state_digest(),
+                        "System::fork: Behavior::clone broke the digest "
+                        "round-trip contract");
+        }
+    }
+    return copy;
+}
+
+std::string System::last_digest(ProcessId p) const {
+    check_pid(p, "System::last_digest");
+    return behaviors_[p - 1]->state_digest();
+}
+
+std::unique_ptr<Behavior> System::clone_behavior(ProcessId p) const {
+    check_pid(p, "System::clone_behavior");
+    return behaviors_[p - 1]->clone();
+}
+
+const Behavior& System::behavior_of(ProcessId p) const {
+    check_pid(p, "System::behavior_of");
+    return *behaviors_[p - 1];
+}
+
 void System::check_pid(ProcessId p, const char* who) const {
     if (p < 1 || p > n_) {
         std::ostringstream out;
@@ -198,7 +257,7 @@ void System::apply_choice(const StepChoice& choice) {
         for (ProcessId q = 1; q <= n_; ++q)
             if (crashed(q)) ctx.crashed_so_far.push_back(q);
         FdSample sample = oracle_->query(ctx);
-        run_.fd_history.push_back(FdEvent{now_, p, sample});
+        if (recording_) run_.fd_history.push_back(FdEvent{now_, p, sample});
         rec.fd = sample;
         input.fd = std::move(sample);
     }
@@ -239,12 +298,17 @@ void System::apply_choice(const StepChoice& choice) {
         rec.decision = out.decision;
     }
 
-    rec.digest_after = behaviors_[p - 1]->state_digest();
     rec.final_crash_step = final_step;
 
     if (final_step) crashed_[p - 1] = true;
     ++step_counts_[p - 1];
-    run_.steps.push_back(std::move(rec));
+    if (recording_) {
+        // The digest rendering is the single most expensive part of a
+        // recorded step (an ostringstream pass over the whole local
+        // state); non-recording mode skips it along with the record.
+        rec.digest_after = behaviors_[p - 1]->state_digest();
+        run_.steps.push_back(std::move(rec));
+    }
     ++now_;
 }
 
@@ -277,6 +341,13 @@ Run System::execute(Scheduler& scheduler, ExecutionLimits limits) {
 
 Run System::finish(StopReason reason) {
     KSA_REQUIRE(!finished_, "System::finish: run already finalized");
+    if (!recording_) {
+        // Header-only record (see set_recording): there is no step
+        // history whose shape could be checked.
+        finished_ = true;
+        run_.stop = reason;
+        return std::move(run_);
+    }
     // FD-history consistency: an FD-using algorithm queries the oracle
     // exactly once per step, at the beginning of the step; an FD-free
     // algorithm never does.  The fd/ validators rely on this shape.

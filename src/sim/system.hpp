@@ -52,6 +52,62 @@ public:
     System(const System&) = delete;
     System& operator=(const System&) = delete;
 
+    /// Deep snapshot of the live execution state: clones every Behavior
+    /// (Behavior::clone), copies buffers, step counts, crash flags,
+    /// decisions, the effective plan, the message-id counter and -- when
+    /// recording is enabled -- the partial Run record.  The fork can be
+    /// stepped independently of the original; the same choice sequence
+    /// applied to both yields bit-identical states.  This is what lets
+    /// the explorer expand children from live parent states instead of
+    /// replaying the whole schedule prefix per child (doc/performance.md).
+    ///
+    /// `verify_digests` additionally asserts (KSA_REQUIRE) that every
+    /// cloned behavior round-trips digest-identically -- the executable
+    /// form of the clone() contract.  It costs 2n digest renderings, so
+    /// it defaults to on in Debug/sanitizer builds and off in optimized
+    /// builds; hot paths pass false explicitly.
+    ///
+    /// The failure-detector oracle (if any) is *borrowed*, not cloned:
+    /// both systems keep querying the same oracle object.
+    std::unique_ptr<System> fork(bool verify_digests =
+#ifdef NDEBUG
+                                     false
+#else
+                                     true
+#endif
+                                 ) const;
+
+    /// Current canonical state digest of process p's behavior (the same
+    /// string StepRecord::digest_after records after each step).  This is
+    /// a live accessor: callers no longer need to finish() a throwaway
+    /// copy of the System to learn per-process state digests.
+    std::string last_digest(ProcessId p) const;
+
+    /// Clones the current behavior of p (Behavior::clone) *without*
+    /// copying the rest of the System.  This is the ghost-stepping
+    /// primitive of the fast explorer: to compute a child state's dedup
+    /// key it steps a lone behavior clone and combines the outcome with
+    /// the parent's (unchanged) buffers and flags, deferring the full
+    /// fork() until the child is known to be new (doc/performance.md).
+    std::unique_ptr<Behavior> clone_behavior(ProcessId p) const;
+
+    /// Read-only access to the live behavior of p.  The fast explorer
+    /// uses this to fold behavior state into a hash key
+    /// (Behavior::fold_state) without cloning or rendering a digest
+    /// string.
+    const Behavior& behavior_of(ProcessId p) const;
+
+    /// Toggles step recording (default on).  With recording off,
+    /// apply_choice still executes transitions, enforces the plan and
+    /// updates all live state, but appends nothing to the Run record and
+    /// skips the per-step digest rendering -- the configuration-space
+    /// explorer uses this, where the schedule script *is* the record.
+    /// finish()/execute() on a non-recording System return a Run with
+    /// header fields only (n, algorithm, inputs, plan, stop) and skip
+    /// the step-record shape checks.
+    void set_recording(bool recording) { recording_ = recording; }
+    bool recording() const { return recording_; }
+
     // -- SystemView --------------------------------------------------
     int n() const override { return n_; }
     Time now() const override { return now_; }
@@ -89,6 +145,11 @@ public:
     std::optional<Value> decision_of(ProcessId p) const;
 
 private:
+    /// Tag + constructor backing fork(): copies everything except the
+    /// behaviors, which the caller clones one by one.
+    struct ForkTag {};
+    System(ForkTag, const System& other);
+
     void check_pid(ProcessId p, const char* who) const;
     void apply_fault(const FaultAction& action, StepRecord& rec);
     /// Locates a buffered message by id; returns the owning buffer or
@@ -114,6 +175,7 @@ private:
     std::map<MessageId, int> duplicate_counts_;  ///< clones per source id
     Run run_;
     bool finished_ = false;
+    bool recording_ = true;
 };
 
 /// Convenience wrapper: build a System and execute it in one call.

@@ -259,5 +259,107 @@ TEST(QuorumLeader, TerminatesWhenSomeLeaderIsCorrect) {
     EXPECT_TRUE(run.all_correct_decided());  // ...p3 carries the run
 }
 
+// ------------------------------------------- clone fidelity / fold_state
+//
+// The snapshot explorer rests on two per-behavior contracts:
+//
+//   * clone() reproduces the full local state (digest-identical, and
+//     fold_state-identical, to the original);
+//   * fold_state(h) distinguishes exactly what state_digest()
+//     distinguishes -- equal digests must fold to equal hashes and
+//     distinct digests to distinct hashes (a 128-bit collision would be
+//     astronomically unlikely; an actual under-folding bug is not).
+//
+// These tests drive real executions and audit both contracts at every
+// reached state, for every algorithm that overrides fold_state plus one
+// that relies on the string-digest default.
+
+Digest128 fold_hash(const Behavior& b) {
+    StateHasher h;
+    b.fold_state(h);
+    return h.digest();
+}
+
+void audit_clone_and_fold(const Algorithm& algorithm, int n, FailurePlan plan,
+                          int rounds, FdOracle* oracle = nullptr) {
+    System sys(algorithm, n, distinct_inputs(n), plan, oracle);
+    sys.set_recording(false);
+    std::map<std::string, Digest128> hash_of_digest;
+    std::map<Digest128, std::string> digest_of_hash;
+
+    auto audit = [&] {
+        for (ProcessId p = 1; p <= n; ++p) {
+            if (sys.crashed(p)) continue;
+            const Behavior& live = sys.behavior_of(p);
+            const std::string digest = live.state_digest();
+            const Digest128 hash = fold_hash(live);
+
+            // Clone fidelity: digest- and fold-identical to the original.
+            const auto clone = sys.clone_behavior(p);
+            EXPECT_EQ(clone->state_digest(), digest) << "p" << p;
+            EXPECT_EQ(fold_hash(*clone), hash) << "p" << p;
+            // The live accessor agrees with the behavior it exposes.
+            EXPECT_EQ(sys.last_digest(p), digest) << "p" << p;
+
+            // Partition agreement, both directions.
+            const auto [it, fresh_digest] = hash_of_digest.emplace(digest, hash);
+            if (!fresh_digest) {
+                EXPECT_EQ(it->second, hash) << "digest re-folded differently: "
+                                            << digest;
+            }
+            const auto [jt, fresh_hash] = digest_of_hash.emplace(hash, digest);
+            if (!fresh_hash) {
+                EXPECT_EQ(jt->second, digest)
+                        << "fold collision: " << hash.to_string();
+            }
+        }
+    };
+
+    audit();
+    for (int r = 0; r < rounds; ++r)
+        for (ProcessId p = 1; p <= n; ++p) {
+            if (sys.crashed(p)) continue;
+            StepChoice choice;
+            choice.process = p;
+            choice.deliver_all = true;
+            sys.apply_choice(choice);
+            audit();
+        }
+}
+
+TEST(CloneAndFold, Flooding) {
+    algo::FloodingKSet algorithm(2);
+    audit_clone_and_fold(algorithm, 3, {}, 4);
+}
+
+TEST(CloneAndFold, TrivialWaitFree) {
+    algo::TrivialWaitFree algorithm;
+    audit_clone_and_fold(algorithm, 3, {}, 2);
+}
+
+TEST(CloneAndFold, InitialCliqueWithInitialDeath) {
+    auto algorithm = algo::make_flp_kset(4, 2);
+    FailurePlan plan;
+    plan.set_initially_dead({2});
+    audit_clone_and_fold(*algorithm, 4, plan, 5);
+}
+
+TEST(CloneAndFold, InitialCliqueWithMidRunCrash) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    FailurePlan plan;
+    plan.set_crash(1, CrashSpec{2, {}});  // dies on its second step
+    audit_clone_and_fold(*algorithm, 3, plan, 5);
+}
+
+TEST(CloneAndFold, DefaultFoldStateMatchesDigest) {
+    // Paxos does not override fold_state: the Behavior default folds the
+    // digest string itself, so the partition agreement is the contract
+    // applied to the fallback path (and the clone audit still bites).
+    algo::PaxosConsensus algorithm;
+    FailurePlan plan;
+    auto oracle = benign_oracle(4, plan);
+    audit_clone_and_fold(algorithm, 4, plan, 6, oracle.get());
+}
+
 }  // namespace
 }  // namespace ksa

@@ -237,6 +237,9 @@ public:
     std::string state_digest() const override {
         return "g" + std::to_string(global_++);  // the planted bug
     }
+    std::unique_ptr<Behavior> clone() const override {
+        return std::make_unique<LeakyDigestBehavior>(*this);
+    }
 
 private:
     bool decided_ = false;

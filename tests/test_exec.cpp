@@ -1,0 +1,138 @@
+// The execution layer's determinism contract, enforced.
+//
+// thread_pool.hpp promises that parallel_map_deterministic produces
+// results in input order, byte-identical for every thread count, and
+// that exceptions are re-thrown deterministically (lowest index wins).
+// This suite holds the combinators to that promise directly, and then
+// holds the two production sweeps built on them -- chaos::
+// resilience_sweep and core::border_map -- to 1-thread-vs-N-thread
+// byte-identity of their rendered reports.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chaos/resilience.hpp"
+#include "core/border_map.hpp"
+#include "exec/parallel_map.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace ksa::exec {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+    EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(ThreadPool, SizeClampsToAtLeastOne) {
+    EXPECT_EQ(ThreadPool(0).size(), 1);
+    EXPECT_EQ(ThreadPool(-3).size(), 1);
+    EXPECT_EQ(ThreadPool(1).size(), 1);
+    EXPECT_EQ(ThreadPool(4).size(), 4);
+}
+
+TEST(ThreadPool, RunIndexedCoversEveryIndexExactlyOnce) {
+    // Each index writes only its own slot, so a full cover shows up as
+    // slot[i] == i for all i regardless of scheduling.
+    for (int threads : {1, 2, 4, 7}) {
+        ThreadPool pool(threads);
+        std::vector<std::size_t> slot(100, 0);
+        pool.run_indexed(slot.size(),
+                         [&](std::size_t i) { slot[i] = i + 1; });
+        for (std::size_t i = 0; i < slot.size(); ++i)
+            EXPECT_EQ(slot[i], i + 1) << "threads=" << threads << " i=" << i;
+    }
+}
+
+TEST(ParallelMap, ResultsInInputOrderForEveryThreadCount) {
+    auto square = [](std::size_t i) { return i * i; };
+    const std::vector<std::size_t> reference =
+            parallel_map_deterministic(1, 64, square);
+    for (int threads : {2, 3, 4, 16}) {
+        const std::vector<std::size_t> parallel =
+                parallel_map_deterministic(threads, 64, square);
+        EXPECT_EQ(parallel, reference) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelMap, EmptyCountProducesEmptyVector) {
+    const auto out = parallel_map_deterministic(
+            4, 0, [](std::size_t i) { return i; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMap, MoreThreadsThanItems) {
+    const auto out = parallel_map_deterministic(
+            16, 3, [](std::size_t i) { return i + 10; });
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 10u);
+    EXPECT_EQ(out[1], 11u);
+    EXPECT_EQ(out[2], 12u);
+}
+
+TEST(ParallelMap, NonCopyableResultsMoveIntoSlots) {
+    const auto out = parallel_map_deterministic(4, 8, [](std::size_t i) {
+        return std::make_unique<std::size_t>(i);
+    });
+    ASSERT_EQ(out.size(), 8u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(*out[i], i);
+}
+
+TEST(ParallelMap, LowestIndexExceptionWinsDeterministically) {
+    // Two items throw; the contract picks the lowest index no matter
+    // which chunk finishes first.  Repeat to give the scheduler chances
+    // to race.
+    for (int rep = 0; rep < 20; ++rep) {
+        try {
+            parallel_map_deterministic(4, 16, [](std::size_t i) -> int {
+                if (i == 3 || i == 11)
+                    throw std::runtime_error(std::to_string(i));
+                return static_cast<int>(i);
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "3");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Production sweeps: rendered reports byte-identical across threads.
+
+TEST(ParallelSweeps, ResilienceSweepByteIdenticalAcrossThreads) {
+    chaos::SweepConfig config;
+    config.min_n = 2;
+    config.max_n = 4;
+    config.seeds_per_cell = 3;
+
+    config.threads = 1;
+    const chaos::SweepReport sequential = chaos::resilience_sweep(config);
+    config.threads = 4;
+    const chaos::SweepReport parallel = chaos::resilience_sweep(config);
+
+    EXPECT_EQ(sequential.to_json(), parallel.to_json());
+    EXPECT_EQ(sequential.to_markdown(), parallel.to_markdown());
+    EXPECT_EQ(sequential.total_trials(), parallel.total_trials());
+    EXPECT_EQ(sequential.boundary_clean(), parallel.boundary_clean());
+}
+
+TEST(ParallelSweeps, BorderMapByteIdenticalAcrossThreads) {
+    const auto sequential = core::border_map(48);
+    for (int threads : {1, 4}) {
+        const auto parallel = core::border_map(48, threads);
+        ASSERT_EQ(parallel.size(), sequential.size()) << "threads=" << threads;
+        for (std::size_t i = 0; i < sequential.size(); ++i) {
+            EXPECT_EQ(parallel[i].f, sequential[i].f) << "row " << i;
+            EXPECT_EQ(parallel[i].initial, sequential[i].initial)
+                    << "row " << i;
+            EXPECT_EQ(parallel[i].async_, sequential[i].async_)
+                    << "row " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ksa::exec

@@ -1,0 +1,175 @@
+// Golden equivalence suite for the three exploration engines.
+//
+// core/explorer.hpp promises that kFast (snapshot stepping + ghost
+// hashing), kReference (snapshot stepping + canonical strings) and
+// kReplayBaseline (the pre-snapshot engine, kept verbatim) produce
+// IDENTICAL ExploreResults on every configuration -- same state count,
+// same expansion count, same exhaustiveness, same witness schedule step
+// for step, same quiescent outcomes and decision sets -- and that the
+// fast engine's result is additionally byte-identical across thread
+// counts.  This suite is the enforcement: every bench_model_check case,
+// a chaos-style crash plan with final-step omissions, and a max_states
+// truncation case (where any divergence in insertion *order* becomes a
+// divergence in *content*) run through all engines.
+//
+// If the fast engine's ghost stepping or hash keying ever drifts from
+// the real transition semantics, it shows up here as a state-count or
+// witness mismatch long before anybody trusts a speedup number.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "core/explorer.hpp"
+#include "sim/system.hpp"
+
+namespace ksa::core {
+namespace {
+
+void expect_equal_results(const ExploreResult& a, const ExploreResult& b,
+                          const std::string& label) {
+    EXPECT_EQ(a.states_explored, b.states_explored) << label;
+    EXPECT_EQ(a.schedules_expanded, b.schedules_expanded) << label;
+    EXPECT_EQ(a.exhaustive, b.exhaustive) << label;
+    EXPECT_EQ(a.violation_found, b.violation_found) << label;
+    EXPECT_EQ(a.quiescent_outcomes, b.quiescent_outcomes) << label;
+    EXPECT_EQ(a.reachable_decision_sets, b.reachable_decision_sets) << label;
+    ASSERT_EQ(a.witness.size(), b.witness.size()) << label;
+    for (std::size_t i = 0; i < a.witness.size(); ++i) {
+        EXPECT_EQ(a.witness[i].process, b.witness[i].process)
+                << label << " witness step " << i;
+        EXPECT_EQ(a.witness[i].deliver, b.witness[i].deliver)
+                << label << " witness step " << i;
+        EXPECT_EQ(a.witness[i].deliver_all, b.witness[i].deliver_all)
+                << label << " witness step " << i;
+    }
+}
+
+/// Runs `cfg` through every engine (and the fast engine through two
+/// thread counts) and requires identical results.  Returns the baseline
+/// result for case-specific assertions.
+ExploreResult expect_all_engines_agree(const Algorithm& algorithm,
+                                       ExploreConfig cfg,
+                                       const std::string& label) {
+    cfg.mode = ExploreMode::kReplayBaseline;
+    const ExploreResult baseline = explore_schedules(algorithm, cfg);
+    cfg.mode = ExploreMode::kReference;
+    cfg.threads = 1;
+    const ExploreResult reference = explore_schedules(algorithm, cfg);
+    cfg.mode = ExploreMode::kFast;
+    cfg.threads = 1;
+    const ExploreResult fast1 = explore_schedules(algorithm, cfg);
+    cfg.threads = 4;
+    const ExploreResult fast4 = explore_schedules(algorithm, cfg);
+    expect_equal_results(baseline, reference, label + ": baseline vs reference");
+    expect_equal_results(baseline, fast1, label + ": baseline vs fast(1)");
+    expect_equal_results(fast1, fast4, label + ": fast(1) vs fast(4)");
+    return baseline;
+}
+
+ExploreConfig base_config(int n, int k, int depth) {
+    ExploreConfig cfg;
+    cfg.n = n;
+    cfg.inputs = distinct_inputs(n);
+    cfg.k = k;
+    cfg.max_depth = depth;
+    cfg.max_states = 400000;
+    return cfg;
+}
+
+TEST(ExplorerEquivalence, FloodingConsensusViolation) {
+    algo::FloodingKSet algorithm(2);
+    const ExploreResult r = expect_all_engines_agree(
+            algorithm, base_config(3, 1, 9), "flooding k=1");
+    EXPECT_TRUE(r.violation_found);
+}
+
+TEST(ExplorerEquivalence, FloodingTwoSetHolds) {
+    algo::FloodingKSet algorithm(2);
+    const ExploreResult r = expect_all_engines_agree(
+            algorithm, base_config(3, 2, 9), "flooding k=2");
+    EXPECT_FALSE(r.violation_found);
+}
+
+TEST(ExplorerEquivalence, InitialCliqueWithInitialDeath) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 14);
+    cfg.plan.set_initially_dead({3});
+    const ExploreResult r =
+            expect_all_engines_agree(*algorithm, cfg, "flp dead{3}");
+    EXPECT_FALSE(r.violation_found);
+    EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(ExplorerEquivalence, InitialCliqueNoCrash) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    const ExploreResult r = expect_all_engines_agree(
+            *algorithm, base_config(3, 1, 10), "flp no crash");
+    EXPECT_FALSE(r.violation_found);
+}
+
+TEST(ExplorerEquivalence, KSetGeneralization) {
+    auto algorithm = algo::make_flp_kset(4, 2);
+    ExploreConfig cfg = base_config(4, 2, 10);
+    cfg.plan.set_initially_dead({1, 2});
+    const ExploreResult r =
+            expect_all_engines_agree(*algorithm, cfg, "flp k=2");
+    EXPECT_FALSE(r.violation_found);
+}
+
+TEST(ExplorerEquivalence, TrivialViolatesImmediately) {
+    algo::TrivialWaitFree algorithm;
+    const ExploreResult r = expect_all_engines_agree(
+            algorithm, base_config(3, 2, 4), "trivial");
+    EXPECT_TRUE(r.violation_found);
+}
+
+// The crash plan of the chaos layer's staggered adversary: a process
+// that crashes mid-run with the sends of its final step omitted to a
+// strict subset of receivers.  The ghost-step key must reproduce the
+// omission semantics (GhostStep::send_survives) bit-for-bit, and this
+// is the case that exercises it.
+TEST(ExplorerEquivalence, MidRunCrashWithOmissions) {
+    algo::FloodingKSet algorithm(2);
+    ExploreConfig cfg = base_config(3, 1, 9);
+    cfg.plan.set_crash(1, CrashSpec{2, {3}});
+    expect_all_engines_agree(algorithm, cfg, "crash omit{3}");
+}
+
+TEST(ExplorerEquivalence, MidRunCrashOmittingAll) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 12);
+    cfg.plan.set_crash_omit_all(2, 1, 3);
+    expect_all_engines_agree(*algorithm, cfg, "crash omit-all");
+}
+
+// max_states truncation: which states fall inside the cut depends on
+// the BFS insertion order, so any ordering divergence between the
+// engines -- or between thread counts -- changes states_explored,
+// quiescent_outcomes or the witness.  All of them must still agree.
+TEST(ExplorerEquivalence, TruncationCutsIdentically) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 14);
+    cfg.max_states = 200;
+    const ExploreResult r =
+            expect_all_engines_agree(*algorithm, cfg, "truncated");
+    EXPECT_FALSE(r.exhaustive);
+    EXPECT_GT(r.states_explored, 200u);  // cut just past the cap
+}
+
+// Determinism across repeated runs of the same engine (the PR-1
+// contract applied to the parallel fast path).
+TEST(ExplorerEquivalence, FastModeRunToRunDeterminism) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 12);
+    cfg.mode = ExploreMode::kFast;
+    cfg.threads = 4;
+    const ExploreResult a = explore_schedules(*algorithm, cfg);
+    const ExploreResult b = explore_schedules(*algorithm, cfg);
+    expect_equal_results(a, b, "fast(4) run-to-run");
+}
+
+}  // namespace
+}  // namespace ksa::core

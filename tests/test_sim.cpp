@@ -131,6 +131,9 @@ TEST(System, DecidingTwiceAborts) {
             return out;
         }
         std::string state_digest() const override { return "bad"; }
+        std::unique_ptr<Behavior> clone() const override {
+            return std::make_unique<Bad>(*this);
+        }
     };
     class BadAlgo final : public Algorithm {
     public:
@@ -170,6 +173,78 @@ TEST(System, DeterministicReplay) {
         EXPECT_EQ(a.steps[i].process, b.steps[i].process);
         EXPECT_EQ(a.steps[i].digest_after, b.steps[i].digest_after);
     }
+}
+
+// The fork() contract: a snapshot taken mid-run is (a) independent of
+// the original and (b) indistinguishable from it under any identical
+// continuation -- the same further choices yield bit-identical digests,
+// decisions and step records.  This is the primitive the snapshot
+// explorer's correctness rests on (doc/performance.md).
+TEST(System, ForkRoundTrip) {
+    algo::FloodingKSet algorithm(2);
+    System original(algorithm, 3, distinct_inputs(3), {});
+
+    auto step_all = [](System& sys) {
+        for (ProcessId p = 1; p <= 3; ++p) {
+            StepChoice choice;
+            choice.process = p;
+            choice.deliver_all = true;
+            sys.apply_choice(choice);
+        }
+    };
+
+    step_all(original);  // mid-run: announcements still in flight to p1
+    auto forked = original.fork(/*verify_digests=*/true);
+
+    // The snapshot is digest-identical at the fork point...
+    for (ProcessId p = 1; p <= 3; ++p) {
+        EXPECT_EQ(forked->last_digest(p), original.last_digest(p));
+        EXPECT_EQ(forked->buffer(p).size(), original.buffer(p).size());
+        EXPECT_EQ(forked->steps_of(p), original.steps_of(p));
+    }
+    EXPECT_EQ(forked->now(), original.now());
+
+    // ...and stays identical under the same continuation.
+    step_all(original);
+    step_all(*forked);
+    for (ProcessId p = 1; p <= 3; ++p) {
+        EXPECT_EQ(forked->last_digest(p), original.last_digest(p));
+        EXPECT_EQ(forked->decision_of(p), original.decision_of(p));
+    }
+
+    ksa::Run run_a = original.finish(StopReason::kQuiescent);
+    ksa::Run run_b = forked->finish(StopReason::kQuiescent);
+    ASSERT_EQ(run_a.steps.size(), run_b.steps.size());
+    for (std::size_t i = 0; i < run_a.steps.size(); ++i) {
+        EXPECT_EQ(run_a.steps[i].process, run_b.steps[i].process);
+        EXPECT_EQ(run_a.steps[i].digest_after, run_b.steps[i].digest_after);
+    }
+    EXPECT_EQ(run_a.distinct_decisions(), run_b.distinct_decisions());
+}
+
+TEST(System, ForkIsIndependentOfTheOriginal) {
+    algo::FloodingKSet algorithm(2);
+    System original(algorithm, 3, distinct_inputs(3), {});
+    StepChoice first;
+    first.process = 1;
+    first.deliver_all = true;
+    original.apply_choice(first);
+
+    auto forked = original.fork();
+    const std::string digest_before = original.last_digest(2);
+    const std::size_t buffered_before = original.buffer(2).size();
+
+    // Drive only the fork; the original must not move.
+    for (ProcessId p = 1; p <= 3; ++p) {
+        StepChoice choice;
+        choice.process = p;
+        choice.deliver_all = true;
+        forked->apply_choice(choice);
+    }
+    EXPECT_EQ(original.last_digest(2), digest_before);
+    EXPECT_EQ(original.buffer(2).size(), buffered_before);
+    EXPECT_FALSE(original.decided(2));
+    EXPECT_NE(forked->last_digest(2), digest_before);  // the fork did move
 }
 
 // -------------------------------------------------------------- schedulers

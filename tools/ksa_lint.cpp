@@ -83,6 +83,15 @@ bool in_library_code(const fs::path& file) {
     return path_contains_dir(file, "src");
 }
 
+bool in_library_code_outside_exec(const fs::path& file) {
+    // src/exec/ is the ONE layer allowed to hold threading primitives
+    // (thread_pool.hpp states the determinism discipline).  Everywhere
+    // else in src/, parallelism must go through
+    // exec::parallel_map_deterministic, so that N-thread output stays
+    // byte-identical to 1-thread output by construction.
+    return path_contains_dir(file, "src") && !path_contains_dir(file, "exec");
+}
+
 bool is_interface_header(const fs::path& file) {
     // The headers that *introduce* the virtuals: declaring them there
     // without `override` is correct.
@@ -117,10 +126,22 @@ const std::vector<Rule>& rules() {
          // the same line.  The virtual set is small and stable, which
          // keeps this textual check precise.
          std::regex(
-             R"((next\s*\(\s*const\s+SystemView|on_step\s*\(\s*const\s+StepInput|state_digest\s*\(\s*\)\s*const|make_behavior\s*\(\s*ProcessId|query\s*\(\s*const\s+QueryContext|needs_failure_detector\s*\(\s*\)\s*const))"),
+             R"((next\s*\(\s*const\s+SystemView|on_step\s*\(\s*const\s+StepInput|state_digest\s*\(\s*\)\s*const|fold_state\s*\(\s*StateHasher|make_behavior\s*\(\s*ProcessId|query\s*\(\s*const\s+QueryContext|needs_failure_detector\s*\(\s*\)\s*const))"),
          "re-declared engine virtual without `override`/`final`; interface "
          "drift would silently detach this subclass",
          &override_rule_applies},
+        {"threading-outside-exec",
+         // Thread/lock/atomic vocabulary outside the exec layer.  The
+         // match is on the primitives, not on <thread>-style includes,
+         // so a comment mentioning threads stays legal.
+         // ksa-lint: allow(threading-outside-exec) -- the pattern itself.
+         std::regex(
+             R"(std::(jthread|thread\b|mutex|shared_mutex|timed_mutex|recursive_mutex|condition_variable|atomic|async\s*\(|future<|promise<|lock_guard|unique_lock|scoped_lock|shared_lock|barrier<|latch\b|counting_semaphore|binary_semaphore|call_once|once_flag|this_thread))"),
+         "threading primitive outside src/exec/; express parallelism "
+         "through exec::parallel_map_deterministic (doc/performance.md) "
+         "or, for genuinely thread-safe bookkeeping, annotate with "
+         "ksa-lint: allow(threading-outside-exec)",
+         &in_library_code_outside_exec},
         {"stream-io-in-library",
          std::regex(R"((std::cout\b|std::cerr\b|\bprintf\s*\())"),
          "process-global stream IO in library code; return a report/string "
