@@ -1,21 +1,64 @@
 // M1 -- micro-benchmarks of the substrate: simulator step throughput
 // under each scheduler, run-recording overhead, SCC scaling, failure
-// detector query cost and digest computation.
+// detector query cost, digest computation, and heap-allocation counts
+// of the explorer hot paths.
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "algo/flooding.hpp"
 #include "algo/initial_clique.hpp"
 #include "algo/paxos_consensus.hpp"
+#include "core/explorer.hpp"
+#include "core/reduction.hpp"
 #include "fd/sources.hpp"
 #include "graph/generators.hpp"
 #include "graph/scc.hpp"
 #include "sim/schedulers.hpp"
 #include "sim/system.hpp"
 
+// ---------------------------------------------------------------------
+// Allocation-counting hook.
+//
+// This binary replaces the global operator new/delete with a counting
+// shim so benchmarks can report allocations-per-unit-of-work, the
+// metric the explorer's allocation-lean hot paths (ghost stepping,
+// interned message hashing, scratch reuse) are tuned against.  Wall
+// time alone under-reports allocator pressure: a malloc that is cheap
+// in a micro-benchmark fragments and contends at exploration scale.
+// The counters are atomics so multi-threaded cases stay well-defined;
+// the hook lives only in this benchmark binary and costs two relaxed
+// atomic increments per allocation.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+    throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace ksa;
+
+std::uint64_t alloc_calls_now() {
+    return g_alloc_calls.load(std::memory_order_relaxed);
+}
 
 void BM_SimulatorRoundRobin(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
@@ -124,6 +167,64 @@ void BM_DigestComputation(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DigestComputation);
+
+// Allocations per explored state, fast vs reduced engine.  The ghost
+// stepping + scratch-reuse design keeps this a small constant; the
+// reduced engine must not regress it even though every candidate key
+// additionally runs the absorption quotient (and, for symmetric
+// instances, the renamed walks).
+void BM_ExplorerAllocsPerState(benchmark::State& state) {
+    const bool reduced = state.range(0) != 0;
+    auto algorithm = algo::make_flp_kset(3, 1);
+    core::ExploreConfig cfg;
+    cfg.n = 3;
+    cfg.inputs = distinct_inputs(3);
+    cfg.k = 1;
+    cfg.max_depth = 10;
+    cfg.max_states = 400000;
+    cfg.mode = reduced ? core::ExploreMode::kReduced
+                       : core::ExploreMode::kFast;
+    std::uint64_t allocs = 0;
+    std::uint64_t states = 0;
+    for (auto _ : state) {
+        const std::uint64_t before = alloc_calls_now();
+        core::ExploreResult r = core::explore_schedules(*algorithm, cfg);
+        allocs += alloc_calls_now() - before;
+        states += r.states_explored;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["allocs/state"] =
+        states > 0 ? static_cast<double>(allocs) / static_cast<double>(states)
+                   : 0.0;
+}
+BENCHMARK(BM_ExplorerAllocsPerState)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("reduced");
+
+// The reduced message digest must be allocation-free after tag-intern
+// warm-up: the interner's thread-local front cache absorbs the lookup
+// and the hasher runs on the stack.
+void BM_ReducedMsgHashAllocs(benchmark::State& state) {
+    Payload payload;
+    payload.tag = "S2";
+    payload.ints = {2, 41};
+    payload.lists = {{1, 3}};
+    core::reduced_msg_hash(1, payload);  // warm the interner caches
+    std::uint64_t allocs = 0;
+    std::uint64_t calls = 0;
+    for (auto _ : state) {
+        const std::uint64_t before = alloc_calls_now();
+        Digest128 d = core::reduced_msg_hash(1, payload);
+        allocs += alloc_calls_now() - before;
+        ++calls;
+        benchmark::DoNotOptimize(d);
+    }
+    state.counters["allocs/hash"] =
+        calls > 0 ? static_cast<double>(allocs) / static_cast<double>(calls)
+                  : 0.0;
+}
+BENCHMARK(BM_ReducedMsgHashAllocs);
 
 void BM_IndistinguishabilityCheck(benchmark::State& state) {
     algo::FloodingKSet algorithm(8);

@@ -16,14 +16,23 @@
 // baseline is kept in-tree precisely so the comparison stays honest.
 //
 // Usage: bench_model_check [--out FILE] [--threads N] [--quick]
+//                          [--check FILE]
 //   --quick caps depths for the CI smoke (label `perf`); the committed
 //   BENCH_explorer.json comes from a full run.
+//   --check re-runs the full-depth cases and compares them against a
+//   committed BENCH_explorer.json: every deterministic count must match
+//   exactly, wall times must stay within 3x of the committed numbers
+//   (sub-threshold timings are skipped -- timer noise, not regressions),
+//   and the flagship's >= 2x reduction ratio is re-asserted.  This is
+//   the bench-regression gate ctest runs under the `perf` label.
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 
 #include "algo/flooding.hpp"
 #include "algo/initial_clique.hpp"
@@ -55,12 +64,100 @@ bool same_result(const core::ExploreResult& a, const core::ExploreResult& b) {
     return true;
 }
 
+/// Agreement criterion for the reduced engine: it explores a quotient,
+/// so only the three observables are comparable.  On an exhaustive full
+/// run they must match exactly; on a truncated full run (the --quick
+/// smoke caps depths) the reduced engine may legitimately see MORE --
+/// everything the truncated run saw must still be contained.
+bool reduced_covers(const core::ExploreResult& full,
+                    const core::ExploreResult& red) {
+    if (full.exhaustive)
+        return full.violation_found == red.violation_found &&
+               full.quiescent_outcomes == red.quiescent_outcomes &&
+               full.reachable_decision_sets == red.reachable_decision_sets;
+    if (full.violation_found && !red.violation_found) return false;
+    return std::includes(red.quiescent_outcomes.begin(),
+                         red.quiescent_outcomes.end(),
+                         full.quiescent_outcomes.begin(),
+                         full.quiescent_outcomes.end()) &&
+           std::includes(red.reachable_decision_sets.begin(),
+                         red.reachable_decision_sets.end(),
+                         full.reachable_decision_sets.begin(),
+                         full.reachable_decision_sets.end());
+}
+
+// ---------------------------------------------------------------------
+// --check mode: field scanner for the committed BENCH_explorer.json.
+//
+// The file is produced by this very binary through BenchReport, whose
+// output shape is fixed: one flat entry object per line, `"key": value`
+// pairs with numeric / boolean / quoted-string values.  That contract
+// (doc/performance.md, bench_util.hpp) lets the regression gate re-read
+// its own artifact with a few lines of string scanning instead of
+// pulling a JSON library into the tree.  The needle includes the
+// opening quote, so `"states"` never matches inside
+// `"canonical_states"`.
+
+/// Extracts the raw (unquoted-value) text of `key` from one entry line.
+bool scan_raw(const std::string& line, const std::string& key,
+              std::string& out) {
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) return false;
+    const std::size_t start = pos + needle.size();
+    const std::size_t end = line.find_first_of(",}", start);
+    if (end == std::string::npos) return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+/// Extracts a numeric field.
+bool scan_num(const std::string& line, const std::string& key, double& out) {
+    std::string raw;
+    if (!scan_raw(line, key, raw)) return false;
+    out = std::strtod(raw.c_str(), nullptr);
+    return true;
+}
+
+/// Extracts a boolean field.
+bool scan_bool(const std::string& line, const std::string& key, bool& out) {
+    std::string raw;
+    if (!scan_raw(line, key, raw)) return false;
+    out = raw == "true";
+    return true;
+}
+
+/// Extracts a quoted string field (used for "name"; entry names may
+/// contain commas, so this stops at the closing quote, not at `,`).
+bool scan_str(const std::string& line, const std::string& key,
+              std::string& out) {
+    const std::string needle = "\"" + key + "\": \"";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos) return false;
+    const std::size_t start = pos + needle.size();
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos) return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+/// Timing tolerance of the regression gate: a current wall time may be
+/// at most this multiple of the committed one.  3x absorbs machine and
+/// load variation while still catching an accidentally quadratic hot
+/// path or a lost reduction axis.
+constexpr double kTimeToleranceX = 3.0;
+/// Committed timings below this are not enforced: for sub-5ms cases a
+/// cold cache or one scheduler hiccup exceeds 3x without any real
+/// regression, and the exact state counts already pin their behaviour.
+constexpr double kTimeFloorMs = 5.0;
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace ksa;
 
     std::string out_path;
+    std::string check_path;
     int threads = exec::hardware_threads();
     bool quick = false;
     for (int i = 1; i < argc; ++i) {
@@ -70,19 +167,26 @@ int main(int argc, char** argv) {
             threads = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+            check_path = argv[++i];
         else {
             std::cerr << "usage: bench_model_check [--out FILE] "
-                         "[--threads N] [--quick]\n";
+                         "[--threads N] [--quick] [--check FILE]\n";
             return 2;
         }
     }
+    // The regression gate compares full-depth counts; --quick would
+    // change every number it checks.
+    if (!check_path.empty()) quick = false;
 
-    std::cout << "M2: bounded exhaustive schedule exploration\n\n";
-    std::cout << std::left << std::setw(26) << "algorithm" << std::right
-              << std::setw(4) << "n" << std::setw(4) << "k" << std::setw(7)
-              << "dead" << std::setw(10) << "states" << std::setw(9)
-              << "exhst" << std::setw(11) << "violation" << std::setw(12)
-              << "expected\n";
+    if (check_path.empty()) {
+        std::cout << "M2: bounded exhaustive schedule exploration\n\n";
+        std::cout << std::left << std::setw(26) << "algorithm" << std::right
+                  << std::setw(4) << "n" << std::setw(4) << "k" << std::setw(7)
+                  << "dead" << std::setw(10) << "states" << std::setw(9)
+                  << "exhst" << std::setw(11) << "violation" << std::setw(12)
+                  << "expected\n";
+    }
 
     struct Case {
         std::unique_ptr<Algorithm> algorithm;
@@ -96,6 +200,10 @@ int main(int argc, char** argv) {
         /// not dominated by timer resolution.
         int reps;
         const char* why;
+        /// Uniform inputs (all processes propose the same value) open
+        /// the full symmetric group for the reduced engine's symmetry
+        /// axis; the default distinct inputs leave it trivial.
+        bool uniform_inputs = false;
     };
     std::vector<Case> cases;
     // Impossible side: flooding is no consensus protocol (k=1, f=1).
@@ -117,17 +225,157 @@ int main(int argc, char** argv) {
     // Trivial protocol: n distinct decisions immediately.
     cases.push_back({std::make_unique<algo::TrivialWaitFree>(), 3, 2, {}, 4,
                      true, 100, "n-set only"});
+    // Symmetric instance: same protocol, uniform inputs.  The full
+    // engines see the identical 3430-state space (they key on ids);
+    // the reduced engine's symmetry axis gets the whole S_3 to quotient
+    // by and collapses it by an order of magnitude.
+    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false, 1,
+                     "Thm 8, uniform inputs", true});
 
     auto config_for = [&](const Case& c) {
         core::ExploreConfig cfg;
         cfg.n = c.n;
-        cfg.inputs = distinct_inputs(c.n);
+        cfg.inputs = c.uniform_inputs ? std::vector<Value>(c.n, 1)
+                                      : distinct_inputs(c.n);
         cfg.plan.set_initially_dead(c.dead);
         cfg.k = c.k;
         cfg.max_depth = quick ? std::min(c.depth, 8) : c.depth;
         cfg.max_states = 400000;
         return cfg;
     };
+
+    // ------------------------------------------------------------------
+    // --check: bench-regression gate against a committed report.
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in) {
+            std::cerr << "cannot open " << check_path << "\n";
+            return 2;
+        }
+        std::map<std::string, std::string> committed;  // name -> entry line
+        std::string line;
+        while (std::getline(in, line)) {
+            std::string name;
+            if (scan_str(line, "name", name)) committed[name] = line;
+        }
+
+        std::cout << "bench regression check against " << check_path << "\n"
+                  << "counts must match the committed report exactly; "
+                  << "timings within " << kTimeToleranceX << "x (committed >= "
+                  << kTimeFloorMs << " ms only)\n\n";
+        std::cout << std::left << std::setw(26) << "case" << std::right
+                  << std::setw(10) << "states" << std::setw(10) << "canon"
+                  << std::setw(10) << "fast ms" << std::setw(10) << "red ms"
+                  << std::setw(8) << "gate\n";
+
+        bool ok = true;
+        for (const Case& c : cases) {
+            const auto it = committed.find(c.why);
+            if (it == committed.end()) {
+                std::cout << "[" << c.why << "] MISSING from committed report\n";
+                ok = false;
+                continue;
+            }
+            const std::string& entry = it->second;
+            bool case_ok = true;
+            auto fail = [&](const std::string& what) {
+                std::cout << "[" << c.why << "] REGRESSION: " << what << "\n";
+                case_ok = false;
+            };
+
+            core::ExploreConfig cfg = config_for(c);
+            cfg.threads = 1;
+            core::ExploreResult fast_r, red_r;
+            // Best-of-3 wall times: the gate compares against committed
+            // single-machine numbers, so take the least noisy sample.
+            double fast_ms = 1e300, reduced_ms = 1e300;
+            cfg.mode = core::ExploreMode::kFast;
+            for (int r = 0; r < 3; ++r)
+                fast_ms = std::min(fast_ms, ksa::bench::time_call_ms([&] {
+                              fast_r = core::explore_schedules(*c.algorithm,
+                                                               cfg);
+                          }));
+            cfg.mode = core::ExploreMode::kReduced;
+            for (int r = 0; r < 3; ++r)
+                reduced_ms =
+                    std::min(reduced_ms, ksa::bench::time_call_ms([&] {
+                                 red_r = core::explore_schedules(*c.algorithm,
+                                                                 cfg);
+                             }));
+
+            // Deterministic counts: exact match, no tolerance.
+            const std::pair<const char*, std::uint64_t> counts[] = {
+                {"states", fast_r.states_explored},
+                {"expansions", fast_r.schedules_expanded},
+                {"canonical_states", red_r.states_explored},
+                {"reduced_expansions", red_r.schedules_expanded},
+                {"por_skips", red_r.por_skips},
+                {"dedup_hits", red_r.dedup_hits},
+            };
+            for (const auto& [key, got] : counts) {
+                double want = 0;
+                if (!scan_num(entry, key, want))
+                    fail(std::string(key) + " missing from committed entry");
+                else if (static_cast<double>(got) != want)
+                    fail(std::string(key) + " = " + std::to_string(got) +
+                         ", committed " + std::to_string(want));
+            }
+            bool want_violation = false;
+            if (!scan_bool(entry, "violation", want_violation))
+                fail("violation missing from committed entry");
+            else if (fast_r.violation_found != want_violation)
+                fail("violation verdict flipped");
+            if (!reduced_covers(fast_r, red_r))
+                fail("reduced engine no longer covers the fast engine");
+
+            // Timing regression: current <= 3x committed, above the floor.
+            const std::pair<const char*, double> timings[] = {
+                {"fast_ms", fast_ms},
+                {"reduced_ms", reduced_ms},
+            };
+            for (const auto& [key, got_ms] : timings) {
+                double want_ms = 0;
+                if (!scan_num(entry, key, want_ms))
+                    fail(std::string(key) + " missing from committed entry");
+                else if (want_ms >= kTimeFloorMs &&
+                         got_ms > kTimeToleranceX * want_ms)
+                    fail(std::string(key) + " = " + std::to_string(got_ms) +
+                         " ms, committed " + std::to_string(want_ms) +
+                         " ms (limit " +
+                         std::to_string(kTimeToleranceX * want_ms) + " ms)");
+            }
+
+            // The flagship acceptance criterion stays pinned: wherever
+            // the committed report claims a >= 2x reduction, a fresh run
+            // must still achieve one.
+            double want_ratio = 0;
+            if (scan_num(entry, "reduction_ratio", want_ratio) &&
+                want_ratio >= 2.0) {
+                const double got_ratio =
+                    red_r.schedules_expanded > 0
+                        ? static_cast<double>(fast_r.schedules_expanded) /
+                              static_cast<double>(red_r.schedules_expanded)
+                        : 0.0;
+                if (got_ratio < 2.0)
+                    fail("reduction ratio fell below 2x (got " +
+                         std::to_string(got_ratio) + ")");
+            }
+
+            std::cout << std::left << std::setw(26) << c.why << std::right
+                      << std::setw(10) << fast_r.states_explored
+                      << std::setw(10) << red_r.states_explored
+                      << std::setw(10) << std::fixed << std::setprecision(1)
+                      << fast_ms << std::setw(10) << reduced_ms
+                      << std::setw(8) << (case_ok ? "ok" : "FAIL") << "\n";
+            std::cout.unsetf(std::ios::fixed);
+            ok = ok && case_ok;
+        }
+        std::cout << "\n"
+                  << (ok ? "bench regression check passed"
+                         : "BENCH REGRESSION DETECTED")
+                  << "\n";
+        return ok ? 0 : 1;
+    }
 
     bool all = true;
     for (const Case& c : cases) {
@@ -166,6 +414,20 @@ int main(int argc, char** argv) {
 
     ksa::bench::BenchReport report("explorer");
     bool engines_agree = true;
+    /// Reduction-engine rows, collected during the main loop and
+    /// printed as a dedicated table after it.
+    struct ReducedRow {
+        const char* why;
+        std::size_t fast_expansions;
+        std::size_t canonical_states;
+        std::size_t por_skips;
+        std::size_t dedup_hits;
+        double reduced_ms;
+        double fast_ms;
+        double ratio;
+        bool covers;
+    };
+    std::vector<ReducedRow> reduced_rows;
     for (const Case& c : cases) {
         core::ExploreConfig cfg = config_for(c);
         const int reps = quick ? 1 : c.reps;
@@ -202,9 +464,30 @@ int main(int argc, char** argv) {
             }) /
             reps;
 
+        core::ExploreResult red_r;
+        cfg.mode = core::ExploreMode::kReduced;
+        cfg.threads = 1;
+        const double reduced_ms =
+            ksa::bench::time_call_ms([&] {
+                for (int r = 0; r < reps; ++r)
+                    red_r = core::explore_schedules(*c.algorithm, cfg);
+            }) /
+            reps;
+
+        const bool red_ok = reduced_covers(fast_r, red_r);
+        const double red_ratio =
+            red_r.schedules_expanded > 0
+                ? static_cast<double>(fast_r.schedules_expanded) /
+                      static_cast<double>(red_r.schedules_expanded)
+                : 0.0;
+        reduced_rows.push_back({c.why, fast_r.schedules_expanded,
+                                red_r.states_explored, red_r.por_skips,
+                                red_r.dedup_hits, reduced_ms, fast_ms,
+                                red_ratio, red_ok});
+
         const bool agree = same_result(baseline_r, ref_r) &&
                            same_result(baseline_r, fast_r) &&
-                           same_result(baseline_r, fast_mt_r);
+                           same_result(baseline_r, fast_mt_r) && red_ok;
         engines_agree = engines_agree && agree;
         const double best_ms = std::min(fast_ms, fast_mt_ms);
         const double speedup = best_ms > 0 ? baseline_ms / best_ms : 0.0;
@@ -234,8 +517,36 @@ int main(int argc, char** argv) {
             .num("fast_ms", fast_ms)
             .num("fast_mt_ms", fast_mt_ms)
             .num("speedup_vs_baseline", speedup)
-            .boolean("engines_agree", agree);
+            .boolean("engines_agree", agree)
+            .num("reduced_ms", reduced_ms)
+            .num("canonical_states", red_r.states_explored)
+            .num("reduced_expansions", red_r.schedules_expanded)
+            .num("por_skips", red_r.por_skips)
+            .num("dedup_hits", red_r.dedup_hits)
+            .num("reduction_ratio", red_ratio)
+            .boolean("reduced_agrees", red_ok);
     }
+    // ------------------------------------------------------------------
+    // Reduction engine: quotient sizes and agreement (observables only;
+    // counts are SUPPOSED to shrink).
+    std::cout << "\nreduction engine (kReduced vs kFast, 1 thread)\n\n";
+    std::cout << std::left << std::setw(26) << "case" << std::right
+              << std::setw(10) << "fast exp" << std::setw(10) << "red exp"
+              << std::setw(8) << "ratio" << std::setw(10) << "por skip"
+              << std::setw(9) << "dedup" << std::setw(10) << "fast ms"
+              << std::setw(9) << "red ms" << std::setw(8) << "agree\n";
+    for (const ReducedRow& row : reduced_rows) {
+        std::cout << std::left << std::setw(26) << row.why << std::right
+                  << std::setw(10) << row.fast_expansions << std::setw(10)
+                  << row.canonical_states << std::setw(7) << std::fixed
+                  << std::setprecision(1) << row.ratio << "x" << std::setw(10)
+                  << row.por_skips << std::setw(9) << row.dedup_hits
+                  << std::setw(10) << row.fast_ms << std::setw(9)
+                  << row.reduced_ms << std::setw(8)
+                  << (row.covers ? "yes" : "NO") << "\n";
+        std::cout.unsetf(std::ios::fixed);
+    }
+
     std::cout << "\n"
               << (engines_agree
                       ? "all engines agree bit-identically on every case"

@@ -31,6 +31,19 @@ public:
         return out;
     }
 
+    /// Flooding sends exactly once (the announce step); afterwards every
+    /// step only ingests.  Monotone: announced_ never resets.
+    bool may_send() const override { return !announced_; }
+
+    /// A VAL from a sender already in seen_ re-emplaces an existing key:
+    /// no state change, no output change.  seen_ only grows, so the
+    /// claim is monotone as Behavior::message_inert requires.
+    bool message_inert(ProcessId /*from*/,
+                       const Payload& payload) const override {
+        return payload.tag == "VAL" && !payload.ints.empty() &&
+               seen_.count(payload.ints.front()) != 0;
+    }
+
     std::unique_ptr<Behavior> clone() const override {
         return std::make_unique<FloodingBehavior>(*this);
     }
@@ -62,6 +75,28 @@ public:
         }
     }
 
+    /// fold_state with every id mapped through `ren`: the renamed
+    /// execution's behavior at position ren(id) holds seen-entries keyed
+    /// by renamed senders, iterated in renamed-id order.
+    bool fold_state_renamed(StateHasher& h,
+                            const ProcessRenaming& ren) const override {
+        h.str("FL");
+        h.i64(ren[static_cast<std::size_t>(id()) - 1]);
+        h.i64(input());
+        h.u64(announced_ ? 1 : 0);
+        h.u64(seen_.size());
+        std::vector<std::pair<ProcessId, Value>> renamed;
+        renamed.reserve(seen_.size());
+        for (const auto& [q, v] : seen_)
+            renamed.emplace_back(ren[static_cast<std::size_t>(q) - 1], v);
+        std::sort(renamed.begin(), renamed.end());
+        for (const auto& [q, v] : renamed) {
+            h.i64(q);
+            h.i64(v);
+        }
+        return true;
+    }
+
 private:
     int threshold_;
     bool announced_ = false;
@@ -77,6 +112,9 @@ public:
         if (!has_decided()) decide(out, input());
         return out;
     }
+
+    /// Never communicates, in any state.
+    bool may_send() const override { return false; }
 
     std::unique_ptr<Behavior> clone() const override {
         return std::make_unique<TrivialBehavior>(*this);
@@ -96,6 +134,15 @@ public:
         h.i64(input());
         h.u64(has_decided() ? 1 : 0);
     }
+
+    bool fold_state_renamed(StateHasher& h,
+                            const ProcessRenaming& ren) const override {
+        h.str("TR");
+        h.i64(ren[static_cast<std::size_t>(id()) - 1]);
+        h.i64(input());
+        h.u64(has_decided() ? 1 : 0);
+        return true;
+    }
 };
 
 }  // namespace
@@ -107,6 +154,15 @@ std::unique_ptr<Behavior> FloodingKSet::make_behavior(ProcessId id, int n,
 
 std::string FloodingKSet::name() const {
     return "flooding(th=" + std::to_string(threshold_) + ")";
+}
+
+bool FloodingKSet::rename_payload_ids(Payload& payload,
+                                      const ProcessRenaming& ren) const {
+    // VAL carries (sender id, proposal value): only the id is renamed.
+    if (payload.tag == "VAL" && !payload.ints.empty())
+        payload.ints[0] =
+                ren[static_cast<std::size_t>(payload.ints[0]) - 1];
+    return true;
 }
 
 std::unique_ptr<Behavior> TrivialWaitFree::make_behavior(ProcessId id, int n,

@@ -37,6 +37,18 @@ public:
                                             Value input) const override;
     std::string name() const override;
 
+    /// Decisions are minimum *values* over seen proposals -- no id
+    /// tie-breaks -- so flooding is equivariant under every renaming
+    /// that fixes the inputs vector.
+    SymmetryKind symmetry() const override { return SymmetryKind::kFull; }
+    bool rename_payload_ids(Payload& payload,
+                            const ProcessRenaming& ren) const override;
+
+    /// A decided flooding behavior only ingests (on_step returns before
+    /// any announce/decide once has_decided()) -- it never sends or
+    /// decides again.
+    bool decided_is_final() const override { return true; }
+
     int threshold() const { return threshold_; }
 
 private:
@@ -49,6 +61,19 @@ public:
     std::unique_ptr<Behavior> make_behavior(ProcessId id, int n,
                                             Value input) const override;
     std::string name() const override { return "trivial-wait-free"; }
+
+    /// Never communicates and decides its own input: trivially
+    /// equivariant.
+    SymmetryKind symmetry() const override { return SymmetryKind::kFull; }
+    bool rename_payload_ids(Payload& payload,
+                            const ProcessRenaming& ren) const override {
+        (void)payload;
+        (void)ren;
+        return true;  // no messages exist to rename
+    }
+
+    /// Decides once, never communicates: trivially final.
+    bool decided_is_final() const override { return true; }
 };
 
 /// The f-resilient flooding instance (threshold n - f).

@@ -42,6 +42,20 @@ public:
         return out;
     }
 
+    /// All sends happen in the stage-1 announce (phase 0 -> 1) and the
+    /// stage-2 publish (phase 1 -> 2) steps; from phase 2 on, steps only
+    /// collect stage-2 messages and decide.  Monotone: phase_ only grows.
+    bool may_send() const override { return phase_ < 2; }
+
+    /// Once the stage-1 quota is full, further S1 messages are dropped
+    /// by ingest() without any state change -- heard_ never shrinks, so
+    /// the claim is monotone as Behavior::message_inert requires.
+    bool message_inert(ProcessId /*from*/,
+                       const Payload& payload) const override {
+        return payload.tag == "S1" &&
+               static_cast<int>(heard_.size()) >= l_ - 1;
+    }
+
     std::unique_ptr<Behavior> clone() const override {
         return std::make_unique<InitialCliqueBehavior>(*this);
     }
@@ -79,6 +93,46 @@ public:
             h.u64(info.second.size());
             for (int u : info.second) h.i64(u);
         }
+    }
+
+    /// fold_state under renaming: every id-valued field is mapped
+    /// through `ren` and every id-sorted container re-sorted under the
+    /// new names, exactly as the renamed execution would store it.
+    bool fold_state_renamed(StateHasher& h,
+                            const ProcessRenaming& ren) const override {
+        auto renamed_sorted = [&ren](const std::vector<int>& ids) {
+            std::vector<int> out;
+            out.reserve(ids.size());
+            for (int q : ids)
+                out.push_back(ren[static_cast<std::size_t>(q) - 1]);
+            std::sort(out.begin(), out.end());
+            return out;
+        };
+        h.str("IC");
+        h.i64(ren[static_cast<std::size_t>(id()) - 1]);
+        h.i64(input());
+        h.i64(phase_);
+        const std::vector<int> heard = renamed_sorted(heard_);
+        h.u64(heard.size());
+        for (int q : heard) h.i64(q);
+        const std::vector<int> required = renamed_sorted(required_);
+        h.u64(required.size());
+        for (int q : required) h.i64(q);
+        h.u64(known_.size());
+        std::vector<std::pair<int, std::pair<Value, std::vector<int>>>> known;
+        known.reserve(known_.size());
+        for (const auto& [q, info] : known_)
+            known.emplace_back(
+                    ren[static_cast<std::size_t>(q) - 1],
+                    std::make_pair(info.first, renamed_sorted(info.second)));
+        std::sort(known.begin(), known.end());
+        for (const auto& [q, info] : known) {
+            h.i64(q);
+            h.i64(info.first);
+            h.u64(info.second.size());
+            for (int u : info.second) h.i64(u);
+        }
+        return true;
     }
 
 private:
@@ -169,6 +223,25 @@ std::unique_ptr<Behavior> InitialCliqueKSet::make_behavior(ProcessId id, int n,
 
 std::string InitialCliqueKSet::name() const {
     return "initial-clique(L=" + std::to_string(l_) + ")";
+}
+
+bool InitialCliqueKSet::rename_payload_ids(Payload& payload,
+                                           const ProcessRenaming& ren) const {
+    auto rename_id = [&ren](int& q) {
+        q = ren[static_cast<std::size_t>(q) - 1];
+    };
+    if (payload.tag == "S1" && !payload.ints.empty()) {
+        rename_id(payload.ints[0]);
+    } else if (payload.tag == "S2" && !payload.ints.empty()) {
+        rename_id(payload.ints[0]);  // ints[1] is the proposal value
+        // The heard-list is a sorted id set in the sender's state; the
+        // renamed execution sends it sorted under the new names.
+        for (std::vector<int>& list : payload.lists) {
+            for (int& q : list) rename_id(q);
+            std::sort(list.begin(), list.end());
+        }
+    }
+    return true;
 }
 
 std::unique_ptr<Algorithm> make_flp_consensus(int n) {

@@ -47,6 +47,22 @@ public:
                                             Value input) const override;
     std::string name() const override;
 
+    /// The decision rule breaks ties by smallest member *id*, so the
+    /// protocol is value-equivariant only under renamings that keep
+    /// every equal-input class a contiguous id block (the reduction
+    /// layer enforces the block condition; doc/extending.md has the
+    /// argument).
+    SymmetryKind symmetry() const override {
+        return SymmetryKind::kBlockSymmetric;
+    }
+    bool rename_payload_ids(Payload& payload,
+                            const ProcessRenaming& ren) const override;
+
+    /// A decided behavior returns from on_step before any broadcast or
+    /// decide (phase_ == 3 is absorbing): decisions are final and
+    /// silent.
+    bool decided_is_final() const override { return true; }
+
     int l() const { return l_; }
 
     /// Upper bound floor(n/L) on the number of distinct decisions when

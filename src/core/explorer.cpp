@@ -116,14 +116,7 @@ std::string canonical_state_string(const System& sys, int n,
 /// excluded, mirroring the canonical rendering).
 void hash_message(StateHasher& h, ProcessId from, const Payload& payload) {
     h.i64(from);
-    h.str(payload.tag);
-    h.u64(payload.ints.size());
-    for (int v : payload.ints) h.i64(v);
-    h.u64(payload.lists.size());
-    for (const auto& list : payload.lists) {
-        h.u64(list.size());
-        for (int v : list) h.i64(v);
-    }
+    payload.fold(h);
 }
 
 /// 128-bit digest of one buffered message.  The fast engine hashes each
@@ -217,6 +210,10 @@ struct GhostStep {
     const std::set<ProcessId>* omit_to = nullptr;  ///< final-step omissions
     std::size_t delivered = 0;      ///< length of the delivered buffer prefix
     Digest128 bhash{};              ///< behavior_hash() after the step
+    /// The stepped clone, kept alive because the reduced engine folds
+    /// it again under every symmetry-group renaming
+    /// (fold_state_renamed); the fast engine only reads bhash.
+    std::unique_ptr<Behavior> behavior;
 
     /// True iff the send `(dest)` actually reaches its buffer.
     bool send_survives(ProcessId dest) const {
@@ -228,20 +225,19 @@ struct GhostStep {
 /// deliver a *prefix* of the buffer (nothing / the oldest message / the
 /// whole buffer), so the delivered set is just a prefix length.
 /// `scratch` is a caller-owned StepInput reused across candidates to
-/// amortize its allocations.
+/// amortize its allocations (System::deliver_prefix recycles the
+/// vector's capacity).
 GhostStep ghost_step(const System& sys, ProcessId p, std::size_t delivered,
                      StepInput& scratch) {
     GhostStep g;
     g.delivered = delivered;
-    const auto& buf = sys.buffer(p);
-    scratch.delivered.assign(
-            buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(delivered));
-    std::unique_ptr<Behavior> behavior = sys.clone_behavior(p);
-    g.out = behavior->on_step(scratch);
+    sys.deliver_prefix(p, delivered, scratch);
+    g.behavior = sys.clone_behavior(p);
+    g.out = g.behavior->on_step(scratch);
     const int allowed = sys.plan().allowed_steps(p);
     g.final_crash = allowed >= 0 && sys.steps_of(p) + 1 == allowed;
     if (g.final_crash) g.omit_to = &sys.plan().spec(p).omit_to;
-    g.bhash = behavior_hash(*behavior);
+    g.bhash = behavior_hash(*g.behavior);
     return g;
 }
 
@@ -260,19 +256,30 @@ struct ArrivingSend {
 /// once in its lifetime.
 using MessageHashes = std::vector<std::vector<Digest128>>;
 
+/// Fills `arriving` with the ghost step's surviving sends in emission
+/// order, digested by `digest_send(stepper, payload)` -- msg_hash for
+/// the fast engine, reduced_msg_hash for the reduced engine (both
+/// engines share hash_child below; only the message digest differs).
+template <typename DigestSendFn>
+void fill_arriving(const GhostStep& g, ProcessId stepper,
+                   const DigestSendFn& digest_send,
+                   std::vector<ArrivingSend>& arriving) {
+    arriving.clear();
+    for (const auto& [dest, payload] : g.out.sends)
+        if (g.send_survives(dest))
+            arriving.push_back({dest, digest_send(stepper, payload)});
+}
+
 /// Hash of the child configuration reached from `sys` by the ghost
 /// step: field-for-field identical to hash_state() of the realized
-/// child (debug builds assert this on every accepted child).  Fills
-/// `arriving` with the surviving sends in emission order.
+/// child (debug builds assert this on every accepted child).
+/// `arriving` must hold the surviving sends in emission order
+/// (fill_arriving).
 Digest128 hash_child(const System& sys, int n, ProcessId stepper,
                      const GhostStep& g,
                      const std::vector<BehaviorMark>& parent_marks,
                      const MessageHashes& parent_mhash,
-                     std::vector<ArrivingSend>& arriving) {
-    arriving.clear();
-    for (const auto& [dest, payload] : g.out.sends)
-        if (g.send_survives(dest))
-            arriving.push_back({dest, msg_hash(stepper, payload)});
+                     const std::vector<ArrivingSend>& arriving) {
     StateHasher h;
     for (ProcessId q = 1; q <= n; ++q) {
         const bool crashed_q = q == stepper ? g.final_crash : sys.crashed(q);
@@ -439,10 +446,14 @@ ExploreResult explore_snapshot(const Algorithm& algorithm,
 
     bool truncated = false;
     while (!layer.empty() && !truncated) {
-        // Parallel phase: expand every node of the layer independently.
+        if (cfg.collect_layer_sizes)
+            result.layer_frontier_sizes.push_back(layer.size());
+        // Parallel phase: expand every node of the layer independently
+        // (inline below the adaptive threshold -- byte-identical).
         std::vector<Expansion<Key>> expansions = exec::parallel_map_deterministic(
                 pool, layer.size(),
-                [&](std::size_t i) { return expand_node(layer[i], cfg, make_key); });
+                [&](std::size_t i) { return expand_node(layer[i], cfg, make_key); },
+                cfg.min_parallel_frontier);
 
         // Sequential merge, in input order (= the sequential engine's
         // pop order).
@@ -478,6 +489,8 @@ ExploreResult explore_snapshot(const Algorithm& algorithm,
                             ScriptLink{layer[i].script, std::move(c.choice)});
                     node.depth = layer[i].depth + 1;
                     next.push_back(std::move(node));
+                } else {
+                    ++result.dedup_hits;
                 }
             }
         }
@@ -564,6 +577,7 @@ FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg) {
         for (std::size_t m = 0; m < num_prefixes; ++m) {
             GhostStep g = ghost_step(sys, p, prefixes[m], scratch);
             FastChild child;
+            fill_arriving(g, p, msg_hash, child.arriving);
             child.key = hash_child(sys, cfg.n, p, g, node.marks,
                                    node.mhash, child.arriving);
             child.stepper = p;
@@ -609,15 +623,19 @@ ExploreResult explore_fast(const Algorithm& algorithm,
 
     bool truncated = false;
     while (!layer.empty() && !truncated) {
+        if (cfg.collect_layer_sizes)
+            result.layer_frontier_sizes.push_back(layer.size());
         // Phase A (parallel): ghost-expand every node of the layer.
         std::vector<FastExpansion> expansions = exec::parallel_map_deterministic(
                 pool, layer.size(),
-                [&](std::size_t i) { return expand_fast(layer[i], cfg); });
+                [&](std::size_t i) { return expand_fast(layer[i], cfg); },
+                cfg.min_parallel_frontier);
 
         // Sequential merge, identical bookkeeping order to the other
         // engines (pop-order max_states check, expansion counting,
         // first-in-BFS-order witness, child insertion order).
         std::vector<Accepted> accepted;
+        accepted.reserve(layer.size());
         for (std::size_t i = 0; i < layer.size(); ++i) {
             if (visited.size() > cfg.max_states) {
                 result.exhaustive = false;
@@ -652,6 +670,8 @@ ExploreResult explore_fast(const Algorithm& algorithm,
                         choice.deliver.push_back(buf[m].id);
                     accepted.push_back(Accepted{i, std::move(choice), c.bhash,
                                                 std::move(c.arriving), c.key});
+                } else {
+                    ++result.dedup_hits;
                 }
             }
         }
@@ -661,7 +681,8 @@ ExploreResult explore_fast(const Algorithm& algorithm,
         // parent, so siblings of the same parent can realize
         // concurrently.
         std::vector<FastNode> next = exec::parallel_map_deterministic(
-                pool, accepted.size(), [&](std::size_t j) {
+                pool, accepted.size(),
+                [&](std::size_t j) {
                     Accepted& a = accepted[j];
                     const FastNode& parent = layer[a.parent];
                     const ProcessId stepper = a.choice.process;
@@ -692,10 +713,513 @@ ExploreResult explore_fast(const Algorithm& algorithm,
                             "explore_fast: ghost key != realized state hash");
 #endif
                     return node;
-                });
+                },
+                cfg.min_parallel_frontier);
         layer = std::move(next);
     }
     result.states_explored = visited.size();
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Reduced engine (ExploreMode::kReduced): the fast engine's layered
+// ghost-step BFS with the reduction layer (core/reduction.hpp) on top.
+// doc/performance.md carries the full soundness argument; in brief:
+//
+//   * SYMMETRY -- dedup keys are canonicalized to the minimum digest
+//     over the symmetry group G (permutations fixing inputs + plan that
+//     the algorithm declares equivariance under): one representative
+//     per G-orbit is explored.  The identity element reuses the fast
+//     engine's incremental caches (with reduced_msg_hash as the
+//     message digest); non-identity elements re-walk the candidate
+//     through the renaming.  Decision-value sets are G-invariant;
+//     per-process quiescent outcome vectors are orbit-expanded over G
+//     before the result is returned.
+//
+//   * ABSORPTION -- the observational quotient of core/reduction.hpp:
+//     when the algorithm declares decisions final, a decided process
+//     folds to its decision value alone (buffer, crash flag and
+//     internal bookkeeping leave the key), its step choices are
+//     skipped, and quiescence classification treats it as drained --
+//     the absorbed representative itself records the outcome its
+//     drain-only descendants would have recorded.  Independently,
+//     messages the receiver declares inert (Behavior::message_inert)
+//     are deleted from every key, wherever they sit in the buffer.
+//
+//   * PARTIAL ORDER -- a persistent-set filter: when some enumerable
+//     process's every delivery-mode move neither decides a fresh value
+//     nor sends to a process that can still step (decided processes
+//     of a decisions-are-final algorithm count as stopped), and every
+//     OTHER steppable process is send-quiescent (Behavior::may_send),
+//     that process's moves commute with everything the rest of the
+//     system can ever do.  Only that process is expanded; the other
+//     processes' moves are skipped and counted as por_skips.
+//
+// Unlike the other engines this explores a QUOTIENT of the reachable
+// space: states_explored / schedules_expanded shrink, while
+// violation_found, reachable_decision_sets and quiescent_outcomes are
+// preserved (exactly so on exhaustive explorations).
+
+struct ReducedChild {
+    Digest128 key{};            ///< canonical (min over G) digest
+    ProcessId stepper = 0;
+    std::size_t delivered = 0;  ///< length of the delivered buffer prefix
+    Digest128 bhash{};          ///< stepper's fold_state digest after the step
+    std::vector<ArrivingSend> arriving;  ///< reduced_msg_hash digests
+};
+
+struct ReducedExpansion {
+    std::set<Value> decided;
+    bool is_quiescent = false;
+    std::vector<Value> outcome;  ///< filled iff is_quiescent
+    bool at_depth = false;
+    std::size_t por_skips = 0;
+    std::vector<ReducedChild> children;
+};
+
+/// Canonical key of a live System: minimum over the group of the
+/// renamed full-state digests (identity via reduced_hash_state), with
+/// the absorption quotient applied on every path.  Used for the root
+/// key and the debug cross-check of realized children.
+Digest128 canonical_state_key(const System& sys, int n,
+                              const Algorithm& algorithm,
+                              const SymmetryGroup& group,
+                              RenameScratch& scratch,
+                              const AbsorptionContext& abs) {
+    Digest128 key = reduced_hash_state(sys, n, abs);
+    for (std::size_t g = 1; g < group.size(); ++g) {
+        const Digest128 d = hash_state_renamed(sys, n, algorithm,
+                                               group.renaming(g),
+                                               group.inverse(g), scratch, abs);
+        if (d < key) key = d;
+    }
+    return key;
+}
+
+/// Quotient-aware quiescence: a process that has decided under a
+/// decisions-are-final algorithm is absorbed -- its undrained buffer
+/// and remaining (skipped) steps cannot change any decision, so the
+/// configuration's outcome vector is already the outcome vector of the
+/// fully drained configurations it represents.  Without decided-final
+/// absorption this is exactly quiescent().  Classifying quiescence on
+/// the quotient is what keeps outcomes observable at all: drain-only
+/// children hash equal to their parent and are deduplicated away, so
+/// the absorbed representative itself must be the state that records
+/// the outcome.
+bool quiescent_reduced(const System& sys, const ExploreConfig& cfg,
+                       const AbsorptionContext& abs) {
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        if (abs.decided_final && sys.decision_of(p)) continue;  // absorbed
+        if (cfg.plan.is_faulty(p)) {
+            if (sys.can_step(p)) return false;
+        } else {
+            if (!sys.decision_of(p)) return false;
+            // Dead (inert) leftovers don't block quiescence: the state
+            // keys equal to its fully drained counterpart, so it must
+            // also CLASSIFY like it, or the orbit's outcome would be
+            // recorded by neither representative.
+            const auto& buf = sys.buffer(p);
+            const Behavior& recv = sys.behavior_of(p);
+            for (const Message& m : buf)
+                if (!dead_message(m.from, m.payload, recv, abs))
+                    return false;
+        }
+    }
+    return true;
+}
+
+/// Identity-renaming child key of the reduced engine: hash_child's
+/// cached-digest walk with the absorption quotient applied -- decided
+/// processes fold to their decision alone and dead messages (judged by
+/// the receiver's CHILD-state behavior) are deleted from buffer keys.
+/// Field-for-field identical to reduced_hash_state() of the realized
+/// child, and to hash_child() when the quotient is off.
+Digest128 hash_child_reduced(const System& sys, int n, ProcessId stepper,
+                             const GhostStep& g,
+                             const std::vector<BehaviorMark>& parent_marks,
+                             const MessageHashes& parent_mhash,
+                             const std::vector<ArrivingSend>& arriving,
+                             const AbsorptionContext& abs,
+                             std::vector<const Payload*>& payload_scratch) {
+    StateHasher h;
+    for (ProcessId q = 1; q <= n; ++q) {
+        auto d = sys.decision_of(q);
+        if (q == stepper && g.out.decision) d = g.out.decision;
+        if (abs.decided_final && d) {
+            h.u64(2);
+            h.i64(*d);
+            continue;
+        }
+        const bool crashed_q = q == stepper ? g.final_crash : sys.crashed(q);
+        h.u64(crashed_q ? 1 : 0);
+        h.u64(d ? 1 : 0);
+        if (d) h.i64(*d);
+        const auto& mh = parent_mhash[q - 1];
+        const std::size_t skip = q == stepper ? g.delivered : 0;
+        // Arriving payloads for q, in emission order: index-aligned with
+        // the entries of `arriving` whose dest is q (fill_arriving walks
+        // the same surviving sends in the same order).
+        payload_scratch.clear();
+        for (const auto& [dest, payload] : g.out.sends)
+            if (dest == q && g.send_survives(dest))
+                payload_scratch.push_back(&payload);
+        // Delete dead messages anywhere in the child's buffer
+        // (buf[skip:] ++ arriving), judged by q's child-state behavior.
+        const Behavior& receiver =
+                q == stepper ? *g.behavior : sys.behavior_of(q);
+        const auto& buf = sys.buffer(q);
+        std::size_t live = 0;
+        for (std::size_t i = skip; i < mh.size(); ++i)
+            if (!dead_message(buf[i].from, buf[i].payload, receiver, abs))
+                ++live;
+        for (const Payload* pl : payload_scratch)
+            if (!dead_message(stepper, *pl, receiver, abs)) ++live;
+        h.u64(live);
+        for (std::size_t i = skip; i < mh.size(); ++i)
+            if (!dead_message(buf[i].from, buf[i].payload, receiver, abs))
+                h.fold(mh[i]);
+        std::size_t ai = 0;  // walks arriving's dest==q entries in order
+        for (const ArrivingSend& a : arriving) {
+            if (a.dest != q) continue;
+            if (!dead_message(stepper, *payload_scratch[ai], receiver, abs))
+                h.fold(a.hash);
+            ++ai;
+        }
+    }
+    for (ProcessId q = 1; q <= n; ++q) {
+        if (abs.decided_final) {
+            auto d = sys.decision_of(q);
+            if (q == stepper && g.out.decision) d = g.out.decision;
+            if (d) continue;  // collapsed with the first loop's marker
+        }
+        if (q == stepper)
+            fold_mark(h, BehaviorMark{true, g.bhash});
+        else
+            fold_mark(h, parent_marks[q - 1]);
+    }
+    return h.digest();
+}
+
+/// Phase A of the reduced engine: classify, pick the persistent set,
+/// ghost-step and canonicalize the surviving candidates.  Reads the
+/// node and clones single behaviors only -- safe to run concurrently
+/// on distinct nodes.
+ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
+                                const Algorithm& algorithm,
+                                const SymmetryGroup& group,
+                                const AbsorptionContext& abs) {
+    ReducedExpansion e;
+    const System& sys = *node.sys;
+    e.decided = decision_set(sys, cfg.n);
+    if (quiescent_reduced(sys, cfg, abs)) {
+        e.is_quiescent = true;
+        e.outcome.assign(cfg.n, kNoValue);
+        for (ProcessId p = 1; p <= cfg.n; ++p) {
+            auto d = sys.decision_of(p);
+            if (d) e.outcome[p - 1] = *d;
+        }
+        return e;
+    }
+    if (node.depth >= cfg.max_depth) {
+        e.at_depth = true;
+        return e;
+    }
+
+    // The enumerable moves, in the canonical (process, delivery-mode)
+    // order every engine uses.
+    struct ProcMoves {
+        ProcessId p = 0;
+        std::size_t prefixes[3] = {0, 0, 0};
+        std::size_t num = 0;
+    };
+    std::vector<ProcMoves> procs;
+    procs.reserve(static_cast<std::size_t>(cfg.n));
+    std::size_t total_moves = 0;
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        if (!sys.can_step(p)) continue;
+        if (!cfg.plan.is_faulty(p) && sys.decision_of(p) &&
+            sys.buffer(p).empty())
+            continue;
+        if (abs.decided_final && sys.decision_of(p)) {
+            // Absorbed: a decided process of a decisions-are-final
+            // algorithm never sends or decides again, so every one of
+            // its moves reaches a state whose quotient key equals the
+            // parent's.  Skip them outright (counted with the POR
+            // skips) instead of generating self-deduplicating children.
+            const std::size_t buf_size = sys.buffer(p).size();
+            e.por_skips += 1 + (buf_size >= 1 ? 1 : 0) +
+                           (buf_size > 1 ? 1 : 0);
+            continue;
+        }
+        ProcMoves pm;
+        pm.p = p;
+        const std::size_t buf_size = sys.buffer(p).size();
+        pm.prefixes[pm.num++] = 0;
+        if (buf_size >= 1) pm.prefixes[pm.num++] = 1;
+        if (buf_size > 1) pm.prefixes[pm.num++] = buf_size;
+        total_moves += pm.num;
+        procs.push_back(pm);
+    }
+
+    StepInput scratch;
+    auto ghost_moves = [&](const ProcMoves& pm) {
+        std::vector<GhostStep> out;
+        out.reserve(pm.num);
+        for (std::size_t m = 0; m < pm.num; ++m)
+            out.push_back(ghost_step(sys, pm.p, pm.prefixes[m], scratch));
+        return out;
+    };
+
+    // Partial-order reduction: find the smallest-id safe process.  A
+    // process p is safe when (a) every steppable process other than p
+    // is send-quiescent -- so nothing can ever send to p or to anyone
+    // else before p moves -- and (b) every move of p sends only to p
+    // itself or to processes that can never step again, and either
+    // does not decide or decides a value that is already in the
+    // state's decision set (so hoisting the move past any interleaving
+    // changes no intermediate decision set).  Then p's moves commute
+    // with every future move of the rest of the system and expanding p
+    // alone loses no decision set, no quiescent outcome and no
+    // violation (doc/performance.md gives the full argument).
+    const ProcMoves* ample = nullptr;
+    std::vector<GhostStep> ample_ghosts;
+    if (cfg.reduction.por) {
+        std::vector<ProcessId> senders;  // steppable and may still send
+        for (ProcessId q = 1; q <= cfg.n; ++q)
+            if (sys.can_step(q) && sys.behavior_of(q).may_send())
+                senders.push_back(q);
+        // Two senders: whichever process we pick, some OTHER process
+        // may still send -- nobody is safe.  One sender: only it can
+        // be.  None: try every enumerable process in id order.
+        if (senders.size() <= 1) {
+            for (const ProcMoves& pm : procs) {
+                if (!senders.empty() && senders.front() != pm.p) continue;
+                std::vector<GhostStep> ghosts = ghost_moves(pm);
+                bool safe = true;
+                for (const GhostStep& g : ghosts) {
+                    if (g.out.decision &&
+                        e.decided.count(*g.out.decision) == 0) {
+                        safe = false;
+                        break;
+                    }
+                    for (const auto& [dest, payload] : g.out.sends) {
+                        if (!g.send_survives(dest)) continue;
+                        // A decided destination of a decisions-are-final
+                        // algorithm is as good as stopped: the send
+                        // lands in a buffer the quotient never reads.
+                        if (dest != pm.p && sys.can_step(dest) &&
+                            !(abs.decided_final && sys.decision_of(dest))) {
+                            safe = false;
+                            break;
+                        }
+                    }
+                    if (!safe) break;
+                }
+                if (safe) {
+                    ample = &pm;
+                    ample_ghosts = std::move(ghosts);
+                    break;
+                }
+            }
+        }
+    }
+
+    RenameScratch rscratch;  // reused across candidates of this node
+    std::vector<const Payload*> payload_scratch;
+    auto emit_child = [&](ProcessId p, std::size_t delivered, GhostStep& g) {
+        ReducedChild child;
+        fill_arriving(g, p, reduced_msg_hash, child.arriving);
+        child.key = hash_child_reduced(sys, cfg.n, p, g, node.marks,
+                                       node.mhash, child.arriving, abs,
+                                       payload_scratch);
+        if (group.size() > 1) {
+            GhostEffects eff;
+            eff.stepper = p;
+            eff.delivered = delivered;
+            eff.final_crash = g.final_crash;
+            eff.omit_to = g.omit_to;
+            eff.sends = &g.out.sends;
+            eff.decision = &g.out.decision;
+            eff.behavior_after = g.behavior.get();
+            for (std::size_t gi = 1; gi < group.size(); ++gi) {
+                const Digest128 d = hash_child_renamed(
+                        sys, cfg.n, algorithm, eff, group.renaming(gi),
+                        group.inverse(gi), rscratch, abs);
+                if (d < child.key) child.key = d;
+            }
+        }
+        child.stepper = p;
+        child.delivered = delivered;
+        child.bhash = g.bhash;
+        e.children.push_back(std::move(child));
+    };
+
+    if (ample != nullptr) {
+        e.por_skips = total_moves - ample->num;
+        for (std::size_t m = 0; m < ample->num; ++m)
+            emit_child(ample->p, ample->prefixes[m], ample_ghosts[m]);
+        return e;
+    }
+    e.children.reserve(total_moves);
+    for (const ProcMoves& pm : procs) {
+        std::vector<GhostStep> ghosts = ghost_moves(pm);
+        for (std::size_t m = 0; m < pm.num; ++m)
+            emit_child(pm.p, pm.prefixes[m], ghosts[m]);
+    }
+    return e;
+}
+
+ExploreResult explore_reduced(const Algorithm& algorithm,
+                              const ExploreConfig& cfg) {
+    ExploreResult result;
+    std::set<Digest128> visited;  // deterministic container on purpose
+
+    const SymmetryGroup group =
+            cfg.reduction.symmetry
+                    ? SymmetryGroup::compute(algorithm, cfg.n, cfg.inputs,
+                                             cfg.plan)
+                    : SymmetryGroup::trivial(cfg.n);
+
+    AbsorptionContext abs;
+    abs.strip_inert = cfg.reduction.absorption;
+    abs.decided_final =
+            cfg.reduction.absorption && algorithm.decided_is_final();
+
+    exec::ThreadPool pool(cfg.threads < 1 ? 1 : cfg.threads);
+
+    std::vector<FastNode> layer;
+    {
+        auto root =
+                std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
+        root->set_recording(false);
+        FastNode node;
+        node.marks.assign(static_cast<std::size_t>(cfg.n), BehaviorMark{});
+        node.mhash.assign(static_cast<std::size_t>(cfg.n), {});
+        for (ProcessId p = 1; p <= cfg.n; ++p)
+            for (const Message& m : root->buffer(p))
+                node.mhash[p - 1].push_back(reduced_msg_hash(m.from, m.payload));
+        RenameScratch scratch;
+        visited.insert(canonical_state_key(*root, cfg.n, algorithm, group,
+                                           scratch, abs));
+        node.sys = std::move(root);
+        layer.push_back(std::move(node));
+    }
+
+    /// A deduplication survivor waiting for Phase B realization.
+    struct Accepted {
+        std::size_t parent;  ///< index into the current layer
+        StepChoice choice;
+        Digest128 bhash{};
+        std::vector<ArrivingSend> arriving;
+        Digest128 key{};
+    };
+
+    bool truncated = false;
+    while (!layer.empty() && !truncated) {
+        if (cfg.collect_layer_sizes)
+            result.layer_frontier_sizes.push_back(layer.size());
+        // Phase A (parallel): classify, reduce, ghost-step, canonicalize.
+        std::vector<ReducedExpansion> expansions =
+                exec::parallel_map_deterministic(
+                        pool, layer.size(),
+                        [&](std::size_t i) {
+                            return expand_reduced(layer[i], cfg, algorithm,
+                                                  group, abs);
+                        },
+                        cfg.min_parallel_frontier);
+
+        // Sequential merge: identical bookkeeping order to the other
+        // engines over the reduced candidate stream.
+        std::vector<Accepted> accepted;
+        accepted.reserve(layer.size());
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            if (visited.size() > cfg.max_states) {
+                result.exhaustive = false;
+                truncated = true;
+                break;
+            }
+            ++result.schedules_expanded;
+            ReducedExpansion& e = expansions[i];
+            result.por_skips += e.por_skips;
+            result.reachable_decision_sets.insert(e.decided);
+            if (static_cast<int>(e.decided.size()) > cfg.k &&
+                !result.violation_found) {
+                result.violation_found = true;
+                result.witness = materialize_script(layer[i].script.get());
+            }
+            if (e.is_quiescent) {
+                result.quiescent_outcomes.insert(std::move(e.outcome));
+                continue;
+            }
+            if (e.at_depth) {
+                result.exhaustive = false;
+                continue;
+            }
+            for (ReducedChild& c : e.children) {
+                if (visited.insert(c.key).second) {
+                    StepChoice choice;
+                    choice.process = c.stepper;
+                    const auto& buf = layer[i].sys->buffer(c.stepper);
+                    choice.deliver.reserve(c.delivered);
+                    for (std::size_t m = 0; m < c.delivered; ++m)
+                        choice.deliver.push_back(buf[m].id);
+                    accepted.push_back(Accepted{i, std::move(choice), c.bhash,
+                                                std::move(c.arriving), c.key});
+                } else {
+                    ++result.dedup_hits;
+                }
+            }
+        }
+
+        // Phase B (parallel): realize the survivors exactly like the
+        // fast engine; the message-digest cache advances with reduced
+        // digests, and the debug cross-check recomputes the canonical
+        // key from the live child.
+        std::vector<FastNode> next = exec::parallel_map_deterministic(
+                pool, accepted.size(),
+                [&](std::size_t j) {
+                    Accepted& a = accepted[j];
+                    const FastNode& parent = layer[a.parent];
+                    const ProcessId stepper = a.choice.process;
+                    const std::size_t delivered = a.choice.deliver.size();
+                    FastNode node;
+                    node.sys = parent.sys->fork(false);
+                    node.sys->apply_choice(a.choice);
+                    node.marks = parent.marks;
+                    node.marks[stepper - 1] = BehaviorMark{true, a.bhash};
+                    node.mhash = parent.mhash;
+                    auto& sm = node.mhash[stepper - 1];
+                    sm.erase(sm.begin(),
+                             sm.begin() + static_cast<std::ptrdiff_t>(delivered));
+                    for (const ArrivingSend& s : a.arriving)
+                        node.mhash[s.dest - 1].push_back(s.hash);
+                    node.script = std::make_shared<const ScriptLink>(
+                            ScriptLink{parent.script, std::move(a.choice)});
+                    node.depth = parent.depth + 1;
+#ifndef NDEBUG
+                    RenameScratch scratch;
+                    require(canonical_state_key(*node.sys, cfg.n, algorithm,
+                                                group, scratch, abs) == a.key,
+                            "explore_reduced: ghost canonical key != "
+                            "realized canonical key");
+#endif
+                    return node;
+                },
+                cfg.min_parallel_frontier);
+        layer = std::move(next);
+    }
+    result.states_explored = visited.size();
+
+    // Orbit-expand the quiescent outcomes: a pruned orbit member's runs
+    // are the renamed runs of its explored representative, so its
+    // outcome vectors are the renamed outcome vectors.
+    if (!group.is_trivial()) {
+        std::set<std::vector<Value>> expanded;
+        for (const std::vector<Value>& o : result.quiescent_outcomes)
+            for (std::size_t g = 0; g < group.size(); ++g)
+                expanded.insert(group.apply_to_outcome(g, o));
+        result.quiescent_outcomes = std::move(expanded);
+    }
     return result;
 }
 
@@ -794,6 +1318,8 @@ ExploreResult explore_replay_baseline(const Algorithm& algorithm,
                 std::string digest = baseline_full_digest(algorithm, cfg, child);
                 if (visited.insert(std::move(digest)).second)
                     frontier.push_back(std::move(child));
+                else
+                    ++result.dedup_hits;
             }
         }
     }
@@ -808,6 +1334,7 @@ std::string to_string(ExploreMode mode) {
         case ExploreMode::kFast: return "fast";
         case ExploreMode::kReference: return "reference";
         case ExploreMode::kReplayBaseline: return "replay-baseline";
+        case ExploreMode::kReduced: return "reduced";
     }
     return "unknown";
 }
@@ -815,8 +1342,10 @@ std::string to_string(ExploreMode mode) {
 std::string ExploreResult::summary() const {
     std::ostringstream out;
     out << "explored " << states_explored << " states ("
-        << schedules_expanded << " expansions), "
-        << (exhaustive ? "exhaustive" : "TRUNCATED") << ", "
+        << schedules_expanded << " expansions, "
+        << dedup_hits << " dedup hits";
+    if (por_skips > 0) out << ", " << por_skips << " POR skips";
+    out << "), " << (exhaustive ? "exhaustive" : "TRUNCATED") << ", "
         << quiescent_outcomes.size() << " quiescent outcomes, "
         << reachable_decision_sets.size() << " reachable decision sets, "
         << (violation_found ? "VIOLATION FOUND" : "no violation");
@@ -842,6 +1371,8 @@ ExploreResult explore_schedules(const Algorithm& algorithm,
                     });
         case ExploreMode::kReplayBaseline:
             return explore_replay_baseline(algorithm, cfg);
+        case ExploreMode::kReduced:
+            return explore_reduced(algorithm, cfg);
     }
     throw UsageError("explore_schedules: unknown ExploreMode");
 }

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "core/reduction.hpp"
 #include "sim/behavior.hpp"
 #include "sim/failure_plan.hpp"
 #include "sim/run.hpp"
@@ -68,10 +69,23 @@ enum class ExploreMode {
     /// BENCH_explorer.json measures the snapshot engine against, and as
     /// a second cross-check.  Single-threaded; ignores `threads`.
     kReplayBaseline,
+    /// The fast engine plus the reduction layer (core/reduction.hpp):
+    /// symmetry canonicalization of dedup keys, an observational
+    /// absorption quotient (decided-process collapse + dead-message
+    /// deletion) and persistent-set partial-order reduction.  UNLIKE
+    /// the other modes it explores a
+    /// *quotient* of the configuration space: states_explored /
+    /// schedules_expanded shrink, while violation_found,
+    /// reachable_decision_sets and quiescent_outcomes are preserved
+    /// (exactly on exhaustive explorations; doc/performance.md spells
+    /// out what weakens under max_depth / max_states truncation).
+    /// With every ExploreConfig::reduction axis off it partitions
+    /// states exactly like kFast and produces bit-identical results.
+    kReduced,
 };
 
 /// Renders an ExploreMode for reports ("fast" / "reference" /
-/// "replay-baseline").
+/// "replay-baseline" / "reduced").
 std::string to_string(ExploreMode mode);
 
 /// Exploration parameters.
@@ -86,12 +100,36 @@ struct ExploreConfig {
     /// Worker threads for layer-parallel expansion (1 = sequential).
     /// Output is byte-identical for every value.
     int threads = 1;
+    /// Which reductions kReduced applies (ignored by the other modes).
+    ReductionOptions reduction;
+    /// Record per-layer frontier sizes into ExploreResult
+    /// (observability; off by default to keep results lean).
+    bool collect_layer_sizes = false;
+    /// Frontiers smaller than this are expanded inline on the calling
+    /// thread even when threads > 1: per-task handoff overhead dwarfs
+    /// the work on tiny layers (the sub-millisecond cases in
+    /// BENCH_explorer.json).  Output stays byte-identical.
+    std::size_t min_parallel_frontier = 16;
 };
 
 /// Exploration outcome.
 struct ExploreResult {
     std::size_t states_explored = 0;
     std::size_t schedules_expanded = 0;
+    /// Candidate children rejected because their key was already in the
+    /// visited set -- the edge-over-vertex surplus of the reachable
+    /// graph.  Identical across kFast/kReference/kReplayBaseline (same
+    /// candidates, same partition); in kReduced it additionally counts
+    /// symmetry-orbit merges.
+    std::size_t dedup_hits = 0;
+    /// Step choices skipped by the reduction layer (kReduced only; 0
+    /// in every other mode): persistent-set sibling moves plus the
+    /// skipped moves of absorbed (decided, decisions-final) processes.
+    std::size_t por_skips = 0;
+    /// Frontier size of each BFS layer, filled iff
+    /// ExploreConfig::collect_layer_sizes (layered engines only; the
+    /// replay baseline keeps a rolling queue and leaves this empty).
+    std::vector<std::size_t> layer_frontier_sizes;
     bool exhaustive = true;  ///< no node was cut off by max_depth/max_states
     bool violation_found = false;
     std::vector<StepChoice> witness;  ///< schedule reaching the violation

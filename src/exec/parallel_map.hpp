@@ -34,11 +34,25 @@ namespace ksa::exec {
 /// results in input order.  R must be default-constructible and
 /// move-assignable.  fn is invoked concurrently on distinct indices;
 /// it must not touch shared mutable state.
+///
+/// `min_parallel` is the adaptive sequential fallback: when count is
+/// below it (or the pool has a single worker), the map runs inline on
+/// the calling thread -- for tiny batches the per-task handoff costs
+/// more than the work (the explorer's sub-millisecond layers showed
+/// fast_mt_ms > fast_ms before this).  The fallback runs the same fn
+/// over the same indices into the same slots, so results stay
+/// byte-identical to the parallel path.  0 keeps the old
+/// always-dispatch behavior.
 template <typename Fn>
-auto parallel_map_deterministic(ThreadPool& pool, std::size_t count, Fn&& fn)
+auto parallel_map_deterministic(ThreadPool& pool, std::size_t count, Fn&& fn,
+                                std::size_t min_parallel = 0)
         -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
     using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
     std::vector<R> out(count);
+    if (pool.size() <= 1 || count < min_parallel) {
+        for (std::size_t i = 0; i < count; ++i) out[i] = fn(i);
+        return out;
+    }
     pool.run_indexed(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
     return out;
 }

@@ -97,8 +97,20 @@ public:
         return {finalize(a_ ^ 0x2545f4914f6cdd1dull), finalize(b_)};
     }
 
+    /// Rewinds the hasher to its initial state.  The explorer's hot
+    /// paths keep one scratch hasher per worker and reset it between
+    /// candidates instead of constructing a fresh object -- the hasher
+    /// is trivially small, but reset() also documents the reuse
+    /// discipline (no state may leak between candidates).
+    void reset() {
+        a_ = kBasisA;
+        b_ = kBasisB;
+    }
+
 private:
     static constexpr std::uint64_t kPrime = 0x100000001b3ull;  // FNV-1a
+    static constexpr std::uint64_t kBasisA = 0xcbf29ce484222325ull;  // FNV-1a
+    static constexpr std::uint64_t kBasisB = 0x84222325cbf29ce4ull;  // lane 2
 
     static std::uint64_t finalize(std::uint64_t x) {
         // splitmix64 finalizer: full avalanche over the FNV state.
@@ -108,8 +120,8 @@ private:
         return x ^ (x >> 31);
     }
 
-    std::uint64_t a_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
-    std::uint64_t b_ = 0x84222325cbf29ce4ull;  // rotated basis: lane 2
+    std::uint64_t a_ = kBasisA;
+    std::uint64_t b_ = kBasisB;
 };
 
 }  // namespace ksa

@@ -27,6 +27,17 @@ std::string Payload::to_string() const {
     return out.str();
 }
 
+void Payload::fold(StateHasher& h) const {
+    h.str(tag);
+    h.u64(ints.size());
+    for (int v : ints) h.i64(v);
+    h.u64(lists.size());
+    for (const auto& list : lists) {
+        h.u64(list.size());
+        for (int v : list) h.i64(v);
+    }
+}
+
 Payload make_payload(std::string tag, std::vector<int> ints) {
     return Payload{std::move(tag), std::move(ints), {}};
 }

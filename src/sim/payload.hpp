@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/digest.hpp"
 #include "sim/types.hpp"
 
 namespace ksa {
@@ -28,6 +29,13 @@ struct Payload {
     /// Canonical single-line rendering, e.g. `ECHO(3,7|[1,2],[4])`.
     /// Stable across runs; used for digests and traces.
     std::string to_string() const;
+
+    /// Folds the payload into `h` without materializing any string:
+    /// tag, then length-prefixed ints, then length-prefixed lists.  The
+    /// explorer's per-message digests are built from exactly this byte
+    /// stream, so every keying path (fast ghost hashing, the reduction
+    /// layer's renamed hashing) shares one definition of "same payload".
+    void fold(StateHasher& h) const;
 };
 
 /// Convenience factory for a payload with scalar fields only.

@@ -93,6 +93,17 @@ const Behavior& System::behavior_of(ProcessId p) const {
     return *behaviors_[p - 1];
 }
 
+void System::deliver_prefix(ProcessId p, std::size_t count,
+                            StepInput& scratch) const {
+    check_pid(p, "System::deliver_prefix");
+    const auto& buf = buffers_[p - 1];
+    KSA_REQUIRE(count <= buf.size(),
+                "System::deliver_prefix: prefix longer than the buffer");
+    scratch.delivered.assign(buf.begin(),
+                             buf.begin() + static_cast<std::ptrdiff_t>(
+                                     std::min(count, buf.size())));
+}
+
 void System::check_pid(ProcessId p, const char* who) const {
     if (p < 1 || p > n_) {
         std::ostringstream out;

@@ -97,6 +97,15 @@ public:
     /// string.
     const Behavior& behavior_of(ProcessId p) const;
 
+    /// Fills `scratch.delivered` with the first `count` messages of p's
+    /// buffer (the delivery prefixes the explorer enumerates), reusing
+    /// the vector's capacity across calls -- the allocation-lean
+    /// companion of clone_behavior for ghost stepping: one scratch
+    /// StepInput per worker serves every candidate step of a layer.
+    /// `count` must not exceed the buffer size.
+    void deliver_prefix(ProcessId p, std::size_t count,
+                        StepInput& scratch) const;
+
     /// Toggles step recording (default on).  With recording off,
     /// apply_choice still executes transitions, enforces the plan and
     /// updates all live state, but appends nothing to the Run record and

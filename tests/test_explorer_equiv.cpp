@@ -171,5 +171,220 @@ TEST(ExplorerEquivalence, FastModeRunToRunDeterminism) {
     expect_equal_results(a, b, "fast(4) run-to-run");
 }
 
+// ---------------------------------------------------------------------
+// Reduced engine (ExploreMode::kReduced).
+//
+// kReduced explores a QUOTIENT of the configuration space, so state and
+// expansion counts are allowed (expected!) to shrink; what must be
+// preserved, exactly, on every exhaustive golden case, are the three
+// observables: violation_found, reachable_decision_sets and
+// quiescent_outcomes.  The helpers below enforce that, plus thread-count
+// byte-identity of the reduced engine itself, on every golden case.
+
+void expect_observables_equal(const ExploreResult& full,
+                              const ExploreResult& reduced,
+                              const std::string& label) {
+    EXPECT_EQ(full.violation_found, reduced.violation_found) << label;
+    EXPECT_EQ(full.reachable_decision_sets, reduced.reachable_decision_sets)
+            << label;
+    EXPECT_EQ(full.quiescent_outcomes, reduced.quiescent_outcomes) << label;
+}
+
+/// Runs `cfg` through kFast and through kReduced (threads 1 and 4),
+/// requires the three observables to match and the reduced runs to be
+/// byte-identical across thread counts, and returns (fast, reduced).
+std::pair<ExploreResult, ExploreResult> expect_reduced_agrees(
+        const Algorithm& algorithm, ExploreConfig cfg,
+        const std::string& label) {
+    cfg.mode = ExploreMode::kFast;
+    cfg.threads = 1;
+    const ExploreResult fast = explore_schedules(algorithm, cfg);
+    cfg.mode = ExploreMode::kReduced;
+    const ExploreResult red1 = explore_schedules(algorithm, cfg);
+    cfg.threads = 4;
+    const ExploreResult red4 = explore_schedules(algorithm, cfg);
+    expect_equal_results(red1, red4, label + ": reduced(1) vs reduced(4)");
+    expect_observables_equal(fast, red1, label + ": fast vs reduced");
+    EXPECT_LE(red1.states_explored, fast.states_explored) << label;
+    return {fast, red1};
+}
+
+TEST(ReducedEquivalence, FloodingConsensusViolation) {
+    algo::FloodingKSet algorithm(2);
+    auto [fast, red] = expect_reduced_agrees(algorithm, base_config(3, 1, 9),
+                                             "flooding k=1");
+    EXPECT_TRUE(red.violation_found);
+}
+
+TEST(ReducedEquivalence, FloodingTwoSetHolds) {
+    algo::FloodingKSet algorithm(2);
+    auto [fast, red] = expect_reduced_agrees(algorithm, base_config(3, 2, 9),
+                                             "flooding k=2");
+    EXPECT_FALSE(red.violation_found);
+}
+
+TEST(ReducedEquivalence, InitialCliqueWithInitialDeath) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 14);
+    cfg.plan.set_initially_dead({3});
+    expect_reduced_agrees(*algorithm, cfg, "flp dead{3}");
+}
+
+// The flagship bench case ("Thm 8, no crash", depth 14, exhaustive):
+// besides the observables agreeing, this is where the reduction has to
+// EARN its keep -- at least 2x fewer expansions than the fast engine,
+// with the skipped work visible in por_skips.  BENCH_explorer.json
+// records the measured counts; this test pins the invariant so a
+// regression in the reduction layer fails loudly rather than silently
+// eroding the speedup.
+TEST(ReducedEquivalence, FlagshipAtLeastTwofoldReduction) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    auto [fast, red] = expect_reduced_agrees(
+            *algorithm, base_config(3, 1, 14), "flp no crash d14");
+    EXPECT_TRUE(fast.exhaustive);
+    EXPECT_TRUE(red.exhaustive);
+    EXPECT_GE(fast.schedules_expanded, 2 * red.schedules_expanded)
+            << "reduction lost its 2x on the flagship case";
+    EXPECT_GT(red.por_skips, 0u);
+}
+
+TEST(ReducedEquivalence, KSetGeneralization) {
+    auto algorithm = algo::make_flp_kset(4, 2);
+    ExploreConfig cfg = base_config(4, 2, 10);
+    cfg.plan.set_initially_dead({1, 2});
+    expect_reduced_agrees(*algorithm, cfg, "flp k=2");
+}
+
+TEST(ReducedEquivalence, TrivialViolatesImmediately) {
+    algo::TrivialWaitFree algorithm;
+    auto [fast, red] =
+            expect_reduced_agrees(algorithm, base_config(3, 2, 4), "trivial");
+    EXPECT_TRUE(red.violation_found);
+}
+
+TEST(ReducedEquivalence, MidRunCrashWithOmissions) {
+    algo::FloodingKSet algorithm(2);
+    ExploreConfig cfg = base_config(3, 1, 9);
+    cfg.plan.set_crash(1, CrashSpec{2, {3}});
+    expect_reduced_agrees(algorithm, cfg, "crash omit{3}");
+}
+
+TEST(ReducedEquivalence, MidRunCrashOmittingAll) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 12);
+    cfg.plan.set_crash_omit_all(2, 1, 3);
+    expect_reduced_agrees(*algorithm, cfg, "crash omit-all");
+}
+
+// Uniform inputs make the whole symmetric group admissible: the
+// symmetry axis alone must collapse the space by far more than the
+// group order would suggest (orbits compound down the tree) while the
+// orbit-expanded outcomes still match the full engine's exactly.
+TEST(ReducedEquivalence, UniformInputsSymmetry) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 14);
+    cfg.inputs = {7, 7, 7};
+    auto [fast, red] = expect_reduced_agrees(*algorithm, cfg, "flp uniform");
+    EXPECT_TRUE(fast.exhaustive);
+    EXPECT_LT(red.states_explored * 3, fast.states_explored)
+            << "uniform-input symmetry should shrink the space >3x";
+}
+
+// With every reduction switched off, kReduced must not merely agree --
+// it must partition states exactly like kFast and reproduce its result
+// bit for bit (counts, witness, everything).  This pins the identity
+// quotient: reduced_hash_state/hash_child_reduced fold the same field
+// sequence as the fast engine's hash_state/hash_child.
+TEST(ReducedEquivalence, AllReductionsOffIsBitIdenticalToFast) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 12);
+    cfg.mode = ExploreMode::kFast;
+    const ExploreResult fast = explore_schedules(*algorithm, cfg);
+    cfg.mode = ExploreMode::kReduced;
+    cfg.reduction.symmetry = false;
+    cfg.reduction.por = false;
+    cfg.reduction.absorption = false;
+    const ExploreResult red = explore_schedules(*algorithm, cfg);
+    expect_equal_results(fast, red, "reduction-off vs fast");
+    EXPECT_EQ(red.por_skips, 0u);
+}
+
+// Each reduction axis must be individually sound, not only the default
+// all-on combination: sweep all 8 on/off combinations on a case with
+// crashes (omission semantics) and assert the observables every time.
+TEST(ReducedEquivalence, EveryAxisCombinationAgrees) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 12);
+    cfg.plan.set_crash_omit_all(2, 1, 3);
+    cfg.mode = ExploreMode::kFast;
+    const ExploreResult fast = explore_schedules(*algorithm, cfg);
+    for (int mask = 0; mask < 8; ++mask) {
+        ExploreConfig rcfg = cfg;
+        rcfg.mode = ExploreMode::kReduced;
+        rcfg.reduction.symmetry = (mask & 1) != 0;
+        rcfg.reduction.por = (mask & 2) != 0;
+        rcfg.reduction.absorption = (mask & 4) != 0;
+        const ExploreResult red = explore_schedules(*algorithm, rcfg);
+        expect_observables_equal(fast, red,
+                                 "axis mask " + std::to_string(mask));
+    }
+}
+
+// A kReduced violation witness is a real schedule (frontier nodes are
+// realized Systems, never merely renamed ones): replaying it step for
+// step on a fresh System must reproduce a state with more than k
+// distinct decisions.
+TEST(ReducedEquivalence, WitnessReplaysToViolation) {
+    algo::FloodingKSet algorithm(2);
+    ExploreConfig cfg = base_config(3, 1, 9);
+    cfg.mode = ExploreMode::kReduced;
+    const ExploreResult red = explore_schedules(algorithm, cfg);
+    ASSERT_TRUE(red.violation_found);
+    ASSERT_FALSE(red.witness.empty());
+
+    System sys(algorithm, cfg.n, cfg.inputs, cfg.plan);
+    sys.set_recording(false);
+    for (const StepChoice& choice : red.witness) sys.apply_choice(choice);
+    std::set<Value> decisions;
+    for (ProcessId p = 1; p <= cfg.n; ++p) {
+        auto d = sys.decision_of(p);
+        if (d) decisions.insert(*d);
+    }
+    EXPECT_GT(static_cast<int>(decisions.size()), cfg.k)
+            << "reduced witness does not replay to a violation";
+}
+
+// Under max_depth truncation exact equality is NOT promised (the
+// quotient can reach -- and absorb -- outcomes the depth-bounded full
+// engine never gets to; doc/performance.md).  What still holds: every
+// observable the truncated full engine records is genuinely reachable,
+// so the exhaustive reduced run must contain it.
+TEST(ReducedEquivalence, TruncatedFastIsContainedInReduced) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 10);  // fast needs 14 for exhaustion
+    cfg.mode = ExploreMode::kFast;
+    const ExploreResult fast = explore_schedules(*algorithm, cfg);
+    cfg.mode = ExploreMode::kReduced;
+    const ExploreResult red = explore_schedules(*algorithm, cfg);
+    EXPECT_FALSE(fast.exhaustive);
+    EXPECT_TRUE(red.exhaustive);  // the quotient closes by depth 8
+    for (const auto& ds : fast.reachable_decision_sets)
+        EXPECT_TRUE(red.reachable_decision_sets.count(ds) != 0)
+                << "decision set seen by truncated fast missing from reduced";
+    for (const auto& qo : fast.quiescent_outcomes)
+        EXPECT_TRUE(red.quiescent_outcomes.count(qo) != 0)
+                << "outcome seen by truncated fast missing from reduced";
+}
+
+TEST(ReducedEquivalence, RunToRunDeterminism) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 14);
+    cfg.mode = ExploreMode::kReduced;
+    cfg.threads = 4;
+    const ExploreResult a = explore_schedules(*algorithm, cfg);
+    const ExploreResult b = explore_schedules(*algorithm, cfg);
+    expect_equal_results(a, b, "reduced(4) run-to-run");
+}
+
 }  // namespace
 }  // namespace ksa::core

@@ -23,6 +23,16 @@
 //                         code: libraries report through return values
 //                         and reports, not process-global streams
 //                         (rendering belongs to examples/ and tools/).
+//   interning-outside-reduction
+//                         TagInterner/intern_tag used outside
+//                         src/core/reduction.*: the interner is the
+//                         reduction layer's private cache.  Its ids are
+//                         content-derived (so dedup keys stay
+//                         deterministic), but the table itself is
+//                         warm-up-stateful global state -- any other
+//                         layer keying on interned ids would couple its
+//                         output to interner history.  Everyone else
+//                         hashes the tag bytes directly (sim/digest.hpp).
 //
 // Suppression: append  // ksa-lint: allow(<rule>)  to the offending line
 // or the line directly above it.  Suppressions are for *justified*
@@ -104,6 +114,15 @@ bool override_rule_applies(const fs::path& file) {
     return !is_interface_header(file);
 }
 
+bool in_library_code_outside_reduction(const fs::path& file) {
+    // src/core/reduction.{hpp,cpp} own the tag interner; every other
+    // library file must not touch it (see the rule table entry).
+    const std::string name = file.filename().string();
+    if (path_contains_dir(file, "core") && name.rfind("reduction.", 0) == 0)
+        return false;
+    return path_contains_dir(file, "src");
+}
+
 /// The rule table ----------------------------------------------------------
 
 const std::vector<Rule>& rules() {
@@ -126,7 +145,7 @@ const std::vector<Rule>& rules() {
          // the same line.  The virtual set is small and stable, which
          // keeps this textual check precise.
          std::regex(
-             R"((next\s*\(\s*const\s+SystemView|on_step\s*\(\s*const\s+StepInput|state_digest\s*\(\s*\)\s*const|fold_state\s*\(\s*StateHasher|make_behavior\s*\(\s*ProcessId|query\s*\(\s*const\s+QueryContext|needs_failure_detector\s*\(\s*\)\s*const))"),
+             R"((next\s*\(\s*const\s+SystemView|on_step\s*\(\s*const\s+StepInput|state_digest\s*\(\s*\)\s*const|fold_state\s*\(\s*StateHasher|fold_state_renamed\s*\(\s*StateHasher|make_behavior\s*\(\s*ProcessId|query\s*\(\s*const\s+QueryContext|needs_failure_detector\s*\(\s*\)\s*const|may_send\s*\(\s*\)\s*const|message_inert\s*\(\s*ProcessId|rename_payload_ids\s*\(\s*Payload|decided_is_final\s*\(\s*\)\s*const))"),
          "re-declared engine virtual without `override`/`final`; interface "
          "drift would silently detach this subclass",
          &override_rule_applies},
@@ -147,6 +166,14 @@ const std::vector<Rule>& rules() {
          "process-global stream IO in library code; return a report/string "
          "and let examples/ or tools/ render it",
          &in_library_code},
+        {"interning-outside-reduction",
+         std::regex(R"(\b(TagInterner|intern_tag)\b)"),
+         "tag interning outside core/reduction; interned ids are the "
+         "reduction layer's private cache (content-derived, but the table "
+         "is warm-up-stateful global state) -- hash the tag bytes directly "
+         "(sim/digest.hpp) or, for a justified exception, annotate with "
+         "ksa-lint: allow(interning-outside-reduction)",
+         &in_library_code_outside_reduction},
     };
     return kRules;
 }
@@ -172,6 +199,24 @@ bool looks_like_comment(const std::string& line) {
     if (first == std::string::npos) return true;
     return line.compare(first, 2, "//") == 0 || line[first] == '*' ||
            line.compare(first, 2, "/*") == 0;
+}
+
+/// Whether `word` occurs in `text` as a whole identifier token.  A
+/// plain substring search would let `decided_is_final` satisfy the
+/// `final` requirement through its own name.
+bool contains_token(const std::string& text, const std::string& word) {
+    auto is_ident = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_';
+    };
+    for (std::size_t pos = text.find(word); pos != std::string::npos;
+         pos = text.find(word, pos + 1)) {
+        const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok = end >= text.size() || !is_ident(text[end]);
+        if (left_ok && right_ok) return true;
+    }
+    return false;
 }
 
 /// An out-of-class member *definition* (`Type Class::next(...)`) cannot
@@ -219,8 +264,8 @@ void scan_file(const fs::path& file, std::vector<Finding>& findings) {
                 if (line_declares_virtual(line)) continue;
                 if (is_out_of_class_definition(line, match)) continue;
                 const std::string statement = statement_from(lines, i);
-                if (statement.find("override") != std::string::npos ||
-                    statement.find("final") != std::string::npos)
+                if (contains_token(statement, "override") ||
+                    contains_token(statement, "final"))
                     continue;
             }
             if (is_suppressed(line, prev, rule.name)) continue;
