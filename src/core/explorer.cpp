@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/reduction.hpp"
 #include "exec/parallel_map.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/digest.hpp"

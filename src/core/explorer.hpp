@@ -44,7 +44,7 @@
 #include <string>
 #include <vector>
 
-#include "core/reduction.hpp"
+#include "core/reduction_options.hpp"
 #include "sim/behavior.hpp"
 #include "sim/failure_plan.hpp"
 #include "sim/run.hpp"

@@ -67,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/reduction_options.hpp"
 #include "sim/behavior.hpp"
 #include "sim/digest.hpp"
 #include "sim/failure_plan.hpp"
@@ -79,18 +80,9 @@ class System;
 
 namespace ksa::core {
 
-/// Sub-config of ExploreConfig selecting which reductions kReduced
-/// applies.  All default on; switching all off makes kReduced
-/// partition states exactly like kFast (the equivalence suite checks
-/// bit-identical results for that configuration).
-struct ReductionOptions {
-    bool symmetry = true;  ///< canonicalize states under the symmetry group
-    bool por = true;       ///< persistent-set partial-order reduction
-    /// Observational absorption quotient: key decided processes on
-    /// their decision alone when Algorithm::decided_is_final, and strip
-    /// maximal inert buffer suffixes (Behavior::message_inert).
-    bool absorption = true;
-};
+// ReductionOptions itself lives in core/reduction_options.hpp (an
+// ordinary public header): this header is private to the reduction TU
+// and its driver (core/explorer.cpp) -- see src/lint/layers.def.
 
 /// Absorption switches derived once per exploration from
 /// ReductionOptions::absorption and the algorithm's declarations; the

@@ -1,0 +1,198 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+
+namespace ksa::lint {
+
+namespace {
+
+std::string parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Iterative Tarjan SCC (explicit stack: header chains can be long).
+struct Tarjan {
+    const std::vector<std::vector<std::size_t>>& adj;
+    std::vector<int> index, lowlink;
+    std::vector<bool> on_stack;
+    std::vector<std::size_t> stack;
+    int next_index = 0;
+    std::vector<std::vector<std::size_t>> components;
+
+    explicit Tarjan(const std::vector<std::vector<std::size_t>>& a)
+        : adj(a),
+          index(a.size(), -1),
+          lowlink(a.size(), -1),
+          on_stack(a.size(), false) {}
+
+    void run(std::size_t root) {
+        struct Frame {
+            std::size_t v;
+            std::size_t next_child = 0;
+        };
+        std::vector<Frame> frames;
+        frames.push_back({root});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            if (f.next_child < adj[f.v].size()) {
+                const std::size_t w = adj[f.v][f.next_child++];
+                if (index[w] < 0) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    frames.push_back({w});
+                } else if (on_stack[w]) {
+                    lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+                }
+                continue;
+            }
+            // All children done: close the frame.
+            const std::size_t v = f.v;
+            frames.pop_back();
+            if (!frames.empty())
+                lowlink[frames.back().v] =
+                    std::min(lowlink[frames.back().v], lowlink[v]);
+            if (lowlink[v] == index[v]) {
+                std::vector<std::size_t> comp;
+                while (true) {
+                    const std::size_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp.push_back(w);
+                    if (w == v) break;
+                }
+                components.push_back(std::move(comp));
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::string normalize_path(const std::string& path) {
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    std::vector<std::string> parts;
+    std::string cur;
+    auto flush = [&]() {
+        if (cur.empty() || cur == ".") {
+            // drop
+        } else if (cur == "..") {
+            if (!parts.empty() && parts.back() != "..")
+                parts.pop_back();
+            else
+                parts.push_back("..");
+        } else {
+            parts.push_back(cur);
+        }
+        cur.clear();
+    };
+    for (char c : p) {
+        if (c == '/')
+            flush();
+        else
+            cur += c;
+    }
+    flush();
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += '/';
+        out += parts[i];
+    }
+    return out;
+}
+
+IncludeGraph IncludeGraph::build(const std::vector<SourceFile>& files) {
+    IncludeGraph g;
+    g.files_ = &files;
+    g.adjacency_.assign(files.size(), {});
+
+    std::map<std::string, std::size_t> by_path;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        by_path.emplace(normalize_path(files[i].path()), i);
+
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string dir = parent_dir(normalize_path(files[i].path()));
+        for (const IncludeDirective& inc : files[i].includes()) {
+            if (inc.angled) continue;  // system / external headers
+            // Resolution order mirrors the build: -I src, repo root,
+            // then the including file's own directory.
+            const std::string candidates[] = {
+                normalize_path("src/" + inc.path),
+                normalize_path(inc.path),
+                normalize_path(dir.empty() ? inc.path : dir + "/" + inc.path),
+            };
+            for (const std::string& cand : candidates) {
+                const auto it = by_path.find(cand);
+                if (it == by_path.end()) continue;
+                if (it->second == i && inc.path != files[i].path())
+                    continue;  // ignore accidental self-resolution
+                g.edges_.push_back({i, it->second, inc.line, inc.path});
+                g.adjacency_[i].push_back(it->second);
+                break;
+            }
+        }
+    }
+    return g;
+}
+
+std::vector<std::vector<std::size_t>> IncludeGraph::cycles() const {
+    Tarjan t(adjacency_);
+    for (std::size_t v = 0; v < adjacency_.size(); ++v)
+        if (t.index[v] < 0) t.run(v);
+
+    std::vector<std::vector<std::size_t>> out;
+    for (std::vector<std::size_t>& comp : t.components) {
+        bool cyclic = comp.size() > 1;
+        if (!cyclic) {
+            // A single node forms a cycle only on a self-include.
+            for (std::size_t w : adjacency_[comp[0]])
+                if (w == comp[0]) cyclic = true;
+        }
+        if (!cyclic) continue;
+        std::sort(comp.begin(), comp.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return (*files_)[a].path() < (*files_)[b].path();
+                  });
+        out.push_back(std::move(comp));
+    }
+    std::sort(out.begin(), out.end(),
+              [&](const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b) {
+                  return (*files_)[a[0]].path() < (*files_)[b[0]].path();
+              });
+    return out;
+}
+
+bool IncludeGraph::reaches_suffix(std::size_t from,
+                                  const std::string& suffix) const {
+    std::vector<bool> seen(adjacency_.size(), false);
+    std::vector<std::size_t> todo{from};
+    seen[from] = true;
+    while (!todo.empty()) {
+        const std::size_t v = todo.back();
+        todo.pop_back();
+        if (v != from &&
+            ends_with(normalize_path((*files_)[v].path()), suffix))
+            return true;
+        for (std::size_t w : adjacency_[v]) {
+            if (!seen[w]) {
+                seen[w] = true;
+                todo.push_back(w);
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace ksa::lint

@@ -1,0 +1,64 @@
+#pragma once
+// lint::IncludeGraph -- the whole-program include graph over a scanned
+// file set.
+//
+// Nodes are the scanned SourceFiles (report paths, '/'-separated and
+// root-relative under ksa_analyze).  Edges are QUOTED include
+// directives resolved the way the build resolves them:
+//
+//   1. `<root>/src/<path>`  (every target compiles with -I src),
+//   2. `<root>/<path>`,
+//   3. `<dir of including file>/<path>`  (bench_util.hpp style).
+//
+// Angled includes and quoted includes that resolve to nothing in the
+// scanned set (system headers, generated files) carry no edge.  The
+// graph powers three whole-program passes: include-cycle detection
+// (Tarjan SCC), layer-DAG enforcement (layers.hpp) and digest
+// reachability for the float-in-digest rule.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+namespace ksa::lint {
+
+struct IncludeEdge {
+    std::size_t from = 0;  ///< node (file) index
+    std::size_t to = 0;    ///< node (file) index
+    std::size_t line = 0;  ///< 1-based line of the directive in `from`
+    std::string written;   ///< the path as written in the directive
+};
+
+class IncludeGraph {
+public:
+    /// Builds the graph.  `files` must outlive the graph.
+    static IncludeGraph build(const std::vector<SourceFile>& files);
+
+    std::size_t node_count() const { return files_->size(); }
+    const SourceFile& file(std::size_t idx) const { return (*files_)[idx]; }
+    const std::vector<IncludeEdge>& edges() const { return edges_; }
+
+    /// Strongly connected components with >= 2 nodes, plus self-loops:
+    /// exactly the include cycles.  Each cycle lists its node indices
+    /// in a deterministic order (smallest report path first).
+    std::vector<std::vector<std::size_t>> cycles() const;
+
+    /// True when `from` includes, directly or transitively, a scanned
+    /// file whose report path ends with `suffix` (e.g.
+    /// "sim/digest.hpp").
+    bool reaches_suffix(std::size_t from, const std::string& suffix) const;
+
+private:
+    const std::vector<SourceFile>* files_ = nullptr;
+    std::vector<IncludeEdge> edges_;
+    std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/// Normalizes a report path: '\' -> '/', resolves "." and ".."
+/// segments lexically.
+std::string normalize_path(const std::string& path);
+
+}  // namespace ksa::lint

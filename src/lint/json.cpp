@@ -1,0 +1,332 @@
+#include "lint/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ksa::lint::json {
+
+namespace {
+
+struct Parser {
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string& what) {
+        if (error.empty()) {
+            std::ostringstream os;
+            os << what << " at byte " << pos;
+            error = os.str();
+        }
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool parse_value(Value& out) {
+        skip_ws();
+        if (pos >= text.size()) return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') return parse_object(out);
+        if (c == '[') return parse_array(out);
+        if (c == '"') return parse_string_value(out);
+        if (c == 't' || c == 'f') return parse_bool(out);
+        if (c == 'n') return parse_null(out);
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail("unexpected character");
+    }
+
+    bool parse_literal(const char* lit) {
+        const std::size_t len = std::char_traits<char>::length(lit);
+        if (text.compare(pos, len, lit) != 0) return fail("bad literal");
+        pos += len;
+        return true;
+    }
+
+    bool parse_null(Value& out) {
+        if (!parse_literal("null")) return false;
+        out = Value();
+        return true;
+    }
+
+    bool parse_bool(Value& out) {
+        if (text[pos] == 't') {
+            if (!parse_literal("true")) return false;
+            out = Value(true);
+        } else {
+            if (!parse_literal("false")) return false;
+            out = Value(false);
+        }
+        return true;
+    }
+
+    bool parse_number(Value& out) {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-') ++pos;
+        while (pos < text.size() &&
+               ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        try {
+            out = Value(std::stod(text.substr(start, pos - start)));
+        } catch (const std::exception&) {
+            return fail("bad number");
+        }
+        return true;
+    }
+
+    bool parse_string_raw(std::string& out) {
+        if (text[pos] != '"') return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos];
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size()) return fail("bad escape");
+                switch (text[pos]) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        if (pos + 4 >= text.size()) return fail("bad \\u");
+                        unsigned code = 0;
+                        for (int i = 1; i <= 4; ++i) {
+                            const char h = text[pos + i];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9')
+                                code |= static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f')
+                                code |= static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F')
+                                code |= static_cast<unsigned>(h - 'A' + 10);
+                            else
+                                return fail("bad \\u digit");
+                        }
+                        pos += 4;
+                        // UTF-8 encode (BMP only; surrogate pairs are
+                        // not produced by this tool's own output).
+                        if (code < 0x80) {
+                            out += static_cast<char>(code);
+                        } else if (code < 0x800) {
+                            out += static_cast<char>(0xC0 | (code >> 6));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        } else {
+                            out += static_cast<char>(0xE0 | (code >> 12));
+                            out += static_cast<char>(0x80 |
+                                                     ((code >> 6) & 0x3F));
+                            out += static_cast<char>(0x80 | (code & 0x3F));
+                        }
+                        break;
+                    }
+                    default: return fail("bad escape");
+                }
+                ++pos;
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        if (pos >= text.size()) return fail("unterminated string");
+        ++pos;  // closing quote
+        return true;
+    }
+
+    bool parse_string_value(Value& out) {
+        std::string s;
+        if (!parse_string_raw(s)) return false;
+        out = Value(std::move(s));
+        return true;
+    }
+
+    bool parse_array(Value& out) {
+        ++pos;  // '['
+        Array arr;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            out = Value(std::move(arr));
+            return true;
+        }
+        while (true) {
+            Value v;
+            if (!parse_value(v)) return false;
+            arr.push_back(std::move(v));
+            skip_ws();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (!consume(']')) return false;
+        out = Value(std::move(arr));
+        return true;
+    }
+
+    bool parse_object(Value& out) {
+        ++pos;  // '{'
+        Object obj;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            out = Value(std::move(obj));
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (!parse_string_raw(key)) return false;
+            if (!consume(':')) return false;
+            Value v;
+            if (!parse_value(v)) return false;
+            obj.emplace(std::move(key), std::move(v));
+            skip_ws();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (!consume('}')) return false;
+        out = Value(std::move(obj));
+        return true;
+    }
+};
+
+void write(const Value& v, std::string& out, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (v.type()) {
+        case Value::Type::kNull: out += "null"; break;
+        case Value::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+        case Value::Type::kNumber: {
+            const double d = v.as_number();
+            char buf[64];
+            if (d == std::floor(d) && std::abs(d) < 1e15) {
+                std::snprintf(buf, sizeof buf, "%.0f", d);
+            } else {
+                std::snprintf(buf, sizeof buf, "%.17g", d);
+            }
+            out += buf;
+            break;
+        }
+        case Value::Type::kString:
+            out += '"';
+            out += escape(v.as_string());
+            out += '"';
+            break;
+        case Value::Type::kArray: {
+            const Array& a = v.as_array();
+            if (a.empty()) {
+                out += "[]";
+                break;
+            }
+            out += "[\n";
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                out += pad_in;
+                write(a[i], out, indent + 1);
+                if (i + 1 < a.size()) out += ',';
+                out += '\n';
+            }
+            out += pad;
+            out += ']';
+            break;
+        }
+        case Value::Type::kObject: {
+            const Object& o = v.as_object();
+            if (o.empty()) {
+                out += "{}";
+                break;
+            }
+            out += "{\n";
+            std::size_t i = 0;
+            for (const auto& [key, val] : o) {
+                out += pad_in;
+                out += '"';
+                out += escape(key);
+                out += "\": ";
+                write(val, out, indent + 1);
+                if (++i < o.size()) out += ',';
+                out += '\n';
+            }
+            out += pad;
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text, std::string* error) {
+    Parser p{text, 0, {}};
+    Value v;
+    if (!p.parse_value(v)) {
+        if (error != nullptr) *error = p.error;
+        return std::nullopt;
+    }
+    p.skip_ws();
+    if (p.pos != text.size()) {
+        if (error != nullptr) *error = "trailing garbage";
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::string serialize(const Value& v) {
+    std::string out;
+    write(v, out, 0);
+    out += '\n';
+    return out;
+}
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace ksa::lint::json

@@ -1,0 +1,86 @@
+#pragma once
+// lint::json -- a minimal JSON value model, parser and serializer.
+//
+// Exists so the analyzer can (a) emit SARIF 2.1.0 and the machine
+// readable --list-rules output, (b) read/write the lint_baseline.json
+// ratchet, and (c) let tests validate the emitted SARIF structurally --
+// all without adding a dependency the container may not have.  It
+// implements the JSON grammar (RFC 8259) with the one liberty that
+// numbers are held as doubles (every number this tool round-trips is a
+// small integer; integral values serialize without a decimal point).
+//
+// Ordering: objects keep keys in std::map order, so serialization is
+// deterministic -- the same findings always produce byte-identical
+// SARIF/baseline files, which keeps CI artifact diffs meaningful.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ksa::lint::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() : type_(Type::kNull) {}
+    Value(bool b) : type_(Type::kBool), bool_(b) {}
+    Value(double d) : type_(Type::kNumber), num_(d) {}
+    Value(int i) : type_(Type::kNumber), num_(i) {}
+    Value(std::size_t n) : type_(Type::kNumber),
+                           num_(static_cast<double>(n)) {}
+    Value(const char* s) : type_(Type::kString), str_(s) {}
+    Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+    Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+    Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_bool() const { return type_ == Type::kBool; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return num_; }
+    const std::string& as_string() const { return str_; }
+    const Array& as_array() const { return arr_; }
+    const Object& as_object() const { return obj_; }
+    Array& as_array() { return arr_; }
+    Object& as_object() { return obj_; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Value* find(const std::string& key) const {
+        if (type_ != Type::kObject) return nullptr;
+        const auto it = obj_.find(key);
+        return it == obj_.end() ? nullptr : &it->second;
+    }
+
+private:
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/// Parses `text`; on failure returns std::nullopt and, when `error` is
+/// non-null, a one-line description with the byte offset.
+std::optional<Value> parse(const std::string& text,
+                           std::string* error = nullptr);
+
+/// Serializes with 2-space indentation and a trailing newline.
+std::string serialize(const Value& v);
+
+/// JSON string escaping (quotes not included).
+std::string escape(const std::string& s);
+
+}  // namespace ksa::lint::json

@@ -1,0 +1,42 @@
+#pragma once
+// lint layer-DAG enforcement.  The table itself lives in
+// src/lint/layers.def (X-macro form, one source of truth for this pass
+// and for the doc/analysis.md diagram); this module assigns every
+// scanned file to a layer by longest-prefix match and turns each
+// include-graph edge that crosses the DAG into a `layering` finding,
+// plus each strongly connected include component into an
+// `include-cycle` finding.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/include_graph.hpp"
+#include "lint/rules.hpp"
+#include "lint/source_file.hpp"
+
+namespace ksa::lint {
+
+struct Layer {
+    std::string name;
+    std::string prefix;  ///< root-relative path prefix
+    std::vector<std::string> allowed;            ///< layer names
+    std::vector<std::string> private_importers;  ///< exact file paths
+    bool is_private() const { return !private_importers.empty(); }
+};
+
+/// The parsed layer table, in layers.def order.
+const std::vector<Layer>& layers();
+
+/// Longest-prefix layer assignment; nullptr when no prefix matches
+/// (such files are outside the DAG and never checked).
+const Layer* layer_for(const std::string& rel_path);
+
+/// One `layering` finding per include edge that crosses the DAG
+/// (suppressions already applied by the caller's SourceFiles).
+std::vector<Finding> check_layering(const IncludeGraph& graph);
+
+/// One `include-cycle` finding per strongly connected component.
+std::vector<Finding> check_include_cycles(const IncludeGraph& graph);
+
+}  // namespace ksa::lint

@@ -1,0 +1,206 @@
+#include "lint/lexer.hpp"
+
+#include <cstddef>
+
+namespace ksa::lint {
+
+namespace {
+
+enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+};
+
+bool is_ident_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Whether the `"` at text[i] opens a RAW string literal: the
+/// characters before it must spell one of the raw-string prefixes (R,
+/// u8R, uR, UR, LR) that is not merely the tail of a longer identifier
+/// (FOOBAR"x" is an ordinary string after an identifier).
+bool is_raw_string_open(const std::string& text, std::size_t i) {
+    if (i == 0 || text[i - 1] != 'R') return false;
+    std::size_t p = i - 1;  // first char of the literal prefix so far
+    if (p >= 2 && text[p - 1] == '8' && text[p - 2] == 'u')
+        p -= 2;
+    else if (p >= 1 &&
+             (text[p - 1] == 'u' || text[p - 1] == 'U' || text[p - 1] == 'L'))
+        p -= 1;
+    return p == 0 || !is_ident_char(text[p - 1]);
+}
+
+}  // namespace
+
+bool contains_token(const std::string& text, const std::string& word) {
+    for (std::size_t pos = text.find(word); pos != std::string::npos;
+         pos = text.find(word, pos + 1)) {
+        const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+        if (left_ok && right_ok) return true;
+    }
+    return false;
+}
+
+LexedFile lex(const std::string& text) {
+    LexedFile out;
+    State state = State::kCode;
+    std::string raw_delim;  // current raw-string delimiter, without parens
+
+    LexedLine cur;
+    cur.continues_multiline = false;
+
+    auto flush_line = [&]() {
+        out.lines.push_back(cur);
+        cur = LexedLine{};
+        cur.continues_multiline =
+            state == State::kBlockComment || state == State::kRawString;
+    };
+
+    const std::size_t n = text.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = text[i];
+        if (c == '\n') {
+            // A string/char literal cannot legally span a newline;
+            // recover rather than swallowing the rest of the file.
+            if (state == State::kString || state == State::kChar ||
+                state == State::kLineComment)
+                state = State::kCode;
+            flush_line();
+            continue;
+        }
+        if (c == '\r') continue;  // normalize CRLF
+        cur.raw += c;
+
+        switch (state) {
+            case State::kCode: {
+                if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+                    state = State::kLineComment;
+                    cur.code += "  ";
+                    cur.raw += text[i + 1];
+                    ++i;
+                    break;
+                }
+                if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+                    state = State::kBlockComment;
+                    cur.code += "  ";
+                    cur.raw += text[i + 1];
+                    ++i;
+                    break;
+                }
+                if (c == '"') {
+                    state = is_raw_string_open(text, i) ? State::kRawString
+                                                        : State::kString;
+                    cur.code += c;  // keep the quote: columns align
+                    if (state == State::kRawString) {
+                        // Capture the delimiter up to '('.
+                        raw_delim.clear();
+                        std::size_t j = i + 1;
+                        while (j < n && text[j] != '(' && text[j] != '\n' &&
+                               raw_delim.size() < 16) {
+                            raw_delim += text[j];
+                            ++j;
+                        }
+                    }
+                    break;
+                }
+                if (c == '\'') {
+                    // A quote directly after a digit or an identifier
+                    // tail of a numeric literal is a digit separator
+                    // (1'000'000), not a character literal.
+                    const bool separator =
+                        i > 0 && ((text[i - 1] >= '0' && text[i - 1] <= '9') ||
+                                  (text[i - 1] >= 'a' && text[i - 1] <= 'f') ||
+                                  (text[i - 1] >= 'A' && text[i - 1] <= 'F')) &&
+                        i + 1 < n &&
+                        ((text[i + 1] >= '0' && text[i + 1] <= '9') ||
+                         (text[i + 1] >= 'a' && text[i + 1] <= 'f') ||
+                         (text[i + 1] >= 'A' && text[i + 1] <= 'F'));
+                    if (separator) {
+                        cur.code += c;
+                        break;
+                    }
+                    state = State::kChar;
+                    cur.code += c;
+                    break;
+                }
+                cur.code += c;
+                break;
+            }
+            case State::kLineComment:
+                cur.code += ' ';
+                cur.line_comment += c;
+                break;
+            case State::kBlockComment:
+                cur.code += ' ';
+                if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+                    cur.raw += text[i + 1];
+                    cur.code += ' ';
+                    ++i;
+                    state = State::kCode;
+                }
+                break;
+            case State::kString:
+                if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+                    cur.raw += text[i + 1];
+                    cur.code += "  ";
+                    ++i;
+                    break;
+                }
+                if (c == '"') {
+                    cur.code += c;
+                    state = State::kCode;
+                    break;
+                }
+                cur.code += ' ';
+                break;
+            case State::kChar:
+                if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+                    cur.raw += text[i + 1];
+                    cur.code += "  ";
+                    ++i;
+                    break;
+                }
+                if (c == '\'') {
+                    cur.code += c;
+                    state = State::kCode;
+                    break;
+                }
+                cur.code += ' ';
+                break;
+            case State::kRawString: {
+                // Close on `)delim"`.
+                if (c == ')' &&
+                    i + raw_delim.size() + 1 < n &&
+                    text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+                    text[i + 1 + raw_delim.size()] == '"') {
+                    for (std::size_t j = 0; j < raw_delim.size() + 1; ++j) {
+                        cur.raw += text[i + 1 + j];
+                        cur.code += ' ';
+                    }
+                    cur.code += ' ';  // for the ')'
+                    // note: code got one blank for ')' plus delim+quote
+                    i += raw_delim.size() + 1;
+                    state = State::kCode;
+                    break;
+                }
+                cur.code += ' ';
+                break;
+            }
+        }
+    }
+    if (!cur.raw.empty() || !out.lines.empty()) flush_line();
+    // Drop a phantom empty final line produced by a trailing newline.
+    if (!out.lines.empty() && out.lines.back().raw.empty() &&
+        !text.empty() && text.back() == '\n')
+        out.lines.pop_back();
+    return out;
+}
+
+}  // namespace ksa::lint

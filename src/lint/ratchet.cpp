@@ -1,0 +1,118 @@
+#include "lint/ratchet.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint/json.hpp"
+
+namespace ksa::lint {
+
+namespace {
+
+std::map<std::pair<std::string, std::string>, std::size_t> count_findings(
+    const std::vector<Finding>& findings) {
+    std::map<std::pair<std::string, std::string>, std::size_t> counts;
+    for (const Finding& f : findings) ++counts[{f.rule, f.file}];
+    return counts;
+}
+
+}  // namespace
+
+std::optional<std::vector<BaselineEntry>> load_baseline(
+    const std::filesystem::path& path, std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) *error = "cannot open " + path.string();
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string parse_error;
+    const std::optional<json::Value> doc =
+        json::parse(buf.str(), &parse_error);
+    if (!doc.has_value() || !doc->is_object()) {
+        if (error != nullptr)
+            *error = path.string() + ": " +
+                     (parse_error.empty() ? "not a JSON object" : parse_error);
+        return std::nullopt;
+    }
+    const json::Value* findings = doc->find("findings");
+    if (findings == nullptr || !findings->is_array()) {
+        if (error != nullptr)
+            *error = path.string() + ": missing \"findings\" array";
+        return std::nullopt;
+    }
+    std::vector<BaselineEntry> out;
+    for (const json::Value& e : findings->as_array()) {
+        const json::Value* rule = e.find("rule");
+        const json::Value* file = e.find("file");
+        const json::Value* count = e.find("count");
+        if (rule == nullptr || !rule->is_string() || file == nullptr ||
+            !file->is_string() || count == nullptr || !count->is_number()) {
+            if (error != nullptr)
+                *error = path.string() +
+                         ": each finding needs string rule/file and "
+                         "numeric count";
+            return std::nullopt;
+        }
+        out.push_back({rule->as_string(), file->as_string(),
+                       static_cast<std::size_t>(count->as_number())});
+    }
+    return out;
+}
+
+RatchetResult ratchet_compare(const std::vector<Finding>& findings,
+                              const std::vector<BaselineEntry>& baseline) {
+    RatchetResult result;
+    auto current = count_findings(findings);
+
+    std::map<std::pair<std::string, std::string>, std::size_t> base;
+    for (const BaselineEntry& e : baseline) base[{e.rule, e.file}] += e.count;
+
+    for (const auto& [key, count] : current) {
+        const auto it = base.find(key);
+        const std::size_t allowed = it == base.end() ? 0 : it->second;
+        if (count > allowed) {
+            std::ostringstream os;
+            os << key.second << ": [" << key.first << "] " << count
+               << " finding(s), baseline allows " << allowed;
+            result.regressions.push_back(os.str());
+        }
+    }
+    for (const auto& [key, count] : base) {
+        const auto it = current.find(key);
+        const std::size_t now = it == current.end() ? 0 : it->second;
+        if (now < count) {
+            std::ostringstream os;
+            os << key.second << ": [" << key.first << "] baseline records "
+               << count << " finding(s) but only " << now
+               << " remain -- refresh with --write-baseline so the fix "
+                  "cannot regress";
+            result.stale.push_back(os.str());
+        }
+    }
+    return result;
+}
+
+std::string baseline_json(const std::vector<Finding>& findings) {
+    json::Array arr;
+    for (const auto& [key, count] : count_findings(findings)) {
+        json::Object e;
+        e.emplace("rule", key.first);
+        e.emplace("file", key.second);
+        e.emplace("count", count);
+        arr.emplace_back(std::move(e));
+    }
+    json::Object doc;
+    doc.emplace("version", 1);
+    doc.emplace(
+        "comment",
+        "ksa_analyze ratchet baseline: grandfathered finding counts per "
+        "(rule, file). New findings fail CI; fixes must be recorded with "
+        "--write-baseline so they cannot regress. See doc/analysis.md.");
+    doc.emplace("findings", std::move(arr));
+    return json::serialize(json::Value(std::move(doc)));
+}
+
+}  // namespace ksa::lint

@@ -1,0 +1,52 @@
+#pragma once
+// The lint ratchet: lint_baseline.json pins the grandfathered finding
+// counts per (rule, file); the analyzer fails when a count GROWS (a new
+// finding slipped in) and also when a count SHRINKS without the
+// baseline being refreshed (so burn-down is monotone: once a finding is
+// fixed, `ksa_analyze --write-baseline` records the lower count and the
+// old level can never silently return).
+//
+// Keying on (rule, file) counts rather than exact lines keeps the
+// baseline stable under unrelated edits to the same file -- the
+// standard ratchet design (cf. betterer / detekt baselines).
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace ksa::lint {
+
+struct BaselineEntry {
+    std::string rule;
+    std::string file;
+    std::size_t count = 0;
+};
+
+struct RatchetResult {
+    /// Findings above the baselined count ("new finding; fix it or --
+    /// after review -- re-baseline").
+    std::vector<std::string> regressions;
+    /// Baselined findings that no longer exist ("ratchet down: refresh
+    /// the baseline so the fix cannot regress").
+    std::vector<std::string> stale;
+    bool ok() const { return regressions.empty() && stale.empty(); }
+};
+
+/// Loads a baseline file; std::nullopt + `error` on IO/parse problems.
+/// A missing file is NOT an error here -- the caller decides (the CLI
+/// treats it as an empty baseline for bootstrap, ctest passes the
+/// committed file).
+std::optional<std::vector<BaselineEntry>> load_baseline(
+    const std::filesystem::path& path, std::string* error);
+
+/// Compares current findings against the baseline.
+RatchetResult ratchet_compare(const std::vector<Finding>& findings,
+                              const std::vector<BaselineEntry>& baseline);
+
+/// Serializes `findings` as a fresh baseline (deterministic order).
+std::string baseline_json(const std::vector<Finding>& findings);
+
+}  // namespace ksa::lint

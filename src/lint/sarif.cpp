@@ -1,0 +1,203 @@
+#include "lint/sarif.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ksa::lint {
+
+namespace {
+
+const char* level_for(Severity s) {
+    switch (s) {
+        case Severity::kError: return "error";
+        case Severity::kWarning: return "warning";
+        case Severity::kNote: return "note";
+    }
+    return "error";
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::string& root_uri) {
+    using json::Array;
+    using json::Object;
+    using json::Value;
+
+    // Rule table + name -> index map (ruleIndex is a spec SHOULD that
+    // GitHub code scanning treats as a de-facto MUST).
+    Array rules;
+    std::map<std::string, std::size_t> rule_index;
+    for (const RuleInfo& r : all_rules()) {
+        rule_index.emplace(r.name, rules.size());
+        Object cfg;
+        cfg.emplace("level", level_for(r.severity));
+        Object shortDesc;
+        shortDesc.emplace("text", r.scope);
+        Object fullDesc;
+        fullDesc.emplace("text", r.message);
+        Object rule;
+        rule.emplace("id", r.name);
+        rule.emplace("shortDescription", std::move(shortDesc));
+        rule.emplace("fullDescription", std::move(fullDesc));
+        rule.emplace("defaultConfiguration", std::move(cfg));
+        rules.emplace_back(std::move(rule));
+    }
+
+    Array results;
+    for (const Finding& f : findings) {
+        Object artifact;
+        artifact.emplace("uri", f.file);
+        if (!root_uri.empty()) artifact.emplace("uriBaseId", "SRCROOT");
+        Object region;
+        region.emplace("startLine", f.line == 0 ? std::size_t{1} : f.line);
+        if (f.column > 0) region.emplace("startColumn", f.column);
+        Object physical;
+        physical.emplace("artifactLocation", std::move(artifact));
+        physical.emplace("region", std::move(region));
+        Object location;
+        location.emplace("physicalLocation", std::move(physical));
+        Object message;
+        message.emplace("text", f.message);
+        Object result;
+        result.emplace("ruleId", f.rule);
+        const auto it = rule_index.find(f.rule);
+        if (it != rule_index.end())
+            result.emplace("ruleIndex", it->second);
+        result.emplace("level", level_for(f.severity));
+        result.emplace("message", std::move(message));
+        result.emplace("locations", Array{Value(std::move(location))});
+        results.emplace_back(std::move(result));
+    }
+
+    Object driver;
+    driver.emplace("name", "ksa_analyze");
+    driver.emplace("informationUri",
+                   "doc/analysis.md");
+    driver.emplace("version", "1.0.0");
+    driver.emplace("rules", std::move(rules));
+    Object tool;
+    tool.emplace("driver", std::move(driver));
+
+    Object run;
+    run.emplace("tool", std::move(tool));
+    run.emplace("results", std::move(results));
+    run.emplace("columnKind", "utf16CodeUnits");
+    if (!root_uri.empty()) {
+        Object base;
+        base.emplace("uri", root_uri);
+        Object bases;
+        bases.emplace("SRCROOT", std::move(base));
+        run.emplace("originalUriBaseIds", std::move(bases));
+    }
+
+    Object doc;
+    doc.emplace("$schema",
+                "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+                "sarif-schema-2.1.0.json");
+    doc.emplace("version", "2.1.0");
+    doc.emplace("runs", Array{Value(std::move(run))});
+    return json::serialize(Value(std::move(doc)));
+}
+
+std::vector<std::string> validate_sarif(const json::Value& doc) {
+    std::vector<std::string> errors;
+    auto need = [&errors](bool ok, const std::string& what) {
+        if (!ok) errors.push_back(what);
+        return ok;
+    };
+
+    if (!need(doc.is_object(), "document must be an object")) return errors;
+    const json::Value* version = doc.find("version");
+    need(version != nullptr && version->is_string() &&
+             version->as_string() == "2.1.0",
+         "version must be the string \"2.1.0\"");
+    const json::Value* runs = doc.find("runs");
+    if (!need(runs != nullptr && runs->is_array() && !runs->as_array().empty(),
+              "runs must be a non-empty array"))
+        return errors;
+
+    static const char* kLevels[] = {"none", "note", "warning", "error"};
+    for (const json::Value& run : runs->as_array()) {
+        if (!need(run.is_object(), "run must be an object")) continue;
+        const json::Value* tool = run.find("tool");
+        const json::Value* driver =
+            tool != nullptr ? tool->find("driver") : nullptr;
+        const json::Value* name =
+            driver != nullptr ? driver->find("name") : nullptr;
+        need(name != nullptr && name->is_string() &&
+                 !name->as_string().empty(),
+             "run.tool.driver.name (required) missing or empty");
+
+        std::vector<std::string> rule_ids;
+        if (driver != nullptr) {
+            if (const json::Value* rules = driver->find("rules");
+                rules != nullptr && rules->is_array()) {
+                for (const json::Value& rule : rules->as_array()) {
+                    const json::Value* id = rule.find("id");
+                    if (need(id != nullptr && id->is_string(),
+                             "reportingDescriptor.id (required) missing"))
+                        rule_ids.push_back(id->as_string());
+                }
+            }
+        }
+
+        const json::Value* results = run.find("results");
+        if (!need(results != nullptr && results->is_array(),
+                  "run.results must be an array"))
+            continue;
+        for (const json::Value& res : results->as_array()) {
+            const json::Value* rule_id = res.find("ruleId");
+            need(rule_id != nullptr && rule_id->is_string(),
+                 "result.ruleId missing");
+            const json::Value* message = res.find("message");
+            const json::Value* text =
+                message != nullptr ? message->find("text") : nullptr;
+            need(text != nullptr && text->is_string(),
+                 "result.message.text (required) missing");
+            if (const json::Value* level = res.find("level")) {
+                need(level->is_string() &&
+                         std::find_if(std::begin(kLevels), std::end(kLevels),
+                                      [&](const char* l) {
+                                          return level->as_string() == l;
+                                      }) != std::end(kLevels),
+                     "result.level must be none|note|warning|error");
+            }
+            if (const json::Value* idx = res.find("ruleIndex")) {
+                const bool ok =
+                    idx->is_number() && rule_id != nullptr &&
+                    rule_id->is_string() &&
+                    static_cast<std::size_t>(idx->as_number()) <
+                        rule_ids.size() &&
+                    rule_ids[static_cast<std::size_t>(idx->as_number())] ==
+                        rule_id->as_string();
+                need(ok, "result.ruleIndex does not point at its ruleId");
+            }
+            const json::Value* locations = res.find("locations");
+            if (!need(locations != nullptr && locations->is_array() &&
+                          !locations->as_array().empty(),
+                      "result.locations must be non-empty"))
+                continue;
+            for (const json::Value& loc : locations->as_array()) {
+                const json::Value* phys = loc.find("physicalLocation");
+                const json::Value* artifact =
+                    phys != nullptr ? phys->find("artifactLocation") : nullptr;
+                const json::Value* uri =
+                    artifact != nullptr ? artifact->find("uri") : nullptr;
+                need(uri != nullptr && uri->is_string() &&
+                         !uri->as_string().empty(),
+                     "physicalLocation.artifactLocation.uri missing");
+                const json::Value* region =
+                    phys != nullptr ? phys->find("region") : nullptr;
+                const json::Value* start =
+                    region != nullptr ? region->find("startLine") : nullptr;
+                need(start != nullptr && start->is_number() &&
+                         start->as_number() >= 1,
+                     "region.startLine must be a 1-based integer");
+            }
+        }
+    }
+    return errors;
+}
+
+}  // namespace ksa::lint

@@ -1,0 +1,41 @@
+#pragma once
+// SARIF 2.1.0 emission (and a structural validator for tests).
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS standard
+// v2.1.0) is the interchange format CI systems ingest for code-scanning
+// results; the `analyze` CI job uploads the file ksa_analyze emits
+// here.  The writer produces the minimal valid document: one run, the
+// full rule table under tool.driver.rules, one result per finding with
+// a physicalLocation carrying a SRCROOT-relative artifact URI and a
+// startLine/startColumn region.
+//
+// validate_sarif() re-checks an emitted document against the schema
+// obligations this tool relies on (required properties, enumerated
+// levels, rule-index consistency).  It is a structural subset of the
+// official JSON schema -- the container has no network access to fetch
+// the real one -- but every constraint it checks is a MUST in the
+// 2.1.0 spec, so a regression that would fail schema validation
+// upstream fails the ctest here first.
+
+#include <string>
+#include <vector>
+
+#include "lint/json.hpp"
+#include "lint/rules.hpp"
+
+namespace ksa::lint {
+
+/// Serializes findings as a SARIF 2.1.0 document.  `root_uri` becomes
+/// originalUriBaseIds.SRCROOT (pass a file:// URI of the repo root, or
+/// empty to omit).  Finding paths must be root-relative.
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::string& root_uri);
+
+/// Returns the list of schema violations (empty = valid).  Checks the
+/// 2.1.0 MUSTs this tool's output exercises: version string, runs
+/// array, tool.driver.name, rule metadata, result ruleId/ruleIndex
+/// agreement, level enumeration, location artifactLocation.uri and
+/// 1-based region lines.
+std::vector<std::string> validate_sarif(const json::Value& doc);
+
+}  // namespace ksa::lint

@@ -1,0 +1,12 @@
+#pragma once
+// PLANTED VIOLATION (include-cycle): cycle_a <-> cycle_b.  Both edges
+// are same-layer (sim -> sim), so the layering pass is silent; only the
+// SCC pass can see the cycle.  Reported at this file's include of the
+// other cycle member (line 6).
+#include "sim/cycle_b.hpp"
+
+namespace fixture {
+struct A {
+    int from_b = 0;
+};
+}  // namespace fixture

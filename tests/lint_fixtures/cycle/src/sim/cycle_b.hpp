@@ -1,0 +1,9 @@
+#pragma once
+// The second half of the include cycle (see cycle_a.hpp).
+#include "sim/cycle_a.hpp"
+
+namespace fixture {
+struct B {
+    int from_a = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#pragma once
+// PLANTED VIOLATION (float-in-digest, transitive form): no direct
+// digest include, but this file REACHES sim/digest.hpp through
+// uses_digest.hpp AND names the hasher vocabulary (StateHasher below),
+// so the pass must treat it as digest-feeding.  Flagged on line 10.
+#include "core/uses_digest.hpp"
+
+namespace fixture {
+inline void fold_weight(StateHasher& h) {
+    double w = leaky_weight();
+    h.fold(static_cast<unsigned long long>(w * 1000));
+}
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#pragma once
+// PLANTED VIOLATION (float-in-digest): this file DIRECTLY includes the
+// digest header and then traffics in a double -- NaN payloads, signed
+// zeros and x87 excess precision make its bit pattern
+// environment-dependent, so folding it would break bit-identical
+// replay.  Flagged on line 10.
+#include "sim/digest.hpp"
+
+namespace fixture {
+inline double leaky_weight() { return 0.5; }
+
+inline fixture::Digest128 digest_of_weight() {
+    return fixture::Digest128{};
+}
+}  // namespace fixture

@@ -1,0 +1,14 @@
+#pragma once
+// Fixture stand-in for the real sim/digest.hpp: defines the hasher
+// vocabulary the float-in-digest pass keys on.  The rule exempts this
+// file itself (the hasher defines the vocabulary).
+#include <cstdint>
+
+namespace fixture {
+struct Digest128 {
+    std::uint64_t hi = 0, lo = 0;
+};
+struct StateHasher {
+    void fold(std::uint64_t) {}
+};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+// The innocent include target of the layering fixture: a `core` file is
+// allowed to exist; the violation is the sim -> core edge pointing at
+// it.
+
+namespace fixture {
+inline int core_stub() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+// PLANTED VIOLATION (layering): the engine layer reaching UP into the
+// proof-construction layer.  layers.def has no sim -> core edge, so
+// ksa_analyze must flag the include on line 5.
+#include "core/stub.hpp"
+
+namespace fixture {
+inline int engine_peeking_at_core() { return fixture::core_stub(); }
+}  // namespace fixture

@@ -1,0 +1,14 @@
+#pragma once
+// PLANTED VIOLATION (pointer-keyed-container): a std::map keyed on a
+// raw pointer -- ordered iteration follows ADDRESS order, which ASLR
+// reshuffles on every execution.  Flagged on line 10.  The pointer
+// MAPPED VALUE on line 13 is legal: iteration still follows the key.
+#include <map>
+
+namespace fixture {
+struct Process;
+using BadTable = std::map<Process*, int>;
+
+// Pointer as mapped value: fine, and must NOT be flagged.
+using GoodTable = std::map<int, Process*>;
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+// PLANTED VIOLATION (wall-clock-outside-bench): a timestamp read inside
+// the engine -- its value differs on every execution, so anything
+// derived from it poisons replays and digests.  Flagged on line 9.
+#include <chrono>
+
+namespace fixture {
+inline long long engine_timestamp() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace fixture

@@ -1,283 +1,52 @@
-// ksa_lint -- the project-specific model-conformance linter.
+// ksa_lint -- the project-specific model-conformance linter (classic
+// rule set), now a thin CLI over the src/lint/ library.
 //
 // General-purpose static analysis (clang-tidy, sanitizers; see
 // doc/analysis.md) cannot know the *model* rules this repository lives
 // by: executions must be bit-identical across replays (sim/system.hpp),
 // so any iteration-order, RNG or hidden-IO dependence in the engine is a
-// proof-soundness bug even when it is perfectly well-defined C++.  This
-// tool scans source files for those hazards:
+// proof-soundness bug even when it is perfectly well-defined C++.
 //
-//   unordered-container   std::unordered_{set,map,multiset,multimap} in
-//                         sim/ or core/: hash-iteration order leaks into
-//                         traces, digests and exploration frontiers.
-//   raw-random            rand()/srand()/std::random_device anywhere in
-//                         src/: nondeterministic or hidden-global
-//                         randomness.  Randomized components must take a
-//                         seed and use std::mt19937_64 (RandomScheduler
-//                         is the pattern).
-//   missing-override      a Scheduler/Behavior/Algorithm/FdOracle virtual
-//                         re-declared without `override`/`final`:
-//                         interface drift then silently detaches a
-//                         subclass from the engine.
-//   stream-io-in-library  std::cout/std::cerr/printf in src/ library
-//                         code: libraries report through return values
-//                         and reports, not process-global streams
-//                         (rendering belongs to examples/ and tools/).
-//   interning-outside-reduction
-//                         TagInterner/intern_tag used outside
-//                         src/core/reduction.*: the interner is the
-//                         reduction layer's private cache.  Its ids are
-//                         content-derived (so dedup keys stay
-//                         deterministic), but the table itself is
-//                         warm-up-stateful global state -- any other
-//                         layer keying on interned ids would couple its
-//                         output to interner history.  Everyone else
-//                         hashes the tag bytes directly (sim/digest.hpp).
+// This tool runs exactly the six classic line rules (the `legacy` set in
+// src/lint/rules.cpp): unordered-container, raw-random,
+// missing-override, threading-outside-exec, stream-io-in-library,
+// interning-outside-reduction.  The whole-program passes (layering,
+// include cycles, float-in-digest) and the SARIF/ratchet machinery live
+// in tools/ksa_analyze, built on the same library.
 //
-// Suppression: append  // ksa-lint: allow(<rule>)  to the offending line
-// or the line directly above it.  Suppressions are for *justified*
-// exceptions (say why in a comment); the ctest-registered clean run
-// (`ksa_lint <repo>/src`) keeps src/ at zero unsuppressed findings.
+// What moved into the library (src/lint/):
+//   * the lexer: rules no longer fire inside comments, string literals
+//     or raw strings (lexer.hpp);
+//   * suppressions: `// ksa-lint: allow(rule-a, rule-b)` may name
+//     several rules, a standalone allow-comment covers the whole next
+//     statement even when it wraps, and tags inside block comments or
+//     strings are inert (source_file.hpp states the exact semantics);
+//   * the rule table itself (rules.cpp), so ksa_lint and ksa_analyze
+//     can never disagree about what a rule means.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <regex>
 #include <string>
 #include <vector>
+
+#include "lint/analyzer.hpp"
+#include "lint/rules.hpp"
+#include "lint/source_file.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-    std::string file;
-    std::size_t line = 0;
-    std::string rule;
-    std::string message;
-};
-
-struct Rule {
-    std::string name;
-    std::regex pattern;
-    std::string message;
-    /// Returns true when the rule applies to this file at all.
-    bool (*applies)(const fs::path& file);
-};
-
-/// Path helpers ------------------------------------------------------------
-
-bool path_contains_dir(const fs::path& file, const std::string& dir) {
-    for (const fs::path& part : file)
-        if (part == dir) return true;
-    return false;
-}
-
-bool in_deterministic_hot_path(const fs::path& file) {
-    // The engine (sim/), the proof constructions (core/) and the
-    // fault-injection adversary (chaos/) are the replay-critical layers:
-    // chaos runs must replay bit-identically through the determinism
-    // auditor, so the injector is held to the same determinism bar as
-    // the engine it perturbs.
-    return path_contains_dir(file, "sim") || path_contains_dir(file, "core") ||
-           path_contains_dir(file, "chaos");
-}
-
-bool any_source(const fs::path&) { return true; }
-
-bool in_library_code(const fs::path& file) {
-    // Library code lives under src/; examples/ and tools/ are entitled
-    // to stream IO (it is their job).
-    return path_contains_dir(file, "src");
-}
-
-bool in_library_code_outside_exec(const fs::path& file) {
-    // src/exec/ is the ONE layer allowed to hold threading primitives
-    // (thread_pool.hpp states the determinism discipline).  Everywhere
-    // else in src/, parallelism must go through
-    // exec::parallel_map_deterministic, so that N-thread output stays
-    // byte-identical to 1-thread output by construction.
-    return path_contains_dir(file, "src") && !path_contains_dir(file, "exec");
-}
-
-bool is_interface_header(const fs::path& file) {
-    // The headers that *introduce* the virtuals: declaring them there
-    // without `override` is correct.
-    const std::string name = file.filename().string();
-    return name == "scheduler.hpp" || name == "behavior.hpp" ||
-           name == "fd_oracle.hpp";
-}
-
-bool override_rule_applies(const fs::path& file) {
-    return !is_interface_header(file);
-}
-
-bool in_library_code_outside_reduction(const fs::path& file) {
-    // src/core/reduction.{hpp,cpp} own the tag interner; every other
-    // library file must not touch it (see the rule table entry).
-    const std::string name = file.filename().string();
-    if (path_contains_dir(file, "core") && name.rfind("reduction.", 0) == 0)
-        return false;
-    return path_contains_dir(file, "src");
-}
-
-/// The rule table ----------------------------------------------------------
-
-const std::vector<Rule>& rules() {
-    static const std::vector<Rule> kRules = {
-        {"unordered-container",
-         std::regex(R"(std::unordered_(set|map|multiset|multimap)\b)"),
-         "hash-ordered container in a replay-critical layer; iteration "
-         "order is not deterministic across builds -- use std::set/std::map "
-         "or sort before iterating",
-         &in_deterministic_hot_path},
-        {"raw-random",
-         // ksa-lint: allow(raw-random) -- the pattern itself.
-         std::regex(R"((\b(s?rand)\s*\()|(std::random_device\b))"),
-         "unseeded/global randomness; take an explicit seed and use "
-         "std::mt19937_64 so runs stay replayable",
-         &any_source},
-        {"missing-override",
-         // A re-declaration of one of the engine's virtuals that carries
-         // neither `override` nor `final` nor a pure-virtual marker on
-         // the same line.  The virtual set is small and stable, which
-         // keeps this textual check precise.
-         std::regex(
-             R"((next\s*\(\s*const\s+SystemView|on_step\s*\(\s*const\s+StepInput|state_digest\s*\(\s*\)\s*const|fold_state\s*\(\s*StateHasher|fold_state_renamed\s*\(\s*StateHasher|make_behavior\s*\(\s*ProcessId|query\s*\(\s*const\s+QueryContext|needs_failure_detector\s*\(\s*\)\s*const|may_send\s*\(\s*\)\s*const|message_inert\s*\(\s*ProcessId|rename_payload_ids\s*\(\s*Payload|decided_is_final\s*\(\s*\)\s*const))"),
-         "re-declared engine virtual without `override`/`final`; interface "
-         "drift would silently detach this subclass",
-         &override_rule_applies},
-        {"threading-outside-exec",
-         // Thread/lock/atomic vocabulary outside the exec layer.  The
-         // match is on the primitives, not on <thread>-style includes,
-         // so a comment mentioning threads stays legal.
-         // ksa-lint: allow(threading-outside-exec) -- the pattern itself.
-         std::regex(
-             R"(std::(jthread|thread\b|mutex|shared_mutex|timed_mutex|recursive_mutex|condition_variable|atomic|async\s*\(|future<|promise<|lock_guard|unique_lock|scoped_lock|shared_lock|barrier<|latch\b|counting_semaphore|binary_semaphore|call_once|once_flag|this_thread))"),
-         "threading primitive outside src/exec/; express parallelism "
-         "through exec::parallel_map_deterministic (doc/performance.md) "
-         "or, for genuinely thread-safe bookkeeping, annotate with "
-         "ksa-lint: allow(threading-outside-exec)",
-         &in_library_code_outside_exec},
-        {"stream-io-in-library",
-         std::regex(R"((std::cout\b|std::cerr\b|\bprintf\s*\())"),
-         "process-global stream IO in library code; return a report/string "
-         "and let examples/ or tools/ render it",
-         &in_library_code},
-        {"interning-outside-reduction",
-         std::regex(R"(\b(TagInterner|intern_tag)\b)"),
-         "tag interning outside core/reduction; interned ids are the "
-         "reduction layer's private cache (content-derived, but the table "
-         "is warm-up-stateful global state) -- hash the tag bytes directly "
-         "(sim/digest.hpp) or, for a justified exception, annotate with "
-         "ksa-lint: allow(interning-outside-reduction)",
-         &in_library_code_outside_reduction},
-    };
-    return kRules;
-}
-
-/// Per-line machinery ------------------------------------------------------
-
-bool is_suppressed(const std::string& line, const std::string& prev,
-                   const std::string& rule) {
-    const std::string tag = "ksa-lint: allow(" + rule + ")";
-    return line.find(tag) != std::string::npos ||
-           prev.find(tag) != std::string::npos;
-}
-
-/// `missing-override` exemptions the regex cannot see: virtual
-/// introductions (`virtual ... = 0;` or `virtual ...;` in the interface)
-/// and the contract-layer's own mentions in comments.
-bool line_declares_virtual(const std::string& line) {
-    return line.find("virtual ") != std::string::npos;
-}
-
-bool looks_like_comment(const std::string& line) {
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first == std::string::npos) return true;
-    return line.compare(first, 2, "//") == 0 || line[first] == '*' ||
-           line.compare(first, 2, "/*") == 0;
-}
-
-/// Whether `word` occurs in `text` as a whole identifier token.  A
-/// plain substring search would let `decided_is_final` satisfy the
-/// `final` requirement through its own name.
-bool contains_token(const std::string& text, const std::string& word) {
-    auto is_ident = [](char c) {
-        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-               (c >= '0' && c <= '9') || c == '_';
-    };
-    for (std::size_t pos = text.find(word); pos != std::string::npos;
-         pos = text.find(word, pos + 1)) {
-        const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
-        const std::size_t end = pos + word.size();
-        const bool right_ok = end >= text.size() || !is_ident(text[end]);
-        if (left_ok && right_ok) return true;
-    }
-    return false;
-}
-
-/// An out-of-class member *definition* (`Type Class::next(...)`) cannot
-/// repeat `override`; only in-class re-declarations are checked.
-bool is_out_of_class_definition(const std::string& line,
-                                const std::smatch& match) {
-    const std::size_t pos = static_cast<std::size_t>(match.position(0));
-    return pos >= 2 && line.compare(pos - 2, 2, "::") == 0;
-}
-
-/// Joins `lines[index..]` into the complete declaration statement: C++
-/// declarations may wrap, and `override` usually sits on the last line.
-std::string statement_from(const std::vector<std::string>& lines,
-                           std::size_t index) {
-    std::string statement;
-    const std::size_t limit = std::min(lines.size(), index + 8);
-    for (std::size_t i = index; i < limit; ++i) {
-        statement += lines[i];
-        statement += ' ';
-        // A declaration ends at `;` or at the body's opening `{`.
-        if (lines[i].find(';') != std::string::npos ||
-            lines[i].find('{') != std::string::npos)
-            break;
-    }
-    return statement;
-}
-
-void scan_file(const fs::path& file, std::vector<Finding>& findings) {
-    std::ifstream in(file);
-    if (!in) {
-        throw std::runtime_error("cannot open " + file.string());
-    }
-    std::vector<std::string> lines;
-    for (std::string line; std::getline(in, line);) lines.push_back(line);
-
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        const std::string& line = lines[i];
-        if (looks_like_comment(line)) continue;
-        const std::string& prev = i > 0 ? lines[i - 1] : line;
-        for (const Rule& rule : rules()) {
-            if (!rule.applies(file)) continue;
-            std::smatch match;
-            if (!std::regex_search(line, match, rule.pattern)) continue;
-            if (rule.name == "missing-override") {
-                if (line_declares_virtual(line)) continue;
-                if (is_out_of_class_definition(line, match)) continue;
-                const std::string statement = statement_from(lines, i);
-                if (contains_token(statement, "override") ||
-                    contains_token(statement, "final"))
-                    continue;
-            }
-            if (is_suppressed(line, prev, rule.name)) continue;
-            findings.push_back(
-                {file.string(), i + 1, rule.name, rule.message});
-        }
-    }
-}
-
-bool is_source_file(const fs::path& file) {
-    const std::string ext = file.extension().string();
-    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+/// Directories the scan never descends into: planted-violation corpora
+/// (tests/lint_fixtures/, scanned explicitly by their own tests), build
+/// trees and VCS/housekeeping directories.  Mirrors
+/// lint::scan_tree's policy so the two CLIs agree.
+bool skip_directory(const fs::path& dir) {
+    const std::string name = dir.filename().string();
+    return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.');
 }
 
 int usage() {
@@ -296,8 +65,9 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
-            for (const Rule& rule : rules())
-                std::cout << rule.name << ": " << rule.message << "\n";
+            for (const ksa::lint::RuleInfo& rule : ksa::lint::all_rules())
+                if (rule.legacy)
+                    std::cout << rule.name << ": " << rule.message << "\n";
             return 0;
         }
         if (arg == "--help" || arg == "-h") return usage();
@@ -305,13 +75,12 @@ int main(int argc, char** argv) {
     }
     if (roots.empty()) return usage();
 
-    std::vector<Finding> findings;
-    std::size_t files_scanned = 0;
+    std::vector<ksa::lint::SourceFile> files;
     try {
         for (const fs::path& root : roots) {
             if (fs::is_regular_file(root)) {
-                scan_file(root, findings);
-                ++files_scanned;
+                files.push_back(
+                    ksa::lint::SourceFile::load(root, root.string()));
                 continue;
             }
             if (!fs::is_directory(root)) {
@@ -319,11 +88,17 @@ int main(int argc, char** argv) {
                           << "\n";
                 return 2;
             }
-            for (const auto& entry : fs::recursive_directory_iterator(root)) {
-                if (!entry.is_regular_file()) continue;
-                if (!is_source_file(entry.path())) continue;
-                scan_file(entry.path(), findings);
-                ++files_scanned;
+            for (fs::recursive_directory_iterator it(root), end; it != end;
+                 ++it) {
+                if (it->is_directory() && skip_directory(it->path())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (!it->is_regular_file() ||
+                    !ksa::lint::is_source_file(it->path()))
+                    continue;
+                files.push_back(ksa::lint::SourceFile::load(
+                    it->path(), it->path().string()));
             }
         }
     } catch (const std::exception& e) {
@@ -331,10 +106,12 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    for (const Finding& f : findings)
+    const ksa::lint::AnalysisResult result =
+        ksa::lint::analyze_files(files, /*legacy_only=*/true);
+    for (const ksa::lint::Finding& f : result.findings)
         std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
                   << f.message << "\n";
-    std::cout << "ksa_lint: " << files_scanned << " file(s), "
-              << findings.size() << " finding(s)\n";
-    return findings.empty() ? 0 : 1;
+    std::cout << "ksa_lint: " << result.files_scanned << " file(s), "
+              << result.findings.size() << " finding(s)\n";
+    return result.findings.empty() ? 0 : 1;
 }
