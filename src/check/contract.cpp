@@ -21,12 +21,12 @@ namespace {
 // record.  This is the sanctioned use of the lint escape hatch; actual
 // parallelism still belongs in src/exec/ alone.
 // ksa-lint: allow(threading-outside-exec)
-std::atomic<Policy> g_policy{Policy::kThrow};
+std::atomic<Policy> g_policy{Policy::kThrow};  // ksa: thread_safe
 // ksa-lint: allow(threading-outside-exec)
-std::atomic<std::size_t> g_count{0};
+std::atomic<std::size_t> g_count{0};  // ksa: thread_safe
 // ksa-lint: allow(threading-outside-exec)
 std::mutex g_last_mutex;
-std::optional<Violation> g_last;
+std::optional<Violation> g_last;  // ksa: guarded_by(g_last_mutex)
 
 }  // namespace
 

@@ -43,6 +43,7 @@ namespace ksa::exec {
 /// over the same indices into the same slots, so results stay
 /// byte-identical to the parallel path.  0 keeps the old
 /// always-dispatch behavior.
+// ksa: thread_safe -- stateless; all shared state is the caller's pool.
 template <typename Fn>
 auto parallel_map_deterministic(ThreadPool& pool, std::size_t count, Fn&& fn,
                                 std::size_t min_parallel = 0)
@@ -60,6 +61,7 @@ auto parallel_map_deterministic(ThreadPool& pool, std::size_t count, Fn&& fn,
 /// Convenience overload owning a throwaway pool: the usual entry point
 /// for one-shot sweeps.  `threads <= 1` runs inline on the caller's
 /// thread (the reference behavior).
+// ksa: thread_safe -- owns its pool for the duration of the call.
 template <typename Fn>
 auto parallel_map_deterministic(int threads, std::size_t count, Fn&& fn)
         -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {

@@ -26,22 +26,31 @@ struct ThreadPool::Impl {
     std::mutex mu;
     std::condition_variable work_cv;   ///< workers wait for a new job
     std::condition_variable done_cv;   ///< the caller waits for completion
-    std::uint64_t generation = 0;      ///< bumped once per run_indexed
-    bool shutting_down = false;
+    std::uint64_t generation = 0;  ///< bumped per run_indexed // ksa: guarded_by(mu)
+    bool shutting_down = false;    // ksa: guarded_by(mu)
 
+    // count/fn/chunk_errors are published by the generation handshake:
+    // written under `mu` BEFORE the generation bump, read by workers
+    // only AFTER they observed the new generation under `mu`, never
+    // written while a job is in flight -- so run_chunk may read them
+    // lock-free.  The handshake, not the mutex, is the hand-off.
     std::size_t count = 0;                          ///< items of current job
     const std::function<void(std::size_t)>* fn = nullptr;
-    int chunks_left = 0;                            ///< unfinished chunks
+    int chunks_left = 0;  ///< unfinished chunks // ksa: guarded_by(mu)
     std::vector<std::exception_ptr> chunk_errors;   ///< slot per chunk
 
     /// Static, index-ordered chunking: chunk c of t covers
     /// [c*count/t, (c+1)*count/t) -- a pure function of (count, t, c),
     /// independent of timing, so the work partition is deterministic.
+    // ksa: wait_free -- pure arithmetic on the hot path.
     static std::size_t chunk_begin(std::size_t count, int t, int c) {
         return count * static_cast<std::size_t>(c) /
                static_cast<std::size_t>(t);
     }
 
+    // ksa: wait_free -- runs between the generation handshake and the
+    // chunks_left decrement; it must never lock or block, or chunks
+    // serialize and the pool degrades to a convoy.
     void run_chunk(int chunk) noexcept {
         const std::size_t begin = chunk_begin(count, threads, chunk);
         const std::size_t end = chunk_begin(count, threads, chunk + 1);
@@ -91,6 +100,7 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::size() const { return impl_->threads; }
 
+// ksa: guarded_by(mu)
 void ThreadPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
     KSA_REQUIRE(fn != nullptr, "ThreadPool::run_indexed: null function");

@@ -31,7 +31,7 @@
 namespace ksa::exec {
 
 /// Best-effort hardware concurrency, never less than 1.
-int hardware_threads();
+int hardware_threads();  // ksa: thread_safe
 
 /// A fixed-size pool of worker threads executing index ranges.
 /// Construction with `threads <= 1` creates no workers at all; every
@@ -41,6 +41,7 @@ class ThreadPool {
 public:
     /// Spawns `threads - 1` workers (the caller's thread is the last
     /// worker of every run_indexed call, so `threads` CPUs are busy).
+    // ksa: thread_safe -- construction happens-before any worker runs.
     explicit ThreadPool(int threads);
     ~ThreadPool();
 
@@ -48,8 +49,11 @@ public:
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /// The configured parallelism (>= 1).
-    int size() const;
+    int size() const;  // ksa: thread_safe -- immutable after construction
 
+    // ksa: guarded_by(mu) -- the job handoff state lives behind
+    // Impl::mu; the definition in thread_pool.cpp is verified to take
+    // the lock (lint rule lock-discipline).
     /// Runs fn(i) for every i in [0, count) exactly once, partitioned
     /// into size() static contiguous chunks in index order, and blocks
     /// until every call returned.  fn must be safe to invoke from

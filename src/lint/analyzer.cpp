@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <regex>
 
+#include "lint/decls.hpp"
+#include "lint/flow.hpp"
 #include "lint/include_graph.hpp"
+#include "lint/json.hpp"
 #include "lint/layers.hpp"
 #include "lint/ratchet.hpp"
 
@@ -137,9 +140,11 @@ AnalysisResult analyze_files(const std::vector<SourceFile>& files,
 
     if (!legacy_only) {
         const IncludeGraph graph = IncludeGraph::build(files);
+        const DeclModel decls = DeclModel::build(files);
         for (auto&& pass :
              {check_layering(graph), check_include_cycles(graph),
-              check_float_in_digest(files, graph)}) {
+              check_float_in_digest(files, graph),
+              run_flow_passes(files, decls)}) {
             result.findings.insert(result.findings.end(), pass.begin(),
                                    pass.end());
         }
@@ -153,25 +158,60 @@ AnalysisResult analyze_files(const std::vector<SourceFile>& files,
     return result;
 }
 
+void apply_baseline(AnalysisResult& result,
+                    const std::filesystem::path& baseline) {
+    std::string error;
+    const auto loaded = load_baseline(baseline, &error);
+    if (!loaded.has_value()) {
+        result.errors.push_back(error);
+        return;
+    }
+    RatchetResult ratchet = ratchet_compare(result.findings, *loaded);
+    result.ratcheted = true;
+    result.ratchet_regressions = std::move(ratchet.regressions);
+    result.ratchet_stale = std::move(ratchet.stale);
+}
+
+std::string analysis_json(const AnalysisResult& result) {
+    json::Object root;
+    root.emplace("version", 1);
+    root.emplace("files_scanned", result.files_scanned);
+    json::Array findings;
+    for (const Finding& f : result.findings) {
+        json::Object o;
+        o.emplace("file", f.file);
+        o.emplace("line", f.line);
+        o.emplace("column", f.column);
+        o.emplace("rule", f.rule);
+        o.emplace("severity", to_string(f.severity));
+        o.emplace("message", f.message);
+        findings.emplace_back(std::move(o));
+    }
+    root.emplace("findings", std::move(findings));
+    root.emplace("ratcheted", result.ratcheted);
+    json::Array regressions;
+    for (const std::string& line : result.ratchet_regressions)
+        regressions.emplace_back(line);
+    root.emplace("ratchet_regressions", std::move(regressions));
+    json::Array stale;
+    for (const std::string& line : result.ratchet_stale)
+        stale.emplace_back(line);
+    root.emplace("ratchet_stale", std::move(stale));
+    json::Array errors;
+    for (const std::string& line : result.errors)
+        errors.emplace_back(line);
+    root.emplace("errors", std::move(errors));
+    return json::serialize(json::Value(std::move(root)));
+}
+
 AnalysisResult analyze(const AnalyzerOptions& options) {
     std::vector<std::string> errors;
     const std::vector<SourceFile> files = scan_tree(options, errors);
     AnalysisResult result = analyze_files(files, options.legacy_only);
     result.errors = std::move(errors);
 
-    if (options.baseline.has_value()) {
-        std::string error;
-        const auto baseline = load_baseline(*options.baseline, &error);
-        if (!baseline.has_value()) {
-            result.errors.push_back(error);
-        } else {
-            RatchetResult ratchet =
-                ratchet_compare(result.findings, *baseline);
-            result.ratcheted = true;
-            result.ratchet_regressions = std::move(ratchet.regressions);
-            result.ratchet_stale = std::move(ratchet.stale);
-        }
-    }
+    if (options.baseline.has_value())
+        apply_baseline(result, *options.baseline);
     return result;
 }
 

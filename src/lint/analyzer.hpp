@@ -77,6 +77,21 @@ AnalysisResult analyze(const AnalyzerOptions& options);
 AnalysisResult analyze_files(const std::vector<SourceFile>& files,
                              bool legacy_only);
 
+/// Ratchets `result` against the baseline file: loads it, compares,
+/// fills ratcheted/ratchet_regressions/ratchet_stale.  A missing or
+/// unparseable baseline lands in `result.errors` (exit code 2 at the
+/// CLIs) -- bootstrapping is the CLIs' explicit --init-baseline path,
+/// never an implicit empty-baseline fallback.
+void apply_baseline(AnalysisResult& result,
+                    const std::filesystem::path& baseline);
+
+/// The findings as the internal JSON model (--format=json at both
+/// CLIs): {version, files_scanned, findings: [{file, line, column,
+/// rule, severity, message}], ratcheted, ratchet_regressions,
+/// ratchet_stale, errors}.  Deterministic byte-for-byte for a given
+/// result (json.hpp keeps object keys sorted).
+std::string analysis_json(const AnalysisResult& result);
+
 /// True for the extensions ksa_lint/ksa_analyze scan (.cpp/.hpp/.cc/.h).
 bool is_source_file(const std::filesystem::path& file);
 

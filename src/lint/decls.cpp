@@ -1,0 +1,817 @@
+#include "lint/decls.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+
+namespace ksa::lint {
+
+namespace {
+
+bool is_id(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+/// Tokens the header scanner must never take for a function name:
+/// control/declaration keywords and the builtin type names that lead a
+/// declarator.  (`operator` is deliberately absent: `operator()(...)`
+/// should match, and the name it yields is accepted as-is.)
+const std::set<std::string>& keyword_set() {
+    static const std::set<std::string> kKeywords = {
+        "if", "for", "while", "switch", "do", "else", "try", "catch",
+        "return", "co_return", "co_await", "co_yield", "goto", "new",
+        "delete", "throw", "sizeof", "alignof", "alignas", "decltype",
+        "typeid", "static_assert", "static_cast", "dynamic_cast",
+        "const_cast", "reinterpret_cast", "void", "int", "bool", "char",
+        "short", "long", "unsigned", "signed", "float", "double", "auto",
+        "wchar_t", "char8_t", "char16_t", "char32_t", "const",
+        "constexpr", "consteval", "constinit", "static", "inline",
+        "virtual", "explicit", "friend", "typedef", "using", "template",
+        "typename", "class", "struct", "union", "enum", "namespace",
+        "noexcept", "override", "final", "public", "private", "protected",
+        "extern", "mutable", "volatile", "requires", "concept", "this",
+        "assert",
+    };
+    return kKeywords;
+}
+
+std::string trim(const std::string& s) {
+    const std::size_t a = s.find_first_not_of(" \t\n");
+    if (a == std::string::npos) return {};
+    const std::size_t b = s.find_last_not_of(" \t\n");
+    return s.substr(a, b - a + 1);
+}
+
+/// The flattened translation unit: all code lines joined with '\n',
+/// preprocessor directives (including their backslash continuations)
+/// blanked so macro-body braces cannot unbalance the block scanner.
+/// `line_of[i]` is the 1-based source line of text[i].
+struct FlatFile {
+    std::string text;
+    std::vector<std::size_t> line_of;
+};
+
+FlatFile flatten(const SourceFile& file) {
+    FlatFile flat;
+    bool continuation = false;
+    for (std::size_t ln = 1; ln <= file.line_count(); ++ln) {
+        const std::string& code = file.code(ln);
+        const std::string& raw = file.raw(ln);
+        bool directive = continuation;
+        if (!directive) {
+            const std::size_t first = code.find_first_not_of(" \t");
+            directive = first != std::string::npos && code[first] == '#';
+        }
+        continuation = directive && !raw.empty() && raw.back() == '\\';
+        if (directive) {
+            flat.text.append(code.size(), ' ');
+        } else {
+            flat.text += code;
+        }
+        flat.text += '\n';
+        flat.line_of.insert(flat.line_of.end(), code.size() + 1, ln);
+    }
+    return flat;
+}
+
+std::size_t skip_ws(const std::string& t, std::size_t i) {
+    while (i < t.size() && is_space(t[i])) ++i;
+    return i;
+}
+
+/// Index of the previous non-whitespace char before `i`, or npos.
+std::size_t prev_non_ws(const std::string& t, std::size_t i) {
+    while (i > 0) {
+        --i;
+        if (!is_space(t[i])) return i;
+    }
+    return std::string::npos;
+}
+
+/// The identifier token whose LAST character sits at `i` ("" if t[i]
+/// is not an identifier char).
+std::string token_ending_at(const std::string& t, std::size_t i) {
+    if (!is_id(t[i])) return {};
+    std::size_t b = i;
+    while (b > 0 && is_id(t[b - 1])) --b;
+    return t.substr(b, i - b + 1);
+}
+
+/// t[open] is '(', '[' or '{'; returns the index of the bracket that
+/// closes it (any of )]}, nesting-aware), or npos.
+std::size_t match_forward(const std::string& t, std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        const char c = t[i];
+        if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            if (--depth == 0) return i;
+            if (depth < 0) return std::string::npos;
+        }
+    }
+    return std::string::npos;
+}
+
+/// Splits on commas at bracket depth 0 (angle brackets counted too, so
+/// `std::function<void(int)> f` stays one part).
+std::vector<std::string> split_top_commas(const std::string& s) {
+    std::vector<std::string> parts;
+    std::string cur;
+    int depth = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '(' || c == '[' || c == '{' || c == '<') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            --depth;
+        } else if (c == '>' && (i == 0 || s[i - 1] != '-')) {
+            --depth;
+        }
+        if (c == ',' && depth <= 0) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+/// The declared name inside one parameter: the last identifier token
+/// before any default argument; "" when unnamed (or the last token is
+/// a keyword/builtin, i.e. `int`, `const Foo&`).
+std::string param_name(const std::string& part) {
+    std::string p = part;
+    const std::size_t eq = p.find('=');
+    if (eq != std::string::npos) p.resize(eq);
+    std::string last;
+    std::size_t i = 0;
+    while (i < p.size()) {
+        if (is_id(p[i]) && !std::isdigit(static_cast<unsigned char>(p[i]))) {
+            const std::size_t b = i;
+            while (i < p.size() && is_id(p[i])) ++i;
+            last = p.substr(b, i - b);
+        } else {
+            ++i;
+        }
+    }
+    if (last.empty() || keyword_set().count(last) != 0) return {};
+    return last;
+}
+
+void parse_params(const std::string& list, std::vector<std::string>& out) {
+    for (const std::string& part : split_top_commas(list)) {
+        std::string name = param_name(part);
+        if (!name.empty()) out.push_back(std::move(name));
+    }
+}
+
+/// Parses a lambda capture list ("&", "=", "&x", "x", "x = expr",
+/// "this", "*this", "xs...") into the decl's default_capture/captures.
+void parse_captures(const std::string& list, char& default_capture,
+                    std::vector<Capture>& captures) {
+    for (const std::string& raw_part : split_top_commas(list)) {
+        std::string part = trim(raw_part);
+        if (part.empty()) continue;
+        if (part == "&") {
+            default_capture = '&';
+            continue;
+        }
+        if (part == "=") {
+            default_capture = '=';
+            continue;
+        }
+        Capture cap;
+        if (part[0] == '&') {
+            cap.by_ref = true;
+            part = trim(part.substr(1));
+        }
+        if (part == "this" || part == "*this") {
+            cap.name = "this";
+            cap.by_ref = part == "this";
+            captures.push_back(std::move(cap));
+            continue;
+        }
+        const std::size_t eq = part.find('=');
+        if (eq != std::string::npos) {
+            cap.init = true;
+            part = trim(part.substr(0, eq));
+        }
+        while (!part.empty() && part.back() == '.') part.pop_back();
+        cap.name = trim(part);
+        if (!cap.name.empty()) captures.push_back(std::move(cap));
+    }
+}
+
+/// A lambda found by the pre-pass, keyed (in the caller's map) by the
+/// flat-text offset of its body's `{`.
+struct LambdaInfo {
+    std::size_t header_off = 0;  ///< offset of the `[`
+    char default_capture = 0;
+    std::vector<Capture> captures;
+    std::vector<std::string> params;
+};
+
+/// Pre-pass: finds every lambda introducer.  A `[` opens a lambda when
+/// the previous non-whitespace char is one of `( , = & { } ; : <` (or
+/// the previous token is `return`/`co_return`/`co_yield`, or it is the
+/// first char), the bracket closes, and after the optional template
+/// head / parameter list / specifiers / trailing return type a `{`
+/// follows.  `[[` attributes and subscripts (`a[i]`) never qualify.
+std::map<std::size_t, LambdaInfo> find_lambdas(const std::string& t) {
+    std::map<std::size_t, LambdaInfo> out;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i] != '[') continue;
+        if (i + 1 < t.size() && t[i + 1] == '[') {
+            const std::size_t attr = match_forward(t, i);
+            if (attr != std::string::npos) i = attr;
+            continue;
+        }
+        if (i > 0 && t[i - 1] == '[') continue;
+        const std::size_t p = prev_non_ws(t, i);
+        bool introducer = p == std::string::npos;
+        if (!introducer) {
+            const char c = t[p];
+            if (c == '(' || c == ',' || c == '=' || c == '&' || c == '{' ||
+                c == '}' || c == ';' || c == ':' || c == '<') {
+                introducer = true;
+            } else if (is_id(c)) {
+                const std::string tok = token_ending_at(t, p);
+                introducer = tok == "return" || tok == "co_return" ||
+                             tok == "co_yield";
+            }
+        }
+        if (!introducer) continue;
+        const std::size_t close = match_forward(t, i);
+        if (close == std::string::npos) continue;
+
+        LambdaInfo info;
+        info.header_off = i;
+        parse_captures(t.substr(i + 1, close - i - 1), info.default_capture,
+                       info.captures);
+
+        std::size_t j = skip_ws(t, close + 1);
+        if (j < t.size() && t[j] == '<') {  // C++20 template lambda
+            int angle = 1;
+            ++j;
+            while (j < t.size() && angle > 0) {
+                if (t[j] == '<') ++angle;
+                if (t[j] == '>') --angle;
+                ++j;
+            }
+            j = skip_ws(t, j);
+        }
+        if (j < t.size() && t[j] == '(') {
+            const std::size_t pc = match_forward(t, j);
+            if (pc == std::string::npos) continue;
+            parse_params(t.substr(j + 1, pc - j - 1), info.params);
+            j = pc + 1;
+        }
+        // Specifiers and an optional `-> type` up to the body brace.
+        bool has_body = false;
+        int angle = 0;
+        std::size_t guard = 0;
+        while (j < t.size() && guard++ < 400) {
+            const char c = t[j];
+            if (c == '{') {
+                has_body = true;
+                break;
+            }
+            if (c == '<') {
+                ++angle;
+            } else if (c == '>' && (j == 0 || t[j - 1] != '-')) {
+                angle = std::max(0, angle - 1);
+            } else if (c == '(') {  // noexcept(...)
+                const std::size_t pc = match_forward(t, j);
+                if (pc == std::string::npos) break;
+                j = pc + 1;
+                continue;
+            } else if (c == ';' || c == '=' || c == '[' || c == ']') {
+                break;
+            } else if ((c == ')' || c == ',') && angle == 0) {
+                break;
+            }
+            ++j;
+        }
+        if (!has_body) continue;
+        out.emplace(j, std::move(info));
+        i = close;  // keep scanning inside the parameter list
+    }
+    return out;
+}
+
+/// The first identifier token of `s` ("" when there is none).
+std::string first_token(const std::string& s) {
+    std::size_t i = 0;
+    while (i < s.size() && !is_id(s[i])) ++i;
+    if (i >= s.size() || std::isdigit(static_cast<unsigned char>(s[i])))
+        return {};
+    const std::size_t b = i;
+    while (i < s.size() && is_id(s[i])) ++i;
+    return s.substr(b, i - b);
+}
+
+/// True when `stmt` has a top-level `=` (assignment, not ==/<=/...)
+/// strictly before offset `pos` -- the mark of an initialized variable
+/// declaration rather than a function declaration.
+bool top_level_eq_before(const std::string& stmt, std::size_t pos) {
+    int depth = 0;
+    for (std::size_t k = 0; k < pos && k < stmt.size(); ++k) {
+        const char c = stmt[k];
+        if (c == '(' || c == '[' || c == '{' || c == '<') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            depth = std::max(0, depth - 1);
+        } else if (c == '>' && (k == 0 || stmt[k - 1] != '-')) {
+            depth = std::max(0, depth - 1);
+        } else if (c == '=' && depth == 0) {
+            const bool part_of_comparison =
+                (k + 1 < stmt.size() && stmt[k + 1] == '=') ||
+                (k > 0 && (stmt[k - 1] == '=' || stmt[k - 1] == '!' ||
+                           stmt[k - 1] == '<' || stmt[k - 1] == '>'));
+            if (!part_of_comparison) return true;
+        }
+    }
+    return false;
+}
+
+/// Finds the first plausible function name in a statement header: the
+/// first (possibly qualified) identifier directly followed by `(`
+/// whose unqualified tail is not a keyword.  Returns the unqualified
+/// name; sets `name_pos` to its offset and `paren_pos` to the `(`.
+std::string header_name(const std::string& stmt, std::size_t* name_pos,
+                        std::size_t* paren_pos) {
+    static const std::regex kName(
+        R"(((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)\s*\()");
+    for (auto it = std::sregex_iterator(stmt.begin(), stmt.end(), kName);
+         it != std::sregex_iterator(); ++it) {
+        const std::string full = (*it)[1].str();
+        const std::size_t sep = full.rfind("::");
+        std::string name =
+            sep == std::string::npos ? full : full.substr(sep + 2);
+        std::string bare = name;
+        if (!bare.empty() && bare[0] == '~') bare.erase(0, 1);
+        if (keyword_set().count(bare) != 0) continue;
+        if (name_pos != nullptr)
+            *name_pos = static_cast<std::size_t>(it->position(1)) +
+                        full.size() - name.size();
+        if (paren_pos != nullptr)
+            *paren_pos = static_cast<std::size_t>(it->position(0)) +
+                         it->length(0) - 1;
+        return name;
+    }
+    return {};
+}
+
+/// True when a top-level `:` (not `::`, not inside brackets) occurs in
+/// stmt[from..): the constructor-initializer-list marker.
+bool has_top_level_colon(const std::string& stmt, std::size_t from) {
+    int depth = 0;
+    for (std::size_t k = from; k < stmt.size(); ++k) {
+        const char c = stmt[k];
+        if (c == '(' || c == '[' || c == '{' || c == '<') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            depth = std::max(0, depth - 1);
+        } else if (c == '>' && (k == 0 || stmt[k - 1] != '-')) {
+            depth = std::max(0, depth - 1);
+        } else if (c == ':' && depth == 0) {
+            const bool scope_res =
+                (k + 1 < stmt.size() && stmt[k + 1] == ':') ||
+                (k > 0 && stmt[k - 1] == ':');
+            if (!scope_res) return true;
+        }
+    }
+    return false;
+}
+
+/// Parses every `ksa:` annotation in one line-comment text.
+std::vector<Annotation> annotations_in_comment(const std::string& comment,
+                                               std::size_t line) {
+    static const std::regex kAnn(
+        R"(ksa:\s*(thread_safe|wait_free|guarded_by\s*\(\s*([A-Za-z_]\w*)\s*\)))");
+    std::vector<Annotation> out;
+    for (auto it =
+             std::sregex_iterator(comment.begin(), comment.end(), kAnn);
+         it != std::sregex_iterator(); ++it) {
+        Annotation a;
+        a.line = line;
+        const std::string what = (*it)[1].str();
+        if (what == "thread_safe") {
+            a.kind = AnnotationKind::kThreadSafe;
+        } else if (what == "wait_free") {
+            a.kind = AnnotationKind::kWaitFree;
+        } else {
+            a.kind = AnnotationKind::kGuardedBy;
+            a.arg = (*it)[2].str();
+        }
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+bool code_blank(const std::string& code) {
+    return code.find_first_not_of(" \t") == std::string::npos;
+}
+
+/// The declared name on a member/variable declaration line: the first
+/// identifier directly followed by `;`, `=`, `{` or `[`.
+std::string declared_member_name(const std::string& code) {
+    static const std::regex kMember(R"(([A-Za-z_]\w*)\s*[;={[])");
+    std::smatch m;
+    if (!std::regex_search(code, m, kMember)) return {};
+    return m[1].str();
+}
+
+enum class BlockKind {
+    kNamespace,
+    kType,
+    kFunction,
+    kLambda,
+    kControl,
+    kInit
+};
+
+struct Block {
+    BlockKind kind = BlockKind::kControl;
+    std::size_t decl = FunctionDecl::npos;
+    int saved_paren_depth = 0;
+    bool keeps_statement = false;  ///< member-init braces: `{` of m_{...}
+};
+
+const std::set<std::string>& control_keywords() {
+    static const std::set<std::string> kControl = {
+        "if", "for", "while", "switch", "do", "else", "try", "catch"};
+    return kControl;
+}
+
+const std::set<std::string>& specifier_tail_tokens() {
+    static const std::set<std::string> kTail = {
+        "const", "noexcept", "override", "final", "mutable", "volatile",
+        "try", "requires"};
+    return kTail;
+}
+
+}  // namespace
+
+DeclModel DeclModel::build(const std::vector<SourceFile>& files) {
+    DeclModel model;
+    model.by_file_.resize(files.size());
+
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const SourceFile& file = files[fi];
+        const FlatFile flat = flatten(file);
+        const std::string& t = flat.text;
+        const auto line_at = [&](std::size_t off) -> std::size_t {
+            if (off < flat.line_of.size()) return flat.line_of[off];
+            return file.line_count() == 0 ? 1 : file.line_count();
+        };
+        const auto col_at = [&](std::size_t off) -> std::size_t {
+            std::size_t b = off;
+            while (b > 0 && t[b - 1] != '\n') --b;
+            return off - b + 1;
+        };
+
+        const std::map<std::size_t, LambdaInfo> lambdas = find_lambdas(t);
+
+        std::vector<Block> stack;
+        std::vector<std::size_t> decl_stack;
+        std::size_t stmt_begin = 0;
+        int paren_depth = 0;
+
+        const auto push_function = [&](FunctionDecl fn) -> std::size_t {
+            fn.parent = decl_stack.empty() ? FunctionDecl::npos
+                                           : decl_stack.back();
+            const std::size_t idx = model.funcs_.size();
+            if (fn.parent != FunctionDecl::npos)
+                model.funcs_[fn.parent].children.push_back(idx);
+            model.by_file_[fi].push_back(idx);
+            model.funcs_.push_back(std::move(fn));
+            return idx;
+        };
+
+        const auto statement_lines = [&](const std::string& stmt,
+                                         std::size_t off, FunctionDecl& fn,
+                                         std::size_t name_pos) {
+            const std::size_t lead = stmt.find_first_not_of(" \t\n");
+            fn.header_begin =
+                line_at(off + (lead == std::string::npos ? 0 : lead));
+            fn.line = line_at(off + name_pos);
+        };
+
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const char c = t[i];
+            if (c == '(') {
+                ++paren_depth;
+                continue;
+            }
+            if (c == ')') {
+                if (paren_depth > 0) --paren_depth;
+                continue;
+            }
+            if (c == ';' && paren_depth == 0) {
+                const BlockKind scope =
+                    stack.empty() ? BlockKind::kNamespace
+                                  : stack.back().kind;
+                if (scope == BlockKind::kNamespace ||
+                    scope == BlockKind::kType) {
+                    const std::string stmt =
+                        t.substr(stmt_begin, i - stmt_begin);
+                    const std::string first = first_token(stmt);
+                    if (first != "using" && first != "typedef" &&
+                        first != "friend") {
+                        std::size_t name_pos = 0;
+                        std::size_t paren_pos = 0;
+                        const std::string name =
+                            header_name(stmt, &name_pos, &paren_pos);
+                        if (!name.empty() &&
+                            !top_level_eq_before(stmt, name_pos)) {
+                            FunctionDecl fn;
+                            fn.name = name;
+                            fn.file = fi;
+                            statement_lines(stmt, stmt_begin, fn, name_pos);
+                            fn.header_end = line_at(i);
+                            const std::size_t close = match_forward(
+                                t, stmt_begin + paren_pos);
+                            if (close != std::string::npos &&
+                                close < i) {
+                                parse_params(
+                                    t.substr(stmt_begin + paren_pos + 1,
+                                             close - stmt_begin -
+                                                 paren_pos - 1),
+                                    fn.params);
+                            }
+                            static const std::regex kDeleted(
+                                R"(=\s*(delete|default|0)\s*$)");
+                            fn.deleted_or_defaulted =
+                                std::regex_search(stmt, kDeleted);
+                            push_function(std::move(fn));
+                        }
+                    }
+                }
+                stmt_begin = i + 1;
+                continue;
+            }
+            if (c == '{') {
+                Block blk;
+                blk.saved_paren_depth = paren_depth;
+                const auto lam = lambdas.find(i);
+                if (lam != lambdas.end()) {
+                    FunctionDecl fn;
+                    fn.name = "operator()";
+                    fn.is_lambda = true;
+                    fn.file = fi;
+                    fn.line = line_at(lam->second.header_off);
+                    fn.header_begin = fn.line;
+                    fn.header_end = line_at(i);
+                    fn.body_begin = line_at(i);
+                    fn.body_begin_col = col_at(i);
+                    fn.default_capture = lam->second.default_capture;
+                    fn.captures = lam->second.captures;
+                    fn.params = lam->second.params;
+                    blk.kind = BlockKind::kLambda;
+                    blk.decl = push_function(std::move(fn));
+                    decl_stack.push_back(blk.decl);
+                } else {
+                    const std::string stmt =
+                        t.substr(stmt_begin, i - stmt_begin);
+                    const std::size_t pn = prev_non_ws(t, i);
+                    const char pc =
+                        pn == std::string::npos ? '\0' : t[pn];
+                    const std::string ptok =
+                        (pn != std::string::npos && is_id(pc))
+                            ? token_ending_at(t, pn)
+                            : std::string();
+                    const std::string first = first_token(stmt);
+                    std::size_t name_pos = 0;
+                    std::size_t paren_pos = 0;
+                    const std::string name =
+                        control_keywords().count(first) != 0
+                            ? std::string()
+                            : header_name(stmt, &name_pos, &paren_pos);
+                    if (pc == '=' || pc == ',' || pc == '(' ||
+                        pc == '[' || ptok == "return") {
+                        blk.kind = BlockKind::kInit;
+                    } else if (control_keywords().count(first) != 0) {
+                        blk.kind = BlockKind::kControl;
+                    } else if (!name.empty() &&
+                               !top_level_eq_before(stmt, name_pos)) {
+                        // A `{` directly after an identifier that is
+                        // not a trailing specifier, with a ctor
+                        // init-list colon in between, is a member's
+                        // brace initializer, not the body.
+                        const std::size_t close =
+                            match_forward(t, stmt_begin + paren_pos);
+                        const std::size_t after_params =
+                            close == std::string::npos
+                                ? paren_pos
+                                : close - stmt_begin;
+                        if (!ptok.empty() &&
+                            specifier_tail_tokens().count(ptok) == 0 &&
+                            has_top_level_colon(stmt, after_params)) {
+                            blk.kind = BlockKind::kInit;
+                            blk.keeps_statement = true;
+                        } else {
+                            FunctionDecl fn;
+                            fn.name = name;
+                            fn.file = fi;
+                            statement_lines(stmt, stmt_begin, fn,
+                                            name_pos);
+                            fn.header_end = line_at(i);
+                            fn.body_begin = line_at(i);
+                            fn.body_begin_col = col_at(i);
+                            if (close != std::string::npos &&
+                                close < i) {
+                                parse_params(
+                                    t.substr(stmt_begin + paren_pos + 1,
+                                             close - stmt_begin -
+                                                 paren_pos - 1),
+                                    fn.params);
+                            }
+                            blk.kind = BlockKind::kFunction;
+                            blk.decl = push_function(std::move(fn));
+                            decl_stack.push_back(blk.decl);
+                        }
+                    } else if (contains_token(stmt, "namespace") ||
+                               contains_token(stmt, "extern")) {
+                        blk.kind = BlockKind::kNamespace;
+                    } else if (contains_token(stmt, "class") ||
+                               contains_token(stmt, "struct") ||
+                               contains_token(stmt, "union") ||
+                               contains_token(stmt, "enum")) {
+                        blk.kind = BlockKind::kType;
+                    } else if (contains_token(stmt, "operator")) {
+                        FunctionDecl fn;
+                        fn.name = "operator";
+                        fn.file = fi;
+                        statement_lines(stmt, stmt_begin, fn, 0);
+                        fn.header_end = line_at(i);
+                        fn.body_begin = line_at(i);
+                        fn.body_begin_col = col_at(i);
+                        blk.kind = BlockKind::kFunction;
+                        blk.decl = push_function(std::move(fn));
+                        decl_stack.push_back(blk.decl);
+                    } else {
+                        blk.kind = BlockKind::kControl;
+                    }
+                }
+                stack.push_back(blk);
+                paren_depth = 0;
+                if (!stack.back().keeps_statement) stmt_begin = i + 1;
+                continue;
+            }
+            if (c == '}') {
+                if (!stack.empty()) {
+                    const Block blk = stack.back();
+                    stack.pop_back();
+                    paren_depth = blk.saved_paren_depth;
+                    if (blk.decl != FunctionDecl::npos) {
+                        model.funcs_[blk.decl].body_end = line_at(i);
+                        model.funcs_[blk.decl].body_end_col = col_at(i);
+                        if (!decl_stack.empty()) decl_stack.pop_back();
+                    }
+                    if (blk.keeps_statement) continue;
+                }
+                stmt_begin = i + 1;
+                continue;
+            }
+        }
+
+        // -- annotations: trailing comments on header lines, plus the
+        // standalone comment block directly above the header.
+        for (const std::size_t idx : model.by_file_[fi]) {
+            FunctionDecl& fn = model.funcs_[idx];
+            for (std::size_t l = fn.header_begin;
+                 l != 0 && l <= fn.header_end; ++l) {
+                for (Annotation& a :
+                     annotations_in_comment(file.comment(l), l))
+                    fn.annotations.push_back(std::move(a));
+            }
+            for (std::size_t l = fn.header_begin;
+                 l > 1 && code_blank(file.code(l - 1)) &&
+                 !file.comment(l - 1).empty();
+                 --l) {
+                for (Annotation& a :
+                     annotations_in_comment(file.comment(l - 1), l - 1))
+                    fn.annotations.push_back(std::move(a));
+            }
+        }
+
+        // -- guarded members: every guarded_by annotation whose target
+        // line is not a function header annotates a member/variable.
+        for (std::size_t l = 1; l <= file.line_count(); ++l) {
+            for (const Annotation& a :
+                 annotations_in_comment(file.comment(l), l)) {
+                if (a.kind != AnnotationKind::kGuardedBy) continue;
+                std::size_t target = l;
+                if (code_blank(file.code(l))) {
+                    target = 0;
+                    const std::size_t cap =
+                        std::min(file.line_count(), l + 4);
+                    for (std::size_t n = l + 1; n <= cap; ++n) {
+                        if (code_blank(file.code(n))) continue;
+                        target = n;
+                        break;
+                    }
+                    if (target == 0) continue;
+                }
+                bool is_function = false;
+                for (const std::size_t idx : model.by_file_[fi]) {
+                    const FunctionDecl& fn = model.funcs_[idx];
+                    if (fn.is_lambda) continue;
+                    if (fn.header_begin <= target &&
+                        target <= fn.header_end) {
+                        is_function = true;
+                        break;
+                    }
+                }
+                if (is_function) continue;
+                const std::string member =
+                    declared_member_name(file.code(target));
+                if (member.empty()) continue;
+                model.guarded_.push_back({fi, target, member, a.arg});
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < model.funcs_.size(); ++i)
+        model.by_name_[model.funcs_[i].name].push_back(i);
+    return model;
+}
+
+const std::vector<std::size_t>& DeclModel::functions_in(
+    std::size_t file) const {
+    static const std::vector<std::size_t> kEmpty;
+    return file < by_file_.size() ? by_file_[file] : kEmpty;
+}
+
+const std::vector<std::size_t>& DeclModel::functions_named(
+    const std::string& name) const {
+    static const std::vector<std::size_t> kEmpty;
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::size_t> DeclModel::own_body_lines(std::size_t fn) const {
+    const FunctionDecl& f = funcs_[fn];
+    if (f.body_begin == 0) return {};
+    std::set<std::size_t> excluded;
+    for (const std::size_t c : f.children) {
+        const FunctionDecl& child = funcs_[c];
+        const std::size_t from =
+            child.header_begin == 0 ? child.body_begin : child.header_begin;
+        const std::size_t to =
+            child.body_end == 0 ? child.header_end : child.body_end;
+        for (std::size_t l = from; l != 0 && l <= to; ++l)
+            excluded.insert(l);
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t l = f.body_begin; l <= f.body_end; ++l)
+        if (excluded.count(l) == 0) out.push_back(l);
+    return out;
+}
+
+std::vector<std::size_t> DeclModel::callees(
+    const std::vector<SourceFile>& files, std::size_t fn) const {
+    static const std::regex kCall(R"(([A-Za-z_]\w*)\s*\()");
+    const SourceFile& file = files[funcs_[fn].file];
+    std::set<std::size_t> out;
+    for (const std::size_t l : own_body_lines(fn)) {
+        const std::string& code = file.code(l);
+        for (auto it = std::sregex_iterator(code.begin(), code.end(), kCall);
+             it != std::sregex_iterator(); ++it) {
+            const auto hit = by_name_.find((*it)[1].str());
+            if (hit == by_name_.end()) continue;
+            for (const std::size_t callee : hit->second) out.insert(callee);
+        }
+    }
+    return {out.begin(), out.end()};
+}
+
+bool DeclModel::reaches_token(const std::vector<SourceFile>& files,
+                              std::size_t fn,
+                              const std::vector<std::string>& tokens) const {
+    std::set<std::size_t> visited;
+    std::vector<std::size_t> queue = {fn};
+    while (!queue.empty()) {
+        const std::size_t cur = queue.back();
+        queue.pop_back();
+        if (!visited.insert(cur).second) continue;
+        const SourceFile& file = files[funcs_[cur].file];
+        for (const std::size_t l : own_body_lines(cur)) {
+            const std::string& code = file.code(l);
+            for (const std::string& tok : tokens)
+                if (contains_token(code, tok)) return true;
+        }
+        for (const std::size_t callee : callees(files, cur))
+            if (visited.count(callee) == 0) queue.push_back(callee);
+    }
+    return false;
+}
+
+}  // namespace ksa::lint

@@ -1,0 +1,152 @@
+#pragma once
+// lint::DeclModel -- a token-level declaration/function model for the
+// flow passes (flow.hpp).
+//
+// The lexer (lexer.hpp) classifies characters; this layer recovers the
+// *shape* of a translation unit from the blanked code lines: which
+// brace blocks are function bodies, which are lambdas, what each lambda
+// captures, which parameters a function takes, and which functions its
+// body names (a call-graph edge by NAME, the only identity a
+// non-type-checking scanner has).
+//
+// It also parses the `// ksa:` annotation vocabulary the flow rules
+// verify:
+//
+//   // ksa: thread_safe          -- callable from any thread as-is
+//   // ksa: wait_free            -- body must not lock/block/allocate
+//   // ksa: guarded_by(mutex)    -- on a member: touch only under
+//                                   `mutex`; on a function: the body
+//                                   must lock `mutex`
+//
+// An annotation trails the declaration line or sits on a comment line
+// directly above it (same placement contract as suppression tags, and
+// like them it is parsed from real `//` comments only).
+//
+// Deliberate imprecision (documented in doc/analysis.md §3): extents
+// come from brace matching over blanked code with preprocessor
+// directives removed, names from a header regex -- no overload
+// resolution, no template instantiation, no type checking.  The rules
+// built on top are tuned so this imprecision surfaces as missed
+// findings in exotic code, never as noise on idiomatic code.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+namespace ksa::lint {
+
+struct Capture {
+    std::string name;      ///< captured entity ("" for pure [=] / [&])
+    bool by_ref = false;   ///< &name, or covered by a [&] default
+    bool init = false;     ///< init-capture: [x = expr] owns a copy
+};
+
+enum class AnnotationKind { kThreadSafe, kWaitFree, kGuardedBy };
+
+struct Annotation {
+    AnnotationKind kind = AnnotationKind::kThreadSafe;
+    std::string arg;       ///< guarded_by's mutex name; empty otherwise
+    std::size_t line = 0;  ///< 1-based line the comment sits on
+};
+
+struct FunctionDecl {
+    std::string name;      ///< unqualified ("operator()" for lambdas)
+    std::size_t file = 0;  ///< index into DeclModel's file list
+    std::size_t line = 0;  ///< 1-based line of the header's name token
+    /// Extent, 1-based inclusive: header_begin..header_end bracket the
+    /// header (for a declaration, the whole statement up to its `;`),
+    /// body_begin/body_end bracket the `{...}` body.  A declaration
+    /// without a body has body_begin == body_end == 0.
+    std::size_t header_begin = 0;
+    std::size_t header_end = 0;
+    std::size_t body_begin = 0;
+    std::size_t body_end = 0;
+    /// 1-based columns of the body's `{` and `}` on their lines, so a
+    /// single-line lambda body can be cut out of the surrounding call
+    /// expression exactly.
+    std::size_t body_begin_col = 0;
+    std::size_t body_end_col = 0;
+    bool is_lambda = false;
+    /// `= delete`, `= default` or pure-virtual `= 0` declaration.
+    bool deleted_or_defaulted = false;
+    /// Lambda default capture: '&', '=' or 0 (none / not a lambda).
+    char default_capture = 0;
+    std::vector<Capture> captures;    ///< explicit captures, in order
+    std::vector<std::string> params;  ///< parameter names, in order
+    std::vector<Annotation> annotations;
+    /// Enclosing function/lambda in the same file (index into
+    /// DeclModel::functions()), or npos for top-level functions.
+    std::size_t parent = npos;
+    std::vector<std::size_t> children;  ///< directly nested lambdas
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    bool has_annotation(AnnotationKind kind) const {
+        for (const Annotation& a : annotations)
+            if (a.kind == kind) return true;
+        return false;
+    }
+    const Annotation* find_annotation(AnnotationKind kind) const {
+        for (const Annotation& a : annotations)
+            if (a.kind == kind) return &a;
+        return nullptr;
+    }
+};
+
+/// A data member (or file-scope variable) carrying `ksa: guarded_by`.
+struct GuardedMember {
+    std::size_t file = 0;  ///< index into DeclModel's file list
+    std::size_t line = 0;  ///< 1-based declaration line
+    std::string member;    ///< declared name
+    std::string mutex;     ///< the guarding mutex's name
+};
+
+class DeclModel {
+public:
+    /// Builds the model over a pre-scanned file set.  The file indices
+    /// stored in FunctionDecl/GuardedMember refer to `files` positions.
+    static DeclModel build(const std::vector<SourceFile>& files);
+
+    const std::vector<FunctionDecl>& functions() const { return funcs_; }
+    const std::vector<GuardedMember>& guarded_members() const {
+        return guarded_;
+    }
+
+    /// Indices of all functions/lambdas recorded for file `file`.
+    const std::vector<std::size_t>& functions_in(std::size_t file) const;
+
+    /// Indices of every recorded function with unqualified name `name`
+    /// (overloads and same-named functions across files all match --
+    /// name identity is all a token-level call graph has).
+    const std::vector<std::size_t>& functions_named(
+        const std::string& name) const;
+
+    /// The body lines belonging to `fn` ITSELF: [body_begin..body_end]
+    /// minus the full extents of nested lambdas/local functions.
+    /// 1-based line numbers, ascending.
+    std::vector<std::size_t> own_body_lines(std::size_t fn) const;
+
+    /// Indices of recorded functions whose name appears called (name
+    /// followed by `(`) on `fn`'s own body lines -- the outgoing
+    /// call-graph edges, resolved by name across the whole file set.
+    std::vector<std::size_t> callees(const std::vector<SourceFile>& files,
+                                     std::size_t fn) const;
+
+    /// True when `fn`'s own body names `token`, or any function
+    /// reachable from it through the name-matched call graph does.
+    /// `files` must be the same vector the model was built over.
+    bool reaches_token(const std::vector<SourceFile>& files, std::size_t fn,
+                       const std::vector<std::string>& tokens) const;
+
+private:
+    std::vector<FunctionDecl> funcs_;
+    std::vector<GuardedMember> guarded_;
+    std::vector<std::vector<std::size_t>> by_file_;
+    /// name -> indices of functions with that name (call-graph identity).
+    std::map<std::string, std::vector<std::size_t>> by_name_;
+};
+
+}  // namespace ksa::lint

@@ -148,6 +148,35 @@ const std::vector<RuleInfo>& rule_table() {
          "order and the layer DAG cannot hold -- break the cycle with a "
          "forward declaration or by splitting the header",
          false},
+        // -- flow rules (decls.hpp/flow.hpp: function model + dataflow).
+        {"parallel-capture-mutation", RuleKind::kWholeProgram,
+         Severity::kError, "lambdas passed to parallel entry points",
+         "lambda passed to a parallel entry point writes a by-reference "
+         "capture that is not an atomic, not under a lock and not a "
+         "per-index element slot -- a data race that desynchronizes "
+         "replays; write to out[i] or aggregate after the join",
+         false},
+        {"nondet-iteration-reaches-output", RuleKind::kWholeProgram,
+         Severity::kError, "the whole tree",
+         "iteration over an unordered container reaches digest folds / "
+         "JSON emission / KSARUN trace writing: hash iteration order is "
+         "not deterministic across builds, so the emitted bytes are not "
+         "either -- sort the keys first or use std::map/std::set",
+         false},
+        {"lock-discipline", RuleKind::kWholeProgram, Severity::kError,
+         "annotated members; src/exec public headers",
+         "lock discipline violated: a `ksa: guarded_by(mu)` member is "
+         "touched without locking `mu`, or a src/exec entry point "
+         "carries no ksa: thread_safe / guarded_by / wait_free "
+         "annotation",
+         false},
+        {"blocking-in-task", RuleKind::kWholeProgram, Severity::kError,
+         "bodies annotated `ksa: wait_free`",
+         "blocking call in a `ksa: wait_free` body: locks, condition "
+         "waits, stream IO and allocation-heavy vocabulary stall the "
+         "worker and (under the future work-stealing deques) invite "
+         "scheduling-order divergence -- hoist the work out of the task",
+         false},
     };
     return kRules;
 }

@@ -156,6 +156,11 @@ const std::string& SourceFile::raw(std::size_t line) const {
     return lexed_.lines[line - 1].raw;
 }
 
+const std::string& SourceFile::comment(std::size_t line) const {
+    if (line == 0 || line > lexed_.lines.size()) return kEmpty;
+    return lexed_.lines[line - 1].line_comment;
+}
+
 bool SourceFile::suppressed(std::size_t line, const std::string& rule) const {
     const auto it = suppressions_.find(rule);
     return it != suppressions_.end() && it->second.count(line) != 0;

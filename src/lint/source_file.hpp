@@ -52,6 +52,11 @@ public:
     /// 1-based accessors; out-of-range returns an empty string.
     const std::string& code(std::size_t line) const;
     const std::string& raw(std::size_t line) const;
+    /// Text of the `//` comment on `line` (empty when there is none).
+    /// Block comments and strings never show up here, so annotation
+    /// vocabularies (`ksa: guarded_by(...)`) share the suppression
+    /// tags' inertness guarantees.
+    const std::string& comment(std::size_t line) const;
 
     const std::vector<IncludeDirective>& includes() const {
         return includes_;

@@ -1,0 +1,18 @@
+// PLANTED VIOLATIONS (blocking-in-task): the body below promises
+// `ksa: wait_free` yet takes a mutex (line 13) and heap-allocates
+// (line 14) -- either can stall the chunk and convoy the pool.
+#include <memory>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu;
+
+// ksa: wait_free -- hot-path task body; must never block or allocate.
+inline int hot_task(int value) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto boxed = std::make_unique<int>(value);
+    return *boxed + 1;
+}
+
+}  // namespace fixture

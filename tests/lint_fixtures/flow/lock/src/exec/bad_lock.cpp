@@ -1,0 +1,23 @@
+// PLANTED VIOLATION (lock-discipline): `hits` is annotated
+// guarded_by(mu) and `record` duly takes the lock, but `peek` reads
+// the member with no lock at all.  Flagged on line 19.
+#include <cstddef>
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+    std::mutex mu;
+    std::size_t hits = 0;  // ksa: guarded_by(mu)
+
+    void record() {
+        std::lock_guard<std::mutex> lock(mu);
+        ++hits;
+    }
+
+    std::size_t peek() const {
+        return hits;  // never locks mu: the planted violation
+    }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#pragma once
+// PLANTED VIOLATION (lock-discipline): a src/exec public header
+// declares an entry point with no `ksa:` thread-safety annotation
+// (thread_safe / guarded_by / wait_free).  Every exec entry point must
+// state its concurrency contract.  Flagged on line 11.
+#include <cstddef>
+
+namespace fixture {
+
+/// Documented but unannotated: no thread-safety contract is stated.
+void submit_all(std::size_t count);
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// PLANTED VIOLATIONS (nondet-iteration-reaches-output): both loops
+// below iterate a hash-ordered map and feed the visited values into
+// the digest fold vocabulary -- the first directly, the second through
+// the helper mix() -- so the folded bytes depend on hash-table
+// iteration order, which no standard pins down.  Flagged on lines 23
+// and 31.
+#include <cstddef>
+#include <unordered_map>
+
+namespace fixture {
+
+inline std::size_t fold(std::size_t digest, std::size_t value) {
+    return digest * 1099511628211ULL + value;
+}
+
+inline std::size_t mix(std::size_t digest, std::size_t value) {
+    return fold(digest, value);
+}
+
+inline std::size_t direct_fold() {
+    std::unordered_map<int, std::size_t> weights = {{1, 2}, {3, 4}};
+    std::size_t digest = 0;
+    for (const auto& entry : weights)
+        digest = fold(digest, entry.second);
+    return digest;
+}
+
+inline std::size_t helper_fold() {
+    std::unordered_map<int, std::size_t> weights = {{1, 2}, {3, 4}};
+    std::size_t digest = 0;
+    for (const auto& entry : weights)
+        digest = mix(digest, entry.second);
+    return digest;
+}
+
+}  // namespace fixture

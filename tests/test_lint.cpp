@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "lint/analyzer.hpp"
+#include "lint/decls.hpp"
+#include "lint/flow.hpp"
 #include "lint/include_graph.hpp"
 #include "lint/json.hpp"
 #include "lint/layers.hpp"
@@ -283,6 +285,192 @@ TEST(IncludeGraph, NormalizePath) {
 }
 
 // ---------------------------------------------------------------------
+// DeclModel: the token-level function/lambda scanner under the flow
+// passes.
+
+namespace {
+
+/// The recorded function whose name token sits on `line`, or nullptr.
+const FunctionDecl* fn_at(const DeclModel& m, std::size_t line) {
+    for (const FunctionDecl& f : m.functions())
+        if (f.line == line) return &f;
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(DeclModel, NestedLambdasGetExtentsAndParents) {
+    const SourceFile f = make("src/core/n.cpp",
+                              "void outer() {\n"
+                              "    auto a = [&](int x) {\n"
+                              "        auto b = [=](int y) { return y + 1; };\n"
+                              "        return b(x);\n"
+                              "    };\n"
+                              "}\n");
+    const DeclModel m = DeclModel::build({f});
+    const FunctionDecl* outer = fn_at(m, 1);
+    const FunctionDecl* a = fn_at(m, 2);
+    const FunctionDecl* b = fn_at(m, 3);
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(outer->is_lambda);
+    EXPECT_EQ(outer->name, "outer");
+    EXPECT_TRUE(a->is_lambda);
+    EXPECT_EQ(a->default_capture, '&');
+    ASSERT_EQ(a->params.size(), 1u);
+    EXPECT_EQ(a->params[0], "x");
+    EXPECT_TRUE(b->is_lambda);
+    EXPECT_EQ(b->default_capture, '=');
+    ASSERT_EQ(b->params.size(), 1u);
+    EXPECT_EQ(b->params[0], "y");
+    // Nesting: outer <- a <- b.
+    EXPECT_EQ(&m.functions()[a->parent], outer);
+    EXPECT_EQ(&m.functions()[b->parent], a);
+    // a's OWN body lines exclude b's extent (line 3).
+    const std::size_t a_idx =
+        static_cast<std::size_t>(a - m.functions().data());
+    const std::vector<std::size_t> own = m.own_body_lines(a_idx);
+    EXPECT_EQ(std::count(own.begin(), own.end(), 3u), 0);
+    EXPECT_EQ(std::count(own.begin(), own.end(), 4u), 1);
+}
+
+TEST(DeclModel, ExplicitAndInitCaptures) {
+    const SourceFile f = make(
+        "src/core/c.cpp",
+        "void g() {\n"
+        "    int total = 0;\n"
+        "    auto h = [total, &ref, owned = total](std::size_t i) {\n"
+        "        return total + i;\n"
+        "    };\n"
+        "}\n");
+    const DeclModel m = DeclModel::build({f});
+    const FunctionDecl* h = fn_at(m, 3);
+    ASSERT_NE(h, nullptr);
+    ASSERT_TRUE(h->is_lambda);
+    EXPECT_EQ(h->default_capture, 0);
+    ASSERT_EQ(h->captures.size(), 3u);
+    EXPECT_EQ(h->captures[0].name, "total");
+    EXPECT_FALSE(h->captures[0].by_ref);
+    EXPECT_FALSE(h->captures[0].init);
+    EXPECT_EQ(h->captures[1].name, "ref");
+    EXPECT_TRUE(h->captures[1].by_ref);
+    EXPECT_EQ(h->captures[2].name, "owned");
+    EXPECT_TRUE(h->captures[2].init);  // [owned = total] owns a copy
+}
+
+TEST(DeclModel, TemplatedFunctionsAndDeclarations) {
+    const SourceFile f = make("src/core/t.hpp",
+                              "template <typename T>\n"
+                              "T twice(T value) {\n"
+                              "    return value + value;\n"
+                              "}\n"
+                              "\n"
+                              "int declared_only(int count);\n");
+    const DeclModel m = DeclModel::build({f});
+    const FunctionDecl* twice = fn_at(m, 2);
+    ASSERT_NE(twice, nullptr);
+    EXPECT_FALSE(twice->is_lambda);
+    EXPECT_EQ(twice->name, "twice");
+    ASSERT_EQ(twice->params.size(), 1u);
+    EXPECT_EQ(twice->params[0], "value");
+    EXPECT_EQ(twice->body_begin, 2u);
+    EXPECT_EQ(twice->body_end, 4u);
+    const FunctionDecl* decl = fn_at(m, 6);
+    ASSERT_NE(decl, nullptr);
+    EXPECT_EQ(decl->name, "declared_only");
+    EXPECT_EQ(decl->body_begin, 0u);  // declaration: no body extent
+}
+
+TEST(DeclModel, AnnotationsAttachTrailingAndAbove) {
+    const SourceFile f = make(
+        "src/exec/a.cpp",
+        "// ksa: wait_free -- hot path\n"
+        "int fast_path(int v) { return v; }\n"
+        "\n"
+        "std::mutex mu;\n"
+        "int hits = 0;  // ksa: guarded_by(mu)\n"
+        "\n"
+        "void locked_path();  // ksa: thread_safe\n");
+    const DeclModel m = DeclModel::build({f});
+    const FunctionDecl* fast = fn_at(m, 2);
+    ASSERT_NE(fast, nullptr);
+    EXPECT_TRUE(fast->has_annotation(AnnotationKind::kWaitFree));
+    const FunctionDecl* locked = fn_at(m, 7);
+    ASSERT_NE(locked, nullptr);
+    EXPECT_TRUE(locked->has_annotation(AnnotationKind::kThreadSafe));
+    ASSERT_EQ(m.guarded_members().size(), 1u);
+    EXPECT_EQ(m.guarded_members()[0].member, "hits");
+    EXPECT_EQ(m.guarded_members()[0].mutex, "mu");
+    EXPECT_EQ(m.guarded_members()[0].line, 5u);
+}
+
+TEST(DeclModel, CallGraphReachesTokensByName) {
+    std::vector<SourceFile> files;
+    files.push_back(make("src/core/a.cpp",
+                         "int leaf() { return fold_bytes(1); }\n"
+                         "int mid() { return leaf(); }\n"
+                         "int top() { return mid(); }\n"
+                         "int lonely() { return 7; }\n"));
+    const DeclModel m = DeclModel::build(files);
+    const std::vector<std::string> sinks = {"fold_bytes"};
+    ASSERT_EQ(m.functions_named("top").size(), 1u);
+    EXPECT_TRUE(m.reaches_token(files, m.functions_named("top")[0], sinks));
+    ASSERT_EQ(m.functions_named("lonely").size(), 1u);
+    EXPECT_FALSE(
+        m.reaches_token(files, m.functions_named("lonely")[0], sinks));
+}
+
+// ---------------------------------------------------------------------
+// Flow passes on scratch sources (SourceFile::from_string): the raced
+// twin of a real explorer.cpp call site must be caught; the disciplined
+// idioms must stay silent.
+
+TEST(Flow, RacedScratchCopyOfExplorerCallSiteIsCaught) {
+    // Shape copied from src/core/explorer.cpp's layer expansion, with
+    // one planted line: a by-ref captured counter bumped in the lambda.
+    std::vector<SourceFile> files;
+    files.push_back(make(
+        "src/core/explorer_scratch.cpp",
+        "void step() {\n"
+        "    std::vector<Expansion> expansions ="
+        " exec::parallel_map_deterministic(\n"
+        "            pool, layer.size(),\n"
+        "            [&](std::size_t i) {\n"
+        "                ++result.schedules_expanded;\n"
+        "                return expand_node(layer[i], cfg, make_key);\n"
+        "            },\n"
+        "            cfg.min_parallel_frontier);\n"
+        "}\n"));
+    const DeclModel decls = DeclModel::build(files);
+    const std::vector<Finding> findings = run_flow_passes(files, decls);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "parallel-capture-mutation");
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_EQ(findings[0].column, 19u);  // the `result` token
+}
+
+TEST(Flow, PerIndexSlotAndAtomicAndLockStaySilent) {
+    std::vector<SourceFile> files;
+    files.push_back(make(
+        "src/exec/fine.cpp",
+        "std::atomic<std::size_t> done{0};\n"
+        "void run() {\n"
+        "    std::vector<int> out(n);\n"
+        "    parallel_map_deterministic(pool, n,\n"
+        "        [&out, &fn](std::size_t i) { out[i] = fn(i); });\n"
+        "    parallel_map_deterministic(pool, n,\n"
+        "        [&](std::size_t i) { done.fetch_add(1); });\n"
+        "    parallel_map_deterministic(pool, n, [&](std::size_t i) {\n"
+        "        std::lock_guard<std::mutex> lock(mu);\n"
+        "        shared += i;\n"
+        "    });\n"
+        "}\n"));
+    const DeclModel decls = DeclModel::build(files);
+    EXPECT_TRUE(run_flow_passes(files, decls).empty());
+}
+
+// ---------------------------------------------------------------------
 // Planted-violation fixtures: each produces EXACTLY its expected
 // finding at the expected location.
 
@@ -328,6 +516,62 @@ TEST(Fixtures, WallClock) {
     EXPECT_EQ(r.findings[0].rule, "wall-clock-outside-bench");
     EXPECT_EQ(r.findings[0].file, "src/sim/timer.hpp");
     EXPECT_EQ(r.findings[0].line, 9u);
+}
+
+TEST(Fixtures, FlowParallelCaptureMutation) {
+    const AnalysisResult r = analyze_fixture("flow/capture");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "parallel-capture-mutation");
+    EXPECT_EQ(r.findings[0].file, "src/core/racy.cpp");
+    EXPECT_EQ(r.findings[0].line, 13u);
+    EXPECT_EQ(r.findings[0].column, 9u);  // the `total` token
+}
+
+TEST(Fixtures, FlowNondetIterationReachesOutput) {
+    // Two loops: one reaches the fold vocabulary directly, one through
+    // a helper (the call-graph edge).
+    const AnalysisResult r = analyze_fixture("flow/nondet_iter");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const Finding& f : r.findings) {
+        EXPECT_EQ(f.rule, "nondet-iteration-reaches-output");
+        EXPECT_EQ(f.file, "src/graph/emit.cpp");
+        EXPECT_EQ(f.column, 5u);  // the `for` keyword
+    }
+    EXPECT_EQ(r.findings[0].line, 23u);  // direct fold
+    EXPECT_EQ(r.findings[1].line, 31u);  // via mix()
+}
+
+TEST(Fixtures, FlowLockDisciplineGuardedMember) {
+    const AnalysisResult r = analyze_fixture("flow/lock");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "lock-discipline");
+    EXPECT_EQ(r.findings[0].file, "src/exec/bad_lock.cpp");
+    EXPECT_EQ(r.findings[0].line, 19u);
+    EXPECT_EQ(r.findings[0].column, 16u);  // the `hits` read in peek()
+    EXPECT_NE(r.findings[0].message.find("peek"), std::string::npos);
+}
+
+TEST(Fixtures, FlowLockDisciplineUnannotatedEntryPoint) {
+    const AnalysisResult r = analyze_fixture("flow/lock_entry");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "lock-discipline");
+    EXPECT_EQ(r.findings[0].file, "src/exec/api.hpp");
+    EXPECT_EQ(r.findings[0].line, 11u);
+    EXPECT_EQ(r.findings[0].column, 1u);
+    EXPECT_NE(r.findings[0].message.find("submit_all"), std::string::npos);
+}
+
+TEST(Fixtures, FlowBlockingInTask) {
+    const AnalysisResult r = analyze_fixture("flow/blocking");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const Finding& f : r.findings) {
+        EXPECT_EQ(f.rule, "blocking-in-task");
+        EXPECT_EQ(f.file, "src/exec/task.cpp");
+    }
+    EXPECT_EQ(r.findings[0].line, 13u);    // std::lock_guard
+    EXPECT_EQ(r.findings[0].column, 5u);
+    EXPECT_EQ(r.findings[1].line, 14u);    // std::make_unique
+    EXPECT_EQ(r.findings[1].column, 18u);
 }
 
 TEST(Fixtures, CleanScansSkipTheCorpora) {
@@ -380,6 +624,33 @@ TEST(Sarif, EmitsValid210Document) {
                   .find("id")
                   ->as_string(),
               "unordered-container");
+}
+
+TEST(Sarif, FlowRulesAreDeclaredAndIndexed) {
+    // The four flow rules ride the same writer: they must appear under
+    // tool.driver.rules, and a flow finding's ruleIndex must resolve.
+    std::vector<Finding> findings;
+    findings.push_back({"src/exec/task.cpp", 13, 5, "blocking-in-task",
+                        Severity::kError, "m"});
+    auto doc = json::parse(to_sarif(findings, ""), nullptr);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(validate_sarif(*doc).empty());
+    const json::Value& run = doc->find("runs")->as_array()[0];
+    const json::Value& rules =
+        *run.find("tool")->find("driver")->find("rules");
+    std::set<std::string> ids;
+    for (const json::Value& r : rules.as_array())
+        ids.insert(r.find("id")->as_string());
+    for (const char* name :
+         {"parallel-capture-mutation", "nondet-iteration-reaches-output",
+          "lock-discipline", "blocking-in-task"})
+        EXPECT_TRUE(ids.count(name) != 0) << name;
+    const json::Value& res = run.find("results")->as_array()[0];
+    const double idx = res.find("ruleIndex")->as_number();
+    EXPECT_EQ(rules.as_array()[static_cast<std::size_t>(idx)]
+                  .find("id")
+                  ->as_string(),
+              "blocking-in-task");
 }
 
 TEST(Sarif, EmptyFindingsStillValidates) {
@@ -513,6 +784,46 @@ TEST(Ratchet, CommittedBaselineLoadsAndIsEmpty) {
     EXPECT_TRUE(baseline->empty())
         << "the committed ratchet baseline should stay empty: fix findings "
            "instead of grandfathering them";
+}
+
+// ---------------------------------------------------------------------
+// Baseline hard-error semantics + the --format=json model.
+
+TEST(Analyzer, MissingBaselineIsAHardError) {
+    AnalysisResult r;
+    r.findings.push_back({"src/a.hpp", 1, 1, "raw-random", Severity::kError,
+                          "m"});
+    apply_baseline(r, fs::path(::testing::TempDir()) /
+                          "ksa_no_such_baseline.json");
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_FALSE(r.ratcheted) << "an unreadable baseline must never "
+                                 "degrade into an implicit empty one";
+}
+
+TEST(Analyzer, AnalysisJsonCarriesTheFullModel) {
+    AnalysisResult r;
+    r.files_scanned = 3;
+    r.findings.push_back({"src/exec/a.cpp", 13, 9,
+                          "parallel-capture-mutation", Severity::kError,
+                          "msg"});
+    r.ratcheted = true;
+    r.ratchet_regressions.push_back("src/exec/a.cpp: 1 new");
+    std::string error;
+    const auto parsed = json::parse(analysis_json(r), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->find("version")->as_number(), 1.0);
+    EXPECT_EQ(parsed->find("files_scanned")->as_number(), 3.0);
+    const json::Array& findings = parsed->find("findings")->as_array();
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].find("file")->as_string(), "src/exec/a.cpp");
+    EXPECT_EQ(findings[0].find("line")->as_number(), 13.0);
+    EXPECT_EQ(findings[0].find("column")->as_number(), 9.0);
+    EXPECT_EQ(findings[0].find("rule")->as_string(),
+              "parallel-capture-mutation");
+    EXPECT_EQ(findings[0].find("severity")->as_string(), "error");
+    EXPECT_TRUE(parsed->find("ratcheted")->as_bool());
+    ASSERT_EQ(parsed->find("ratchet_regressions")->as_array().size(), 1u);
+    EXPECT_TRUE(parsed->find("errors")->as_array().empty());
 }
 
 // ---------------------------------------------------------------------

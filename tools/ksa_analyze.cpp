@@ -18,14 +18,22 @@
 //
 // Reporting:
 //   --sarif <file>      SARIF 2.1.0 for CI code-scanning upload;
+//   --format json       findings as the internal JSON model (CI diffs
+//                       and service integration read this, not SARIF);
 //   --baseline <file>   ratchet mode -- grandfathered findings pass,
 //                       NEW findings fail, and FIXED findings fail too
 //                       until the baseline is refreshed (monotone
-//                       burn-down; see src/lint/ratchet.hpp);
-//   --write-baseline    refresh the baseline file in place.
+//                       burn-down; see src/lint/ratchet.hpp).  A
+//                       missing or unreadable baseline is a hard error:
+//                       silently treating it as empty would turn the
+//                       ratchet off exactly when a typo'd path or a
+//                       corrupted file made it matter;
+//   --init-baseline     create the --baseline file from the current
+//                       findings (errors if it already exists);
+//   --write-baseline    refresh the existing baseline file in place.
 //
 // Exit codes: 0 clean (or ratchet satisfied), 1 findings/regressions,
-// 2 usage/IO error.
+// 2 usage/IO error (including a missing/unreadable baseline).
 
 #include <filesystem>
 #include <fstream>
@@ -51,7 +59,10 @@ int usage() {
         << "\n"
         << "  --root <dir>       repo root (default: .)\n"
         << "  --sarif <file>     also write findings as SARIF 2.1.0\n"
+        << "  --format <fmt>     report format: text (default) or json\n"
         << "  --baseline <file>  ratchet against a committed baseline\n"
+        << "                     (missing/unreadable baseline = exit 2)\n"
+        << "  --init-baseline    create the --baseline file and exit\n"
         << "  --write-baseline   refresh the --baseline file and exit\n"
         << "  --list-rules       print the rule table (name: message)\n"
         << "  --json             with --list-rules: machine-readable\n"
@@ -96,8 +107,10 @@ int main(int argc, char** argv) {
     std::optional<fs::path> sarif_path;
     std::optional<fs::path> baseline_path;
     bool write_baseline = false;
+    bool init_baseline = false;
     bool list_rules = false;
     bool list_json = false;
+    std::string format = "text";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -123,6 +136,14 @@ int main(int argc, char** argv) {
             baseline_path = fs::path(v);
         } else if (arg == "--write-baseline") {
             write_baseline = true;
+        } else if (arg == "--init-baseline") {
+            init_baseline = true;
+        } else if (arg == "--format") {
+            const char* v = value("--format");
+            if (v == nullptr) return 2;
+            format = v;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
         } else if (arg == "--list-rules") {
             list_rules = true;
         } else if (arg == "--json") {
@@ -150,24 +171,42 @@ int main(int argc, char** argv) {
         std::cerr << "ksa_analyze: --json requires --list-rules\n";
         return 2;
     }
-    if (write_baseline && !baseline_path.has_value()) {
-        std::cerr << "ksa_analyze: --write-baseline needs --baseline "
-                     "<file>\n";
+    if ((write_baseline || init_baseline) && !baseline_path.has_value()) {
+        std::cerr << "ksa_analyze: "
+                  << (write_baseline ? "--write-baseline"
+                                     : "--init-baseline")
+                  << " needs --baseline <file>\n";
+        return 2;
+    }
+    if (format != "text" && format != "json") {
+        std::cerr << "ksa_analyze: unknown --format " << format
+                  << " (expected text or json)\n";
         return 2;
     }
     if (!scan_roots.empty()) options.roots = scan_roots;
 
-    // Ratchet mode: a missing baseline file is the bootstrap case (run
-    // without grandfathering, i.e. every finding gates), not an IO
-    // error; --write-baseline creates it.
-    if (baseline_path.has_value() && !write_baseline) {
+    // Ratchet mode.  A missing or unreadable baseline is a HARD error:
+    // treating it as empty would silently disable grandfathering on a
+    // typo'd path.  Bootstrapping is the explicit --init-baseline path.
+    if (baseline_path.has_value() && !write_baseline && !init_baseline) {
+        std::error_code ec;
+        if (!fs::is_regular_file(*baseline_path, ec)) {
+            std::cerr << "ksa_analyze: baseline "
+                      << baseline_path->string()
+                      << " not found or unreadable; create it with "
+                         "--init-baseline\n";
+            return 2;
+        }
+        options.baseline = baseline_path;
+    }
+    if (init_baseline) {
         std::error_code ec;
         if (fs::is_regular_file(*baseline_path, ec)) {
-            options.baseline = baseline_path;
-        } else {
-            std::cerr << "ksa_analyze: baseline " << baseline_path->string()
-                      << " not found; treating as empty (bootstrap with "
-                         "--write-baseline)\n";
+            std::cerr << "ksa_analyze: baseline "
+                      << baseline_path->string()
+                      << " already exists; refresh it with "
+                         "--write-baseline\n";
+            return 2;
         }
     }
 
@@ -176,7 +215,7 @@ int main(int argc, char** argv) {
     for (const std::string& error : result.errors)
         std::cerr << "ksa_analyze: " << error << "\n";
 
-    if (write_baseline) {
+    if (write_baseline || init_baseline) {
         std::string error;
         if (!write_file(*baseline_path,
                         ksa::lint::baseline_json(result.findings), error)) {
@@ -198,6 +237,12 @@ int main(int argc, char** argv) {
             std::cerr << "ksa_analyze: " << error << "\n";
             return 2;
         }
+    }
+
+    if (format == "json") {
+        std::cout << ksa::lint::analysis_json(result);
+        if (!result.errors.empty()) return 2;
+        return result.has_violations() ? 1 : 0;
     }
 
     for (const ksa::lint::Finding& f : result.findings) {
