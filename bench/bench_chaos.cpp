@@ -9,15 +9,27 @@
 //       lengthen runs; this table quantifies by how much.
 //   (b) sweep throughput -- trials/second of the full resilience grid,
 //       the number CI budgets against.
-//   (c) shrink effort -- planted violations at increasing mess levels
+//   (c) byzantine sweep -- trials/second and per-cell mean cost of the
+//       Bouzid-Imbs-Raynal grid under corruption + equivocation, plus
+//       the witnessed-violation and inconclusive counts.
+//   (d) shrink effort -- planted violations at increasing mess levels
 //       (duplication rate), with fault events before/after, replay
-//       candidates tried and wall time.
+//       candidates tried, the acceptance ratio and wall time; one row
+//       adds equivocation faults so the Byzantine shrink path is
+//       measured too.
+//
+// Usage: bench_chaos [--out FILE] [--quick]
+//
+// Emits a BENCH_chaos.json report (bench_util schema): every derived
+// count in an entry is byte-stable, only the *_ms timings vary across
+// machines.
 
-#include <chrono>
-#include <iomanip>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "algo/initial_clique.hpp"
+#include "bench_util.hpp"
 #include "chaos/chaos_trace.hpp"
 #include "chaos/fault_injector.hpp"
 #include "chaos/profile.hpp"
@@ -28,40 +40,45 @@
 
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point t0) {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
+using namespace ksa;
+
+struct Options {
+    std::string out = "BENCH_chaos.json";
+    bool quick = false;
+};
+
+Options parse_args(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            opt.out = argv[++i];
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            opt.quick = true;
+        else {
+            std::cerr << "usage: bench_chaos [--out FILE] [--quick]\n";
+            std::exit(2);
+        }
+    }
+    return opt;
 }
 
-}  // namespace
+/// (a) steps and wall time, bare vs guard-chaos, at one n.
+void bench_injector_overhead(bench::BenchReport& report, int n, int seeds) {
+    const auto algorithm = algo::make_flp_kset(n, 1);
+    FailurePlan plan;
+    plan.set_initially_dead(2);
 
-int main() {
-    using namespace ksa;
-
-    std::cout << "B-chaos (a): guard-mode injector overhead, "
-                 "flp_kset(n, f=1), k=1, 20 seeds each\n\n";
-    std::cout << std::setw(4) << "n" << std::setw(12) << "bare steps"
-              << std::setw(13) << "chaos steps" << std::setw(10) << "faults"
-              << std::setw(12) << "bare ms" << std::setw(12) << "chaos ms"
-              << "\n";
-    for (int n = 3; n <= 7; ++n) {
-        const auto algorithm = algo::make_flp_kset(n, 1);
-        FailurePlan plan;
-        plan.set_initially_dead(2);
-
-        long bare_steps = 0, chaos_steps = 0, faults = 0;
-        const auto t0 = std::chrono::steady_clock::now();
-        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    long bare_steps = 0, chaos_steps = 0, faults = 0;
+    const double bare_ms = bench::time_call_ms([&] {
+        for (std::uint64_t seed = 1; seed <= std::uint64_t(seeds); ++seed) {
             RandomScheduler sched(seed);
             Run run = execute_run(*algorithm, n, distinct_inputs(n), plan,
                                   sched);
             bare_steps += static_cast<long>(run.steps.size());
         }
-        const double bare_ms = ms_since(t0);
-
-        const auto t1 = std::chrono::steady_clock::now();
-        for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    });
+    const double chaos_ms = bench::time_call_ms([&] {
+        for (std::uint64_t seed = 1; seed <= std::uint64_t(seeds); ++seed) {
             RandomScheduler sched(seed);
             chaos::FaultInjector injector(sched,
                                           chaos::guarded_profile(seed));
@@ -70,55 +87,164 @@ int main() {
             chaos_steps += static_cast<long>(run.steps.size());
             faults += injector.stats().total_faults();
         }
-        const double chaos_ms = ms_since(t1);
+    });
 
-        std::cout << std::setw(4) << n << std::setw(12) << bare_steps / 20
-                  << std::setw(13) << chaos_steps / 20 << std::setw(10)
-                  << faults / 20 << std::setw(12) << std::fixed
-                  << std::setprecision(2) << bare_ms << std::setw(12)
-                  << chaos_ms << "\n";
+    report.entry("injector_overhead_n" + std::to_string(n))
+        .num("n", n)
+        .num("seeds", seeds)
+        .num("bare_steps", static_cast<std::int64_t>(bare_steps))
+        .num("chaos_steps", static_cast<std::int64_t>(chaos_steps))
+        .num("faults", static_cast<std::int64_t>(faults))
+        .num("bare_ms", bare_ms)
+        .num("chaos_ms", chaos_ms);
+    std::cout << "  injector n=" << n << ": " << bare_steps / seeds
+              << " -> " << chaos_steps / seeds << " steps/run, "
+              << faults / seeds << " faults/run\n";
+}
+
+/// (b) the crash-model resilience grid.
+void bench_crash_sweep(bench::BenchReport& report, const Options& opt) {
+    chaos::SweepConfig config;
+    config.profile = chaos::guarded_profile(1);
+    if (opt.quick) {
+        config.max_n = 5;
+        config.seeds_per_cell = 8;
     }
+    chaos::SweepReport sweep;
+    const double ms =
+        bench::time_call_ms([&] { sweep = chaos::resilience_sweep(config); });
+    report.entry("crash_sweep")
+        .num("max_n", config.max_n)
+        .num("seeds_per_cell", config.seeds_per_cell)
+        .num("trials", sweep.total_trials())
+        .boolean("boundary_clean", sweep.boundary_clean())
+        .boolean("complete", sweep.complete())
+        .num("total_ms", ms)
+        .num("trials_per_s", sweep.total_trials() * 1000.0 / ms);
+    std::cout << "  crash sweep: " << sweep.total_trials() << " trials in "
+              << ms << " ms\n";
+}
 
-    std::cout << "\nB-chaos (b): resilience sweep throughput "
-                 "(n in [2,7], 20 seeds/cell)\n\n";
-    {
-        chaos::SweepConfig config;
-        config.profile = chaos::guarded_profile(1);
-        const auto t0 = std::chrono::steady_clock::now();
-        const chaos::SweepReport report = chaos::resilience_sweep(config);
-        const double ms = ms_since(t0);
-        std::cout << "  " << report.total_trials() << " trials in "
-                  << std::fixed << std::setprecision(1) << ms << " ms ("
-                  << std::setprecision(0)
-                  << report.total_trials() * 1000.0 / ms
-                  << " trials/s), solvable side "
-                  << (report.boundary_clean() ? "clean" : "NOT CLEAN")
-                  << "\n";
+/// (c) the Byzantine grid: throughput plus the stable outcome tallies.
+void bench_byzantine_sweep(bench::BenchReport& report, const Options& opt) {
+    chaos::SweepConfig config;
+    config.model = chaos::SweepConfig::FaultModel::kByzantine;
+    config.max_n = opt.quick ? 4 : 5;
+    config.seeds_per_cell = opt.quick ? 6 : 12;
+    config.profile = chaos::byzantine_profile(config.base_seed, -1);
+    config.limits.max_steps = 6000;
+    chaos::SweepReport sweep;
+    const double ms =
+        bench::time_call_ms([&] { sweep = chaos::resilience_sweep(config); });
+
+    int violations = 0, inconclusive = 0, retries = 0;
+    for (const chaos::CellResult& c : sweep.cells) {
+        violations += c.agreement_violations + c.validity_violations;
+        inconclusive += c.inconclusive;
+        retries += c.retries;
     }
+    const double cells = static_cast<double>(sweep.cells.size());
+    report.entry("byzantine_sweep")
+        .num("max_n", config.max_n)
+        .num("seeds_per_cell", config.seeds_per_cell)
+        .num("cells", static_cast<std::int64_t>(sweep.cells.size()))
+        .num("trials", sweep.total_trials())
+        .num("violations_witnessed", violations)
+        .num("inconclusive", inconclusive)
+        .num("retries", retries)
+        .boolean("complete", sweep.complete())
+        .num("total_ms", ms)
+        .num("mean_cell_ms", cells > 0 ? ms / cells : 0.0)
+        .num("trials_per_s", sweep.total_trials() * 1000.0 / ms);
+    std::cout << "  byzantine sweep: " << sweep.total_trials()
+              << " trials, " << violations << " violations, " << inconclusive
+              << " inconclusive in " << ms << " ms\n";
+}
 
-    std::cout << "\nB-chaos (c): shrink effort on planted violations "
-                 "(n=4, f=2, k=1, partition + guard chaos)\n\n";
-    std::cout << std::setw(10) << "dup rate" << std::setw(10) << "faults"
-              << std::setw(10) << "shrunk" << std::setw(12) << "candidates"
-              << std::setw(10) << "ms" << "\n";
-    for (int dup : {200, 400, 700}) {
-        const auto algorithm = algo::make_flp_kset(4, 2);
+/// (d) one shrink row: a planted (n=4, f=2, k=1) partition violation at
+/// the given duplication rate, optionally with equivocation on top so
+/// the Byzantine sanitization path is exercised.
+void bench_shrink(bench::BenchReport& report, int dup, bool byzantine) {
+    const auto algorithm = algo::make_flp_kset(4, 2);
+    const chaos::RunPredicate violates = chaos::violates_k_agreement(1);
+
+    // The partition forces the violation in the bare run; added chaos
+    // can perturb it away for a particular seed -- and equivocation can
+    // break a receiver's closure so the drain spins to the step limit.
+    // Scan seeds for a run that terminates within a tight step budget
+    // AND still reproduces (deterministic: first hit wins).
+    ExecutionLimits limits;
+    limits.max_steps = 3000;
+    Run run;
+    bool found = false;
+    for (std::uint64_t seed = 11; seed <= 60 && !found; ++seed) {
         PartitionScheduler partition({{1, 2}, {3, 4}});
-        chaos::ChaosProfile profile = chaos::guarded_profile(11);
+        chaos::ChaosProfile profile = chaos::guarded_profile(seed);
         profile.duplicate_per_mille = dup;
         profile.max_duplicates = 32;
+        if (byzantine) {
+            profile.equivocate_per_mille = 80;
+            profile.max_equivocations = 3;
+            profile.max_byzantine = 2;
+        }
         chaos::FaultInjector injector(partition, profile);
-        Run run = execute_run(*algorithm, 4, distinct_inputs(4),
-                              FailurePlan{}, injector);
-        const auto t0 = std::chrono::steady_clock::now();
-        const chaos::ShrinkResult shrunk = chaos::shrink_chaos_trace(
-            *algorithm, chaos::extract_chaos_trace(run),
-            chaos::violates_k_agreement(1));
-        std::cout << std::setw(10) << dup << std::setw(10)
-                  << shrunk.original_faults << std::setw(10)
-                  << shrunk.shrunk_faults << std::setw(12)
-                  << shrunk.candidates_tried << std::setw(10) << std::fixed
-                  << std::setprecision(2) << ms_since(t0) << "\n";
+        run = execute_run(*algorithm, 4, distinct_inputs(4), FailurePlan{},
+                          injector, nullptr, limits);
+        found = run.stop != StopReason::kStepLimit && violates(run);
     }
+    if (!found) {
+        std::cout << "  shrink dup=" << dup << (byzantine ? " +byz" : "")
+                  << ": no violating seed in range, skipped\n";
+        return;
+    }
+
+    chaos::ShrinkResult shrunk;
+    const double ms = bench::time_call_ms([&] {
+        shrunk = chaos::shrink_chaos_trace(
+            *algorithm, chaos::extract_chaos_trace(run), violates);
+    });
+    const double acceptance =
+        shrunk.original_faults > 0
+            ? static_cast<double>(shrunk.shrunk_faults) /
+                  static_cast<double>(shrunk.original_faults)
+            : 0.0;
+    report.entry(std::string(byzantine ? "shrink_byz_dup" : "shrink_dup") +
+                 std::to_string(dup))
+        .num("dup_per_mille", dup)
+        .boolean("byzantine", byzantine)
+        .num("original_faults", shrunk.original_faults)
+        .num("shrunk_faults", shrunk.shrunk_faults)
+        .num("candidates_tried", shrunk.candidates_tried)
+        .num("acceptance", acceptance)
+        .num("shrink_ms", ms);
+    std::cout << "  shrink dup=" << dup << (byzantine ? " +byz" : "")
+              << ": " << shrunk.original_faults << " -> "
+              << shrunk.shrunk_faults << " faults, "
+              << shrunk.candidates_tried << " candidates\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    bench::BenchReport report("chaos");
+
+    std::cout << "B-chaos (a): guard-mode injector overhead\n";
+    const int max_n = opt.quick ? 5 : 7;
+    const int seeds = opt.quick ? 8 : 20;
+    for (int n = 3; n <= max_n; ++n)
+        bench_injector_overhead(report, n, seeds);
+
+    std::cout << "B-chaos (b): crash resilience sweep\n";
+    bench_crash_sweep(report, opt);
+
+    std::cout << "B-chaos (c): byzantine resilience sweep\n";
+    bench_byzantine_sweep(report, opt);
+
+    std::cout << "B-chaos (d): shrink effort\n";
+    for (int dup : {200, 400, 700}) bench_shrink(report, dup, false);
+    bench_shrink(report, 400, true);
+
+    report.write(opt.out);
     return 0;
 }

@@ -141,11 +141,21 @@ private:
             if (m.payload.tag == "S1") {
                 // Only the first L-1 senders become in-neighbours; later
                 // stage-1 messages are ignored (the graph edge exists only
-                // if the receiver *counted* the message).
+                // if the receiver *counted* the message).  A claim naming
+                // the receiver itself is discarded: no correct process
+                // sends itself a stage-1 message, so such a payload can
+                // only be forged (it would be a self-loop in the
+                // heard-from graph).
+                const int v = m.payload.ints.at(0);
+                if (v == id()) continue;
                 if (static_cast<int>(heard_.size()) < l_ - 1)
-                    insert_sorted_unique(heard_, m.payload.ints.at(0));
+                    insert_sorted_unique(heard_, v);
             } else if (m.payload.tag == "S2") {
+                // Likewise, a stage-2 report *about ourselves* is
+                // discarded -- we know our own input and in-neighbours,
+                // and only a forgery would claim to report them.
                 const int q = m.payload.ints.at(0);
+                if (q == id()) continue;
                 const Value x = m.payload.ints.at(1);
                 const std::vector<int>& list = m.payload.lists.at(0);
                 known_[q] = {x, list};

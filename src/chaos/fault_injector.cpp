@@ -11,7 +11,8 @@ std::string ChaosStats::to_string() const {
     std::ostringstream out;
     out << "drops=" << drops << " duplicates=" << duplicates
         << " delays=" << delays << " bursts=" << bursts
-        << " crashes=" << crashes;
+        << " crashes=" << crashes << " corruptions=" << corruptions
+        << " equivocations=" << equivocations;
     return out.str();
 }
 
@@ -97,6 +98,52 @@ void FaultInjector::perturb(StepChoice& choice, const SystemView& view) {
             continue;
         }
 
+        // -- Byzantine corruption / equivocation ----------------------
+        // Only originals are forged (nesting derived-id schemes is
+        // banned by the System), and only senders within the victim-cap
+        // budgets.  The sender is looked up in the live buffer of p.
+        if (!is_injected_message_id(id) &&
+            (stats_.corruptions < profile_.max_corruptions ||
+             stats_.equivocations < profile_.max_equivocations)) {
+            ProcessId sender = 0;
+            for (const Message& m : view.buffer(p))
+                if (m.id == id) {
+                    sender = m.from;
+                    break;
+                }
+            if (sender != 0 && may_victimize(sender, view.n())) {
+                if (stats_.corruptions < profile_.max_corruptions &&
+                    chance(profile_.corrupt_per_mille)) {
+                    FaultAction a;
+                    a.kind = FaultAction::Kind::kCorruptMessage;
+                    a.message = id;
+                    a.corrupt_seed = rng_();
+                    choice.faults.push_back(a);
+                    ++byz_victims_[sender];
+                    ++stats_.corruptions;
+                    // The forgery replaces the original in place;
+                    // deliver it under its forged id right away.
+                    choice.deliver.push_back(corrupted_message_id(id));
+                    continue;
+                }
+                if (stats_.equivocations < profile_.max_equivocations &&
+                    chance(profile_.equivocate_per_mille)) {
+                    FaultAction a;
+                    a.kind = FaultAction::Kind::kEquivocate;
+                    a.message = id;
+                    a.corrupt_seed = rng_();
+                    choice.faults.push_back(a);
+                    ++byz_victims_[sender];
+                    ++stats_.equivocations;
+                    // p receives its own divergent variant; the other
+                    // receivers' variants sit in their buffers and are
+                    // delivered by later steps (or the drain).
+                    choice.deliver.push_back(equivocated_message_id(id, p));
+                    continue;
+                }
+            }
+        }
+
         // -- drop ------------------------------------------------------
         if (stats_.drops < profile_.max_drops &&
             chance(profile_.drop_per_mille)) {
@@ -144,6 +191,15 @@ void FaultInjector::perturb(StepChoice& choice, const SystemView& view) {
     }
 
     maybe_inject_crash(choice, view);
+}
+
+bool FaultInjector::may_victimize(ProcessId sender, int n) const {
+    const auto it = byz_victims_.find(sender);
+    if (it != byz_victims_.end())
+        return it->second < profile_.max_faults_per_victim;
+    const int cap =
+        profile_.max_byzantine < 0 ? n - 1 : profile_.max_byzantine;
+    return static_cast<int>(byz_victims_.size()) < cap;
 }
 
 void FaultInjector::maybe_inject_crash(StepChoice& choice,

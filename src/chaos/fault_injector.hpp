@@ -18,7 +18,18 @@
 //   * crash     -- a staggered mid-run crash of a so-far-correct
 //                  process, with per-destination send omissions on its
 //                  final step (FaultAction::kCrashProcess extends the
-//                  effective FailurePlan).
+//                  effective FailurePlan);
+//   * corrupt   -- a buffered message is rewritten in place through the
+//                  seeded Byzantine mutator (FaultAction::kCorruptMessage)
+//                  and delivered as its forged self;
+//   * equivocate - a buffered broadcast is forked into per-receiver
+//                  divergent variants (FaultAction::kEquivocate): the
+//                  sender becomes a Byzantine equivocator.
+//
+// Byzantine injection is budgeted per victim *sender*: the profile caps
+// the number of distinct Byzantine senders (max_byzantine, the f of the
+// Bouzid-Imbs-Raynal grid; -1 = n-1 so at least one process stays
+// honest) and the fault events charged to each (max_faults_per_victim).
 //
 // All decisions derive from the profile's seed; iteration is over
 // buffer order and process-id order only.  The injected fault events
@@ -49,13 +60,17 @@ namespace ksa::chaos {
 /// What the injector actually did; reported next to sweep results and
 /// used by tests to confirm the dice were live.
 struct ChaosStats {
-    int drops = 0;       ///< kDropMessage faults issued
-    int duplicates = 0;  ///< kDuplicateMessage faults issued
-    int delays = 0;      ///< messages withheld (incl. guard-converted drops)
-    int bursts = 0;      ///< delay bursts started
-    int crashes = 0;     ///< kCrashProcess faults issued
+    int drops = 0;          ///< kDropMessage faults issued
+    int duplicates = 0;     ///< kDuplicateMessage faults issued
+    int delays = 0;         ///< messages withheld (incl. guard-converted drops)
+    int bursts = 0;         ///< delay bursts started
+    int crashes = 0;        ///< kCrashProcess faults issued
+    int corruptions = 0;    ///< kCorruptMessage faults issued
+    int equivocations = 0;  ///< kEquivocate faults issued
 
-    int total_faults() const { return drops + duplicates + crashes; }
+    int total_faults() const {
+        return drops + duplicates + crashes + corruptions + equivocations;
+    }
     std::string to_string() const;
 };
 
@@ -85,6 +100,9 @@ private:
     void perturb(StepChoice& choice, const SystemView& view);
     /// Possibly appends a staggered-crash fault to `choice`.
     void maybe_inject_crash(StepChoice& choice, const SystemView& view);
+    /// True iff `sender` may be charged another Byzantine fault event
+    /// under the victim-cap and per-victim budgets.
+    bool may_victimize(ProcessId sender, int n) const;
 
     Scheduler* inner_;
     ChaosProfile profile_;
@@ -93,6 +111,7 @@ private:
     std::set<MessageId> dropped_;        ///< ids removed permanently
     std::map<MessageId, Time> held_;     ///< id -> earliest delivery time
     std::map<MessageId, int> dup_done_;  ///< clones issued per source id
+    std::map<ProcessId, int> byz_victims_;  ///< Byzantine events per victim
     int burst_left_ = 0;                 ///< steps left in the active burst
     bool draining_ = false;              ///< base scheduler has stopped
     ChaosStats stats_;

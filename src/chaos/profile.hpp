@@ -49,6 +49,8 @@ struct ChaosProfile {
     int drop_per_mille = 40;       ///< permanent loss (guard: see above)
     int duplicate_per_mille = 40;  ///< clone into the destination buffer
     int delay_per_mille = 120;     ///< withhold for a bounded time
+    int corrupt_per_mille = 0;     ///< Byzantine in-place payload rewrite
+    int equivocate_per_mille = 0;  ///< Byzantine per-receiver divergence
 
     // -- per-step dice ------------------------------------------------
     int burst_per_mille = 10;  ///< start a delay burst (nothing delivered)
@@ -68,6 +70,18 @@ struct ChaosProfile {
     /// process stays correct, as every model in the paper requires).
     int max_total_faulty = -1;
 
+    // -- Byzantine budgets (keep the realized victim pattern bounded) --
+    int max_corruptions = 0;    ///< total kCorruptMessage budget
+    int max_equivocations = 0;  ///< total kEquivocate budget
+    /// Cap on the number of *distinct* Byzantine victim senders -- the f
+    /// of the Bouzid-Imbs-Raynal grid.  -1 means n-1 (at least one
+    /// process stays honest); 0 disables Byzantine injection entirely.
+    int max_byzantine = 0;
+    /// Per-victim cap on Byzantine fault events: once a sender is chosen
+    /// as a victim, at most this many corruptions + equivocations are
+    /// charged to it.
+    int max_faults_per_victim = 4;
+
     /// Throws UsageError when a knob is out of range (negative rate, a
     /// per-mille above 1000, a non-positive bound with a positive rate).
     void validate() const;
@@ -84,6 +98,15 @@ ChaosProfile guarded_profile(std::uint64_t seed);
 /// An unconstrained profile (kHavoc) with aggressive drop rates, used to
 /// verify the admissibility checker flags the damage.
 ChaosProfile havoc_profile(std::uint64_t seed);
+
+/// A guard-mode profile with Byzantine corruption/equivocation enabled
+/// on top of moderate duplication and delays, capped at `max_victims`
+/// distinct Byzantine senders (-1 = n-1, 0 = none).  Drops are disabled:
+/// the Byzantine adversary lies on live channels rather than cutting
+/// them, which keeps its runs admissible and squarely about the value
+/// faults.
+// ksa: thread_safe -- pure value construction, no shared state.
+ChaosProfile byzantine_profile(std::uint64_t seed, int max_victims);
 
 std::string to_string(ChaosProfile::Mode mode);
 

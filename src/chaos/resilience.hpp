@@ -15,7 +15,11 @@
 //   kValidityViolated  -- a decision nobody proposed;
 //   kTimedOut          -- hit the step limit (termination suspect);
 //   kInadmissible      -- the run violates MASYNC admissibility (only
-//                         expected from havoc-mode profiles).
+//                         expected from havoc-mode profiles);
+//   kInconclusive      -- a per-trial state/time budget was exhausted
+//                         before the trial could be classified (the
+//                         graceful-degradation outcome: a pathological
+//                         profile degrades here instead of hanging).
 //
 // On the solvable side of the boundary every cell must be 100%
 // kDecidedCorrectly -- guard-mode chaos is exactly the adversary the
@@ -23,6 +27,18 @@
 // reports whatever the trials observe; the *reliable* violations there
 // come from the partition adversary (core/theorem8.cpp), and the chaos
 // layer's role is producing messy violating runs for the shrinker.
+//
+// The Byzantine mode (SweepConfig::FaultModel::kByzantine) replaces the
+// initial-death adversary with up to f Byzantine victim *senders* whose
+// channels corrupt and equivocate (sim/byzantine.hpp), and labels each
+// (n, k, f) cell with the Bouzid-Imbs-Raynal *necessary* condition
+// k*n > (2k+1)*f (core/bounds.hpp).  The condition is necessary only,
+// and the initial-clique algorithm makes no Byzantine tolerance claim,
+// so the Byzantine report never asserts solvability; it records where
+// violations were actually witnessed.  Trials that exhaust their step
+// budget under Byzantine perturbation are kInconclusive, not kTimedOut:
+// a lied-to receiver may merely be waiting for a closure that a larger
+// budget would reach, so "did not finish in budget" is the honest label.
 
 #include <cstdint>
 #include <string>
@@ -42,11 +58,20 @@ enum class Outcome {
     kValidityViolated,
     kTimedOut,
     kInadmissible,
+    kInconclusive,
 };
 
 std::string to_string(Outcome outcome);
 
 /// Classifies a recorded run against k-set agreement + admissibility.
+/// Byzantine-aware: processes the run's FailurePlan marks Byzantine
+/// (senders whose channels were corrupted or equivocated) are excluded
+/// from the agreement, validity and termination obligations -- the
+/// classical definitions only bind correct processes, and a Byzantine
+/// process's "decision" is as untrustworthy as its messages.  When the
+/// plan has no Byzantine processes this is exactly the crash-model
+/// classification.
+// ksa: thread_safe -- pure function of its arguments.
 Outcome classify_run(const Run& run, int k);
 
 /// One chaos trial of the Theorem 8 algorithm (L = n - f) on n
@@ -60,37 +85,77 @@ struct TrialResult {
     ChaosStats stats;
 };
 
+/// `wall_budget_ms` is the per-trial wall-clock budget (0 disables it;
+/// the default keeps trials byte-identical across machines).  A trial
+/// that exhausts the budget stops scheduling and classifies as
+/// kInconclusive instead of stalling the sweep.
+// ksa: thread_safe -- all state is local to the call.
 TrialResult chaos_trial(int n, int k, int f, const ChaosProfile& profile,
-                        std::uint64_t trial_seed, ExecutionLimits limits = {});
+                        std::uint64_t trial_seed, ExecutionLimits limits = {},
+                        std::int64_t wall_budget_ms = 0);
+
+/// One Byzantine trial: no initial deaths; instead the injector may turn
+/// up to f senders Byzantine (profile rates, victim cap forced to f) and
+/// forge their in-flight messages via corruption and equivocation.  The
+/// algorithm under test stays the Theorem 8 initial-clique algorithm
+/// with L = n - f -- it makes no Byzantine tolerance claim, which is the
+/// point: the sweep records where value faults actually break it.
+/// Step-limit exhaustion classifies as kInconclusive (see file comment),
+/// as does wall-budget exhaustion.
+// ksa: thread_safe -- all state is local to the call.
+TrialResult byzantine_trial(int n, int k, int f, const ChaosProfile& profile,
+                            std::uint64_t trial_seed,
+                            ExecutionLimits limits = {},
+                            std::int64_t wall_budget_ms = 0);
 
 /// Aggregated outcomes of one (n, k, f) cell.
 struct CellResult {
     int n = 0, k = 0, f = 0;
-    bool solvable = false;  ///< theorem8_solvable(n, f, k)
+    /// Crash model: theorem8_solvable(n, f, k).  Byzantine model: the
+    /// Bouzid-Imbs-Raynal necessary condition byzantine_kset_necessary.
+    bool solvable = false;
     int trials = 0;
     int decided = 0;
     int agreement_violations = 0;
     int validity_violations = 0;
     int timeouts = 0;
     int inadmissible = 0;
+    int inconclusive = 0;  ///< budget-exhausted trials (after retries)
+    int retries = 0;       ///< tighter-profile retries of inconclusive trials
     int faults_injected = 0;  ///< sum of injector fault events
 
     /// A solvable cell is clean iff every trial decided correctly.
     bool clean() const {
         return agreement_violations == 0 && validity_violations == 0 &&
-               timeouts == 0 && inadmissible == 0;
+               timeouts == 0 && inadmissible == 0 && inconclusive == 0;
     }
 };
 
 /// Sweep configuration; defaults match the CI smoke bounds.
 struct SweepConfig {
+    /// Which fault adversary the grid runs against (see file comment).
+    enum class FaultModel {
+        kCrash,      ///< up to f seeded initial deaths (Theorem 8 grid)
+        kByzantine,  ///< up to f corrupting/equivocating senders (BIR grid)
+    };
+
     int min_n = 2;
     int max_n = 7;
     int seeds_per_cell = 20;
     std::uint64_t base_seed = 1;
+    FaultModel model = FaultModel::kCrash;
     /// Template profile; its seed is re-derived per trial.
     ChaosProfile profile;
     ExecutionLimits limits;
+    /// Per-trial wall-clock budget in milliseconds; 0 disables the
+    /// budget entirely (the default, keeping reports byte-identical
+    /// across machines).  With a budget, a pathological profile degrades
+    /// each stuck trial to kInconclusive instead of stalling the sweep.
+    std::int64_t trial_wall_budget_ms = 0;
+    /// Retry each inconclusive trial once with a tighter (halved-rate)
+    /// profile and a salted seed before recording it; the retry is local
+    /// to the trial so cell parallelism stays deterministic.
+    bool retry_inconclusive = true;
     /// Worker threads for cell-parallel execution (1 = sequential).
     /// Every trial's seed is derived from its (n, k, f, trial)
     /// coordinates, never from shared state, so the report --
@@ -107,8 +172,14 @@ struct SweepReport {
 
     int total_trials() const;
     /// True iff every solvable-side cell is clean (the Theorem 8
-    /// possibility statement, empirically).
+    /// possibility statement, empirically).  Crash-model semantics; a
+    /// Byzantine sweep gates on complete() instead.
     bool boundary_clean() const;
+    /// True iff every trial of every cell was classified -- i.e. the
+    /// outcome counts add up to `trials` and nothing hung or aborted.
+    /// This is the Byzantine sweep's gate: graceful degradation may
+    /// yield kInconclusive cells, but never unaccounted trials.
+    bool complete() const;
 
     /// Machine-readable rendering (stable key order, no dependencies).
     std::string to_json() const;

@@ -38,20 +38,41 @@ ChaosTrace truncated(const ChaosTrace& trace, std::size_t len) {
     return out;
 }
 
-/// After fault events were removed, deliveries of duplicate clones that
-/// no longer exist must go too.  The clone-id scheme of sim/message.hpp
-/// makes this local: clone d of source s has id base + s*16 + d, and the
-/// System hands out indices 1..count in order, so a delivery of clone d
-/// is satisfiable iff the candidate still duplicates s at least d times.
+/// After fault events were removed, deliveries of injected ids whose
+/// minting fault no longer exists must go too.  The id schemes of
+/// sim/message.hpp make this local: clone d of source s has id
+/// base + s*16 + d (System hands out indices 1..count in order, so a
+/// delivery of clone d is satisfiable iff the candidate still
+/// duplicates s at least d times); a corrupted forgery is base + s and
+/// needs its kCorruptMessage on s; an equivocation variant is
+/// base + anchor*64 + receiver and needs its kEquivocate on the anchor.
 void sanitize_clone_deliveries(ChaosTrace& trace) {
     std::map<MessageId, int> dups_per_source;
+    std::set<MessageId> corrupted, equivocated;
     for (const StepChoice& c : trace.choices)
-        for (const FaultAction& a : c.faults)
+        for (const FaultAction& a : c.faults) {
             if (a.kind == FaultAction::Kind::kDuplicateMessage)
                 ++dups_per_source[a.message];
+            else if (a.kind == FaultAction::Kind::kCorruptMessage)
+                corrupted.insert(a.message);
+            else if (a.kind == FaultAction::Kind::kEquivocate)
+                equivocated.insert(a.message);
+        }
     for (StepChoice& c : trace.choices) {
         std::erase_if(c.deliver, [&](MessageId id) {
             if (!is_injected_message_id(id)) return false;
+            // Every injected-id scheme is locally invertible, so a
+            // forged delivery can be traced back to the fault that
+            // would mint it.  Check the highest base first.
+            if (is_equivocation_id(id)) {
+                const MessageId anchor =
+                    (id - kEquivocationIdBase) / kEquivocationFanout;
+                return equivocated.count(anchor) == 0;
+            }
+            if (is_corruption_id(id)) {
+                const MessageId src = id - kCorruptionIdBase;
+                return corrupted.count(src) == 0;
+            }
             const MessageId rel = id - kInjectedMessageIdBase;
             const MessageId src = rel / kMaxDuplicatesPerMessage;
             const int d = static_cast<int>(rel % kMaxDuplicatesPerMessage);

@@ -41,6 +41,20 @@ int max_source_components(int n, int delta) {
 
 int flooding_bound(int f) { return f + 1; }
 
+bool byzantine_kset_necessary(int n, int f, int k) {
+    require(n >= 1 && k >= 1 && f >= 0 && f < n,
+            "byzantine_kset_necessary: need n >= 1, k >= 1, 0 <= f < n");
+    return static_cast<long long>(k) * n >
+           static_cast<long long>(2 * k + 1) * f;
+}
+
+int byzantine_max_f(int n, int k) {
+    int best = 0;
+    for (int f = 0; f < n; ++f)
+        if (byzantine_kset_necessary(n, f, k)) best = f;
+    return best;
+}
+
 bool corollary13_solvable(int n, int k) {
     require(k >= 1 && k <= n - 1, "corollary13_solvable: need 1 <= k <= n-1");
     return k == 1 || k == n - 1;

@@ -45,6 +45,20 @@ int max_source_components(int n, int delta);
 /// (f+1)-set agreement under up to f crashes.
 int flooding_bound(int f);
 
+/// The Bouzid-Imbs-Raynal *necessary* condition for Byzantine k-set
+/// agreement in asynchronous message-passing systems with up to f
+/// Byzantine processes: solvability requires k*n > (2k+1)*f (for k = 1
+/// this is the classic n > 3f).  Necessary only -- a cell satisfying it
+/// is merely a candidate; the chaos layer's Byzantine sweeps use the
+/// predicate to label the (n, k, f) grid and corroborate the impossible
+/// side empirically.
+bool byzantine_kset_necessary(int n, int f, int k);
+
+/// The largest f for which the Bouzid-Imbs-Raynal necessary condition
+/// still holds for (n, k) -- the Byzantine victim budget a sweep cell on
+/// the candidate side may spend.
+int byzantine_max_f(int n, int k);
+
 /// Corollary 13: (Sigma_k, Omega_k) solves k-set agreement iff k = 1 or
 /// k = n-1 (for 1 <= k <= n-1).
 bool corollary13_solvable(int n, int k);

@@ -1,0 +1,13 @@
+#include "exec/clock.hpp"
+
+#include <chrono>
+
+namespace ksa::exec {
+
+std::int64_t steady_now_ms() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace ksa::exec

@@ -12,6 +12,15 @@ AdmissibilityReport check_admissibility(const Run& run) {
         const bool faulty = run.plan.is_faulty(p);
         const int steps = run.steps_of(p);
 
+        // A Byzantine sender (ByzantineSpec in the effective plan) is
+        // outside the crash-model obligations entirely: Byzantine k-set
+        // agreement binds correct processes only, so neither a decision
+        // nor drained channels are required of it.  Messages *to* a
+        // correct receiver that a Byzantine channel forged still count --
+        // Run::undelivered_to transfers the delivery obligation from the
+        // tampered original to the forgery.
+        if (!faulty && run.plan.is_byzantine(p)) continue;
+
         if (faulty) {
             const int allowed = run.plan.allowed_steps(p);
             if (steps > allowed) {

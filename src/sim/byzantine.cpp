@@ -1,0 +1,67 @@
+#include "sim/byzantine.hpp"
+
+#include "check/contract.hpp"
+
+namespace ksa {
+
+namespace {
+
+/// splitmix64, the seed mixer used across the chaos layer.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// A plausible lie for scalar `old` at field position `pos`: a value in
+/// [1, n], different from `old` whenever n >= 2 allows it.
+int lie(int old, std::uint64_t seed, std::uint64_t pos, int n) {
+    const std::uint64_t h =
+        mix(seed ^ mix(pos * 0x5851f42d4c957f2dull) ^
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(old)));
+    int v = 1 + static_cast<int>(h % static_cast<std::uint64_t>(n));
+    if (v == old && n >= 2) v = 1 + v % n;
+    return v;
+}
+
+}  // namespace
+
+Payload corrupt_payload(const Payload& original, std::uint64_t seed, int n) {
+    require(n >= 1, "corrupt_payload: n must be >= 1");
+    Payload out = original;
+    std::uint64_t pos = 0;
+    // Every scalar is rewritten with probability 1/2, but at least the
+    // dice-selected pivot always changes: a "corruption" that leaves the
+    // payload intact would be a silent no-op fault event.
+    if (!out.ints.empty()) {
+        const std::size_t pivot = static_cast<std::size_t>(
+            mix(seed ^ 0xa0761d6478bd642full) % out.ints.size());
+        for (std::size_t i = 0; i < out.ints.size(); ++i) {
+            ++pos;
+            const bool hit = i == pivot || (mix(seed ^ (pos << 32)) & 1) != 0;
+            if (hit) out.ints[i] = lie(out.ints[i], seed, pos, n);
+        }
+    }
+    // List entries (heard-from sets and the like) are rewritten more
+    // sparingly -- probability 1/4 -- so corrupted protocol rounds stay
+    // mostly well-formed instead of devolving into pure noise.
+    for (auto& list : out.lists) {
+        for (int& v : list) {
+            ++pos;
+            if ((mix(seed ^ (pos << 32)) & 3) == 0) v = lie(v, seed, pos, n);
+        }
+    }
+    return out;
+}
+
+Payload equivocate_payload(const Payload& original, std::uint64_t seed,
+                           ProcessId receiver, int n) {
+    require(receiver >= 1, "equivocate_payload: invalid receiver");
+    return corrupt_payload(
+        original,
+        mix(seed ^ (static_cast<std::uint64_t>(receiver) * 0xe7037ed1a0b428dbull)),
+        n);
+}
+
+}  // namespace ksa

@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic Byzantine payload mutators.
+//
+// The Byzantine fault kinds of sim/scheduler.hpp (kCorruptMessage,
+// kEquivocate) rewrite in-flight payloads through these functions.  Two
+// properties matter:
+//
+//   * determinism -- the mutation is a pure function of (payload, seed,
+//     receiver, n).  The seed rides inside the FaultAction and is
+//     serialized with the run, so a Byzantine run replays
+//     byte-identically through the DeterminismAuditor;
+//   * plausibility -- mutated scalars stay in [1, n], the range of
+//     process ids and (all-distinct) proposal values used throughout the
+//     library.  A Byzantine sender that emits well-formed-but-lying
+//     messages provokes real agreement/validity confusion in receivers;
+//     garbage values would mostly just stall the protocol.
+//
+// The mixing function is splitmix64 (the same one chaos/resilience.cpp
+// uses for trial seeds); no <random> engine state is involved, so the
+// mutators are freestanding value-level functions.
+
+#include <cstdint>
+
+#include "sim/payload.hpp"
+#include "sim/types.hpp"
+
+namespace ksa {
+
+/// The corrupted variant of `original` under `seed`: the tag is kept,
+/// each scalar/list entry is independently rewritten (with at least one
+/// scalar guaranteed to change when n >= 2 and any scalars exist) to a
+/// value in [1, n].
+Payload corrupt_payload(const Payload& original, std::uint64_t seed, int n);
+
+/// The receiver-specific equivocation variant of `original`: a
+/// corruption whose seed is mixed with `receiver`, so distinct receivers
+/// of the same broadcast see divergent payloads.
+Payload equivocate_payload(const Payload& original, std::uint64_t seed,
+                           ProcessId receiver, int n);
+
+}  // namespace ksa

@@ -73,6 +73,27 @@ struct CrashSpec {
     }
 };
 
+/// Byzantine specification for one process: how many corruption and
+/// equivocation fault events its channels realized.  Unlike CrashSpec
+/// this is pure bookkeeping of *realized* misbehavior -- Byzantine specs
+/// are only ever injected by fault events (System::apply_fault), never
+/// planned statically, so Run::static_plan() strips them and replay
+/// rebuilds the identical counts from the recorded fault stream.
+struct ByzantineSpec {
+    int corruptions = 0;    ///< kCorruptMessage events charged to this sender
+    int equivocations = 0;  ///< kEquivocate events charged to this sender
+
+    friend bool operator==(const ByzantineSpec&, const ByzantineSpec&) = default;
+
+    /// Canonical rendering, e.g. "byzantine(corrupt=2,equiv=1)".
+    std::string to_string() const {
+        std::ostringstream out;
+        out << "byzantine(corrupt=" << corruptions << ",equiv=" << equivocations
+            << ')';
+        return out.str();
+    }
+};
+
 /// A complete crash plan for a run: which processes fail, and how.
 /// Processes not mentioned are correct.
 class FailurePlan {
@@ -157,13 +178,61 @@ public:
     /// Number of faulty processes.
     int num_faulty() const { return static_cast<int>(crashes_.size()); }
 
+    // -- Byzantine bookkeeping (realized corruption/equivocation) ------
+
+    /// Charges one realized Byzantine fault event to sender `p`:
+    /// `corruptions` / `equivocations` are added to p's ByzantineSpec
+    /// (created on first use).  Called by System::apply_fault for both
+    /// live injection and replay, so the effective plan converges to the
+    /// same counts either way.
+    void note_byzantine(ProcessId p, int corruptions, int equivocations) {
+        KSA_REQUIRE(p >= 1, "FailurePlan::note_byzantine: invalid process id");
+        KSA_REQUIRE(corruptions >= 0 && equivocations >= 0,
+                    "FailurePlan::note_byzantine: negative event count");
+        ByzantineSpec& spec = byzantine_[p];
+        spec.corruptions += corruptions;
+        spec.equivocations += equivocations;
+    }
+
+    /// True iff `p` realized at least one Byzantine fault event.
+    bool is_byzantine(ProcessId p) const { return byzantine_.count(p) != 0; }
+
+    /// The Byzantine spec of `p`; `p` must be Byzantine.
+    const ByzantineSpec& byzantine_spec(ProcessId p) const {
+        auto it = byzantine_.find(p);
+        KSA_REQUIRE(it != byzantine_.end(),
+                    "FailurePlan::byzantine_spec: process is not Byzantine");
+        if (it == byzantine_.end()) {
+            // Reached only under check::Policy::kCount: stay memory-safe.
+            static const ByzantineSpec kNone{};
+            return kNone;
+        }
+        return it->second;
+    }
+
+    /// The realized Byzantine sender set.
+    std::set<ProcessId> byzantine() const {
+        std::set<ProcessId> out;
+        for (const auto& [p, _] : byzantine_) out.insert(p);
+        return out;
+    }
+
+    /// Number of Byzantine senders.
+    int num_byzantine() const { return static_cast<int>(byzantine_.size()); }
+
     /// Canonical rendering for traces: "none" for the empty plan, else
-    /// "p2 after 1 step omit{3}; p4 initially-dead".
+    /// "p2 after 1 step omit{3}; p4 initially-dead; p3
+    /// byzantine(corrupt=2,equiv=0)".
     std::string to_string() const {
-        if (crashes_.empty()) return "none";
+        if (crashes_.empty() && byzantine_.empty()) return "none";
         std::ostringstream out;
         bool first = true;
         for (const auto& [p, spec] : crashes_) {
+            if (!first) out << "; ";
+            first = false;
+            out << 'p' << p << ' ' << spec.to_string();
+        }
+        for (const auto& [p, spec] : byzantine_) {
             if (!first) out << "; ";
             first = false;
             out << 'p' << p << ' ' << spec.to_string();
@@ -175,6 +244,7 @@ public:
 
 private:
     std::map<ProcessId, CrashSpec> crashes_;
+    std::map<ProcessId, ByzantineSpec> byzantine_;
 };
 
 }  // namespace ksa

@@ -29,9 +29,48 @@ using MessageId = std::uint64_t;
 inline constexpr MessageId kInjectedMessageIdBase = MessageId{1} << 48;
 inline constexpr MessageId kMaxDuplicatesPerMessage = 16;
 
-/// True iff `id` was assigned to an injected duplicate.
+/// Ids at or above this bound belong to Byzantine *corruption* forgeries:
+/// a kCorruptMessage fault rewrites a buffered original s in place and
+/// renames it to kCorruptionIdBase + s.id.  Like the duplicate scheme the
+/// forged id depends only on its own source, so counterexample shrinking
+/// can decide locally whether a recorded delivery of a forgery is still
+/// satisfiable after fault events were removed.
+inline constexpr MessageId kCorruptionIdBase = MessageId{1} << 56;
+
+/// Ids at or above this bound belong to Byzantine *equivocation*
+/// forgeries: a kEquivocate fault on an anchor message a rewrites every
+/// in-flight sibling of a's broadcast into a receiver-specific variant
+/// with id kEquivocationIdBase + a.id * kEquivocationFanout + receiver.
+inline constexpr MessageId kEquivocationIdBase = MessageId{1} << 60;
+inline constexpr MessageId kEquivocationFanout = 64;
+
+/// True iff `id` was assigned by a fault event rather than a send
+/// (duplicate clone, corruption forgery or equivocation forgery).
 inline constexpr bool is_injected_message_id(MessageId id) {
     return id >= kInjectedMessageIdBase;
+}
+
+/// True iff `id` names a corruption forgery.
+inline constexpr bool is_corruption_id(MessageId id) {
+    return id >= kCorruptionIdBase && id < kEquivocationIdBase;
+}
+
+/// True iff `id` names an equivocation forgery.
+inline constexpr bool is_equivocation_id(MessageId id) {
+    return id >= kEquivocationIdBase;
+}
+
+/// The forged id of the corruption of original message `src`.
+inline constexpr MessageId corrupted_message_id(MessageId src) {
+    return kCorruptionIdBase + src;
+}
+
+/// The forged id of the equivocation variant of anchor message `anchor`
+/// addressed to `receiver` (receiver < kEquivocationFanout).
+inline constexpr MessageId equivocated_message_id(MessageId anchor,
+                                                  ProcessId receiver) {
+    return kEquivocationIdBase + anchor * kEquivocationFanout +
+           static_cast<MessageId>(receiver);
 }
 
 /// A message in flight or delivered.  Value type; equality ignores the

@@ -132,10 +132,17 @@ std::vector<MessageId> Run::undelivered_to(ProcessId p) const {
         // violates eventual delivery exactly as losing the original does.
         for (const Message& m : s.injected)
             if (m.to == p) sent_ids.insert(m.id);
+        // A Byzantine forgery *replaces* its original in flight: the
+        // forged id inherits the original's delivery obligation.
+        for (const Message& m : s.forged)
+            if (m.to == p) sent_ids.insert(m.id);
     }
-    for (const StepRecord& s : steps)
+    for (const StepRecord& s : steps) {
+        for (const Message& m : s.tampered)
+            if (m.to == p) sent_ids.erase(m.id);
         if (s.process == p)
             for (const Message& m : s.delivered) sent_ids.erase(m.id);
+    }
     return {sent_ids.begin(), sent_ids.end()};
 }
 
@@ -161,8 +168,18 @@ std::set<ProcessId> Run::injected_crash_victims() const {
     return out;
 }
 
+std::set<ProcessId> Run::byzantine_senders() const {
+    std::set<ProcessId> out;
+    for (const StepRecord& s : steps)
+        for (const Message& m : s.tampered) out.insert(m.from);
+    return out;
+}
+
 FailurePlan Run::static_plan() const {
     const std::set<ProcessId> injected = injected_crash_victims();
+    // ByzantineSpecs are stripped implicitly: only crash specs are
+    // copied, and re-applying the recorded fault stream rebuilds the
+    // Byzantine counts (System::note_byzantine).
     FailurePlan out;
     for (ProcessId p : plan.faulty())
         if (injected.count(p) == 0) out.set_crash(p, plan.spec(p));

@@ -38,6 +38,11 @@ struct StepRecord {
                                        ///< this step's deliveries, in order
     std::vector<Message> dropped;      ///< messages removed by kDropMessage
     std::vector<Message> injected;     ///< clones added by kDuplicateMessage
+    std::vector<Message> tampered;     ///< originals replaced by a Byzantine
+                                       ///< forgery (kCorruptMessage /
+                                       ///< kEquivocate), as they were sent
+    std::vector<Message> forged;       ///< the Byzantine replacements, with
+                                       ///< forged ids and mutated payloads
     std::optional<FdSample> fd;        ///< failure-detector sample, if queried
     std::optional<Value> decision;     ///< decision made in this step, if any
     std::string digest_after;          ///< state digest after the step
@@ -138,8 +143,15 @@ struct Run {
     /// Victims of injected kCrashProcess faults.
     std::set<ProcessId> injected_crash_victims() const;
 
+    /// Senders charged with at least one Byzantine fault event
+    /// (kCorruptMessage / kEquivocate) in this prefix.  Matches
+    /// `plan.byzantine()` on a finalized record.
+    std::set<ProcessId> byzantine_senders() const;
+
     /// The *static* crash plan: `plan` with every injected-crash victim
-    /// removed.  This is the plan a from-scratch re-execution of the
+    /// removed and every ByzantineSpec stripped (Byzantine specs are
+    /// realized bookkeeping; replaying the recorded fault stream rebuilds
+    /// them).  This is the plan a from-scratch re-execution of the
     /// recorded choice sequence (faults included) must start from.
     FailurePlan static_plan() const;
 };

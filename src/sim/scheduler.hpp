@@ -44,12 +44,31 @@ struct FaultAction {
         /// record) is extended accordingly, so admissibility and
         /// failure-detector validation see the realized failure pattern.
         kCrashProcess,
+        /// Byzantine channel corruption: rewrites buffered message
+        /// `message` in place through the seeded deterministic mutator of
+        /// sim/byzantine.hpp (`corrupt_seed` drives it) and renames it
+        /// into the corruption id space of sim/message.hpp.  The sender
+        /// is marked Byzantine in the effective FailurePlan
+        /// (ByzantineSpec), so admissibility and classification see the
+        /// realized fault pattern.
+        kCorruptMessage,
+        /// Byzantine equivocation: treats buffered message `message` as
+        /// the anchor of a broadcast and rewrites every still-buffered
+        /// sibling (same sender, send time and payload) into a
+        /// receiver-specific divergent variant -- the sender now appears
+        /// to have told every receiver a different story.  Forged ids
+        /// come from the equivocation id space; the sender is marked
+        /// Byzantine in the effective plan.
+        kEquivocate,
     };
 
     Kind kind = Kind::kDropMessage;
     MessageId message = 0;        ///< target of the message faults
     ProcessId process = 0;        ///< victim of kCrashProcess
     std::set<ProcessId> omit_to;  ///< kCrashProcess: final-step omissions
+    /// Mutator seed of kCorruptMessage / kEquivocate (serialized, so
+    /// Byzantine runs replay byte-identically).
+    std::uint64_t corrupt_seed = 0;
 
     friend bool operator==(const FaultAction&, const FaultAction&) = default;
 };

@@ -104,6 +104,12 @@ void write_fault(std::ostream& out, const FaultAction& a) {
             out << "c " << a.process << ' ' << a.omit_to.size();
             for (ProcessId q : a.omit_to) out << ' ' << q;
             break;
+        case FaultAction::Kind::kCorruptMessage:
+            out << "m " << a.message << ' ' << a.corrupt_seed;
+            break;
+        case FaultAction::Kind::kEquivocate:
+            out << "e " << a.message << ' ' << a.corrupt_seed;
+            break;
     }
     out << '\n';
 }
@@ -127,6 +133,12 @@ FaultAction read_fault(std::istringstream& in) {
             in >> q;
             a.omit_to.insert(q);
         }
+    } else if (sub == "m") {
+        a.kind = FaultAction::Kind::kCorruptMessage;
+        in >> a.message >> a.corrupt_seed;
+    } else if (sub == "e") {
+        a.kind = FaultAction::Kind::kEquivocate;
+        in >> a.message >> a.corrupt_seed;
     } else {
         throw UsageError("read_run: unknown fault subkind '" + sub + "'");
     }
@@ -154,6 +166,11 @@ void write_run(std::ostream& out, const Run& run) {
         for (ProcessId q : spec.omit_to) out << ' ' << q;
         out << '\n';
     }
+    for (ProcessId p : run.plan.byzantine()) {
+        const ByzantineSpec& spec = run.plan.byzantine_spec(p);
+        out << "byz " << p << ' ' << spec.corruptions << ' '
+            << spec.equivocations << '\n';
+    }
     for (const FdEvent& e : run.fd_history) {
         out << "fdev " << e.time << ' ' << e.process;
         write_sample(out, e.sample);
@@ -175,6 +192,8 @@ void write_run(std::ostream& out, const Run& run) {
         for (const Message& m : s.omitted) write_message(out, 'o', m);
         for (const Message& m : s.dropped) write_message(out, 'x', m);
         for (const Message& m : s.injected) write_message(out, 'i', m);
+        for (const Message& m : s.tampered) write_message(out, 't', m);
+        for (const Message& m : s.forged) write_message(out, 'f', m);
     }
     out << "end\n";
 }
@@ -227,6 +246,11 @@ Run read_run(std::istream& in) {
                 spec.omit_to.insert(q);
             }
             run.plan.set_crash(p, spec);
+        } else if (kind == "byz") {
+            ProcessId p = 0;
+            int corruptions = 0, equivocations = 0;
+            ls >> p >> corruptions >> equivocations;
+            run.plan.note_byzantine(p, corruptions, equivocations);
         } else if (kind == "fdev") {
             FdEvent e;
             ls >> e.time >> e.process;
@@ -249,7 +273,7 @@ Run read_run(std::istream& in) {
                 throw UsageError("read_run: fault line before any step");
             run.steps.back().faults.push_back(read_fault(ls));
         } else if (kind == "d" || kind == "s" || kind == "o" || kind == "x" ||
-                   kind == "i") {
+                   kind == "i" || kind == "t" || kind == "f") {
             if (run.steps.empty())
                 throw UsageError("read_run: message line before any step");
             Message m = read_message(ls);
@@ -261,8 +285,12 @@ Run read_run(std::istream& in) {
                 run.steps.back().omitted.push_back(std::move(m));
             else if (kind == "x")
                 run.steps.back().dropped.push_back(std::move(m));
-            else
+            else if (kind == "i")
                 run.steps.back().injected.push_back(std::move(m));
+            else if (kind == "t")
+                run.steps.back().tampered.push_back(std::move(m));
+            else
+                run.steps.back().forged.push_back(std::move(m));
         } else {
             throw UsageError("read_run: unknown record '" + kind + "'");
         }

@@ -2,7 +2,8 @@
 // Run serialization: a stable, line-oriented text format for recorded
 // runs, with full-fidelity round-tripping of every field the run
 // queries and validators consume (steps, deliveries, sends, omissions,
-// detector samples, crash plans, decisions, digests).
+// detector samples, crash plans and realized Byzantine specs, fault
+// events, decisions, digests).
 //
 // Uses: archiving counterexample runs produced by the impossibility
 // engines, diffing runs across code changes, and replaying a run's

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "check/contract.hpp"
+#include "sim/byzantine.hpp"
 
 namespace ksa {
 
@@ -205,8 +206,76 @@ void System::apply_fault(const FaultAction& action, StepRecord& rec) {
             run_.plan.set_crash(q, std::move(spec));
             return;
         }
+        case FaultAction::Kind::kCorruptMessage: {
+            std::deque<Message>::iterator it;
+            std::deque<Message>* buf = find_buffered(action.message, &it);
+            KSA_REQUIRE(buf != nullptr,
+                        "System::apply_fault: corrupted message not buffered");
+            if (buf == nullptr) return;
+            // Forgeries of forgeries would nest the derived-id schemes of
+            // message.hpp; the chaos layer only corrupts originals.
+            KSA_REQUIRE(!is_injected_message_id(it->id),
+                        "System::apply_fault: cannot corrupt an injected "
+                        "message");
+            const Message original = *it;
+            // In-place rewrite: same buffer slot (arrival order is
+            // preserved), forged id, mutated payload.
+            it->id = corrupted_message_id(original.id);
+            it->payload = corrupt_payload(original.payload,
+                                          action.corrupt_seed, n_);
+            rec.tampered.push_back(original);
+            rec.forged.push_back(*it);
+            note_byzantine(original.from, 1, 0);
+            return;
+        }
+        case FaultAction::Kind::kEquivocate: {
+            std::deque<Message>::iterator it;
+            std::deque<Message>* buf = find_buffered(action.message, &it);
+            KSA_REQUIRE(buf != nullptr,
+                        "System::apply_fault: equivocation anchor not "
+                        "buffered");
+            if (buf == nullptr) return;
+            KSA_REQUIRE(!is_injected_message_id(it->id),
+                        "System::apply_fault: cannot equivocate an injected "
+                        "message");
+            KSA_REQUIRE(static_cast<MessageId>(n_) < kEquivocationFanout,
+                        "System::apply_fault: n exceeds the equivocation id "
+                        "fanout");
+            const Message anchor = *it;
+            // Rewrite every still-buffered sibling of the anchor's
+            // broadcast -- same sender, send time and payload -- into a
+            // receiver-specific variant.  At most one sibling per
+            // receiver is rewritten (the forged id embeds the receiver,
+            // so a second rewrite would collide).
+            for (ProcessId q = 1; q <= n_; ++q) {
+                for (Message& m : buffers_[q - 1]) {
+                    if (is_injected_message_id(m.id)) continue;
+                    if (m.from != anchor.from || m.sent_at != anchor.sent_at ||
+                        !(m.payload == anchor.payload))
+                        continue;
+                    const Message original = m;
+                    m.id = equivocated_message_id(anchor.id, q);
+                    m.payload = equivocate_payload(original.payload,
+                                                   action.corrupt_seed, q, n_);
+                    rec.tampered.push_back(original);
+                    rec.forged.push_back(m);
+                    break;
+                }
+            }
+            note_byzantine(anchor.from, 0, 1);
+            return;
+        }
     }
     KSA_REQUIRE(false, "System::apply_fault: unknown fault kind");
+}
+
+void System::note_byzantine(ProcessId sender, int corruptions,
+                            int equivocations) {
+    // Both the live plan and the run record accumulate the realized
+    // Byzantine pattern; replay from Run::static_plan() re-applies the
+    // same fault stream, so the counts converge byte-identically.
+    plan_.note_byzantine(sender, corruptions, equivocations);
+    run_.plan.note_byzantine(sender, corruptions, equivocations);
 }
 
 void System::apply_choice(const StepChoice& choice) {

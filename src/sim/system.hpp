@@ -130,11 +130,13 @@ public:
 
     /// Executes one atomic step as described by `choice`.  Any fault
     /// events attached to the choice (chaos layer) are applied first, in
-    /// order: drops remove buffered messages, duplicates clone them, and
-    /// crash injections extend the effective FailurePlan so the victim's
-    /// next step is its final one.  Throws UsageError if the choice is
-    /// illegal (crashed/dead process, message id not in the buffer, plan
-    /// exhausted, conflicting fault).
+    /// order: drops remove buffered messages, duplicates clone them,
+    /// corruptions/equivocations rewrite them in place with forged ids
+    /// and Byzantine-mutated payloads (extending the effective plan's
+    /// ByzantineSpecs), and crash injections extend the effective
+    /// FailurePlan so the victim's next step is its final one.  Throws
+    /// UsageError if the choice is illegal (crashed/dead process, message
+    /// id not in the buffer, plan exhausted, conflicting fault).
     void apply_choice(const StepChoice& choice);
 
     /// Records the scheduler label into the run metadata (System::execute
@@ -161,6 +163,9 @@ private:
 
     void check_pid(ProcessId p, const char* who) const;
     void apply_fault(const FaultAction& action, StepRecord& rec);
+    /// Charges a realized Byzantine fault event to `sender` in both the
+    /// live plan and the run record (FailurePlan::note_byzantine).
+    void note_byzantine(ProcessId sender, int corruptions, int equivocations);
     /// Locates a buffered message by id; returns the owning buffer or
     /// nullptr.  `out_it` receives the message's position on success.
     std::deque<Message>* find_buffered(MessageId id,

@@ -30,6 +30,12 @@ void print_fault(std::ostream& out, const FaultAction& a) {
             out << '}';
             return;
         }
+        case FaultAction::Kind::kCorruptMessage:
+            out << "corrupt#" << a.message;
+            return;
+        case FaultAction::Kind::kEquivocate:
+            out << "equiv#" << a.message;
+            return;
     }
     out << "fault?";
 }
@@ -86,6 +92,7 @@ void print_trace(std::ostream& out, const Run& run) {
         if (!s.omitted.empty()) out << " omitted=" << s.omitted.size();
         if (!s.dropped.empty()) out << " dropped=" << s.dropped.size();
         if (!s.injected.empty()) out << " injected=" << s.injected.size();
+        if (!s.forged.empty()) out << " forged=" << s.forged.size();
         if (s.decision) out << " DECIDE " << *s.decision;
         if (s.final_crash_step) out << " CRASH";
         out << '\n';

@@ -1,11 +1,23 @@
 // ksa_chaos: the chaos-engineering front door.
 //
 //   $ ksa_chaos sweep  [--min-n A] [--max-n B] [--seeds S] [--base-seed X]
-//                      [--out DIR]
+//                      [--trial-budget-ms T] [--out DIR]
 //       Runs the resilience sweep over the Theorem 8 grid under
 //       guard-mode chaos and writes DIR/sweep.json + DIR/sweep.md
 //       (default DIR = chaos-report).  Exits non-zero if any
-//       solvable-side cell shows a violation.
+//       solvable-side cell shows a violation.  Each trial gets a
+//       wall-clock budget (default 2000 ms; 0 disables) so pathological
+//       profiles degrade to inconclusive cells instead of stalling.
+//
+//   $ ksa_chaos byzantine-sweep [--min-n A] [--max-n B] [--seeds S]
+//                      [--base-seed X] [--max-steps M]
+//                      [--trial-budget-ms T] [--out DIR]
+//       Runs the Byzantine resilience sweep: no crash faults, up to f
+//       corrupting/equivocating victim senders per (n, k, f) cell, each
+//       cell labeled with the Bouzid-Imbs-Raynal necessary condition
+//       k*n > (2k+1)*f.  Writes DIR/sweep.json + DIR/sweep.md (default
+//       DIR = chaos-byzantine).  Exits non-zero only if some trial went
+//       unaccounted -- budget-exhausted trials degrade to inconclusive.
 //
 //   $ ksa_chaos demo-shrink [--out DIR]
 //       Plants an agreement violation on the impossible side of the
@@ -118,6 +130,7 @@ int cmd_sweep(const Args& args) {
     config.seeds_per_cell = args.geti("seeds", 20);
     config.base_seed = static_cast<std::uint64_t>(args.geti("base-seed", 1));
     config.profile = chaos::guarded_profile(config.base_seed);
+    config.trial_wall_budget_ms = args.geti("trial-budget-ms", 2000);
 
     std::cout << "resilience sweep: n in [" << config.min_n << ", "
               << config.max_n << "], " << config.seeds_per_cell
@@ -132,6 +145,41 @@ int cmd_sweep(const Args& args) {
     std::cout << report.total_trials() << " trials, solvable side "
               << (report.boundary_clean() ? "clean" : "NOT CLEAN") << "\n";
     return report.boundary_clean() ? 0 : 1;
+}
+
+int cmd_byzantine_sweep(const Args& args) {
+    chaos::SweepConfig config;
+    config.model = chaos::SweepConfig::FaultModel::kByzantine;
+    config.min_n = args.geti("min-n", 2);
+    config.max_n = args.geti("max-n", 5);
+    config.seeds_per_cell = args.geti("seeds", 12);
+    config.base_seed = static_cast<std::uint64_t>(args.geti("base-seed", 1));
+    // The per-trial victim cap is forced to each cell's f inside
+    // byzantine_trial; -1 here just keeps the template profile valid.
+    config.profile = chaos::byzantine_profile(config.base_seed, -1);
+    config.limits.max_steps = args.geti("max-steps", 6000);
+    config.trial_wall_budget_ms = args.geti("trial-budget-ms", 1000);
+
+    std::cout << "byzantine sweep: n in [" << config.min_n << ", "
+              << config.max_n << "], " << config.seeds_per_cell
+              << " seeds/cell, profile " << config.profile.describe() << "\n";
+    const chaos::SweepReport report = chaos::resilience_sweep(config);
+
+    const std::filesystem::path dir = args.get("out", "chaos-byzantine");
+    std::filesystem::create_directories(dir);
+    write_file(dir / "sweep.json", report.to_json());
+    write_file(dir / "sweep.md", report.to_markdown());
+
+    int inconclusive = 0, violations = 0;
+    for (const chaos::CellResult& c : report.cells) {
+        inconclusive += c.inconclusive;
+        violations += c.agreement_violations + c.validity_violations;
+    }
+    std::cout << report.total_trials() << " trials, " << violations
+              << " spec violations witnessed, " << inconclusive
+              << " inconclusive; grid "
+              << (report.complete() ? "complete" : "INCOMPLETE") << "\n";
+    return report.complete() ? 0 : 1;
 }
 
 /// The planted violation: impossible side of the Theorem 8 boundary
@@ -217,13 +265,19 @@ int cmd_shrink(const Args& args) {
 }
 
 int usage() {
-    std::cerr << "usage: ksa_chaos <sweep|demo-shrink|replay|shrink> "
+    std::cerr << "usage: ksa_chaos "
+                 "<sweep|byzantine-sweep|demo-shrink|replay|shrink> "
                  "[options]\n"
-                 "  sweep       [--min-n A] [--max-n B] [--seeds S] "
-                 "[--base-seed X] [--out DIR]\n"
-                 "  demo-shrink [--seed S] [--out DIR]\n"
-                 "  replay      FILE.run [--k K]\n"
-                 "  shrink      FILE.run [--k K] [--out DIR]\n";
+                 "  sweep           [--min-n A] [--max-n B] [--seeds S] "
+                 "[--base-seed X]\n"
+                 "                  [--trial-budget-ms T] [--out DIR]\n"
+                 "  byzantine-sweep [--min-n A] [--max-n B] [--seeds S] "
+                 "[--base-seed X]\n"
+                 "                  [--max-steps M] [--trial-budget-ms T] "
+                 "[--out DIR]\n"
+                 "  demo-shrink     [--seed S] [--out DIR]\n"
+                 "  replay          FILE.run [--k K]\n"
+                 "  shrink          FILE.run [--k K] [--out DIR]\n";
     return 2;
 }
 
@@ -235,6 +289,7 @@ int main(int argc, char** argv) {
     const Args args = Args::parse(argc, argv, 2);
     try {
         if (cmd == "sweep") return cmd_sweep(args);
+        if (cmd == "byzantine-sweep") return cmd_byzantine_sweep(args);
         if (cmd == "demo-shrink") return cmd_demo_shrink(args);
         if (cmd == "replay") return cmd_replay(args);
         if (cmd == "shrink") return cmd_shrink(args);
