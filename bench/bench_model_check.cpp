@@ -39,7 +39,7 @@
 #include "bench_util.hpp"
 #include "core/bounds.hpp"
 #include "core/explorer.hpp"
-#include "exec/thread_pool.hpp"
+#include "exec/task_scheduler.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -217,7 +217,7 @@ int main(int argc, char** argv) {
     // consensus under EVERY schedule (Theorem 8, k=1, n=3, f=1).
     cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {3}, 14, false, 30,
                      "Thm 8 possibility"});
-    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false, 1,
+    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false, 3,
                      "Thm 8, no crash"});
     // k-set generalization: L=2 on n=4 bounds decisions by 2.
     cases.push_back({algo::make_flp_kset(4, 2), 4, 2, {1, 2}, 12, false, 30,
@@ -229,7 +229,7 @@ int main(int argc, char** argv) {
     // engines see the identical 3430-state space (they key on ids);
     // the reduced engine's symmetry axis gets the whole S_3 to quotient
     // by and collapses it by an order of magnitude.
-    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false, 1,
+    cases.push_back({algo::make_flp_kset(3, 1), 3, 1, {}, 14, false, 3,
                      "Thm 8, uniform inputs", true});
 
     auto config_for = [&](const Case& c) {
@@ -285,10 +285,11 @@ int main(int argc, char** argv) {
 
             core::ExploreConfig cfg = config_for(c);
             cfg.threads = 1;
-            core::ExploreResult fast_r, red_r;
+            core::ExploreResult fast_r, red_r, red_mt_r;
             // Best-of-3 wall times: the gate compares against committed
             // single-machine numbers, so take the least noisy sample.
             double fast_ms = 1e300, reduced_ms = 1e300;
+            double reduced_mt_ms = 1e300;
             cfg.mode = core::ExploreMode::kFast;
             for (int r = 0; r < 3; ++r)
                 fast_ms = std::min(fast_ms, ksa::bench::time_call_ms([&] {
@@ -301,6 +302,14 @@ int main(int argc, char** argv) {
                     std::min(reduced_ms, ksa::bench::time_call_ms([&] {
                                  red_r = core::explore_schedules(*c.algorithm,
                                                                  cfg);
+                             }));
+            cfg.threads = threads;
+            for (int r = 0; r < 3; ++r)
+                reduced_mt_ms =
+                    std::min(reduced_mt_ms,
+                             ksa::bench::time_call_ms([&] {
+                                 red_mt_r = core::explore_schedules(
+                                     *c.algorithm, cfg);
                              }));
 
             // Deterministic counts: exact match, no tolerance.
@@ -327,11 +336,14 @@ int main(int argc, char** argv) {
                 fail("violation verdict flipped");
             if (!reduced_covers(fast_r, red_r))
                 fail("reduced engine no longer covers the fast engine");
+            if (!same_result(red_r, red_mt_r))
+                fail("reduced engine differs across thread counts");
 
             // Timing regression: current <= 3x committed, above the floor.
             const std::pair<const char*, double> timings[] = {
                 {"fast_ms", fast_ms},
                 {"reduced_ms", reduced_ms},
+                {"reduced_mt_ms", reduced_mt_ms},
             };
             for (const auto& [key, got_ms] : timings) {
                 double want_ms = 0;
@@ -423,6 +435,7 @@ int main(int argc, char** argv) {
         std::size_t por_skips;
         std::size_t dedup_hits;
         double reduced_ms;
+        double reduced_mt_ms;
         double fast_ms;
         double ratio;
         bool covers;
@@ -464,7 +477,7 @@ int main(int argc, char** argv) {
             }) /
             reps;
 
-        core::ExploreResult red_r;
+        core::ExploreResult red_r, red_mt_r;
         cfg.mode = core::ExploreMode::kReduced;
         cfg.threads = 1;
         const double reduced_ms =
@@ -473,8 +486,20 @@ int main(int argc, char** argv) {
                     red_r = core::explore_schedules(*c.algorithm, cfg);
             }) /
             reps;
+        cfg.threads = threads;
+        const double reduced_mt_ms =
+            ksa::bench::time_call_ms([&] {
+                for (int r = 0; r < reps; ++r)
+                    red_mt_r = core::explore_schedules(*c.algorithm, cfg);
+            }) /
+            reps;
 
-        const bool red_ok = reduced_covers(fast_r, red_r);
+        // Thread-count identity inside the reduced engine is exact --
+        // same quotient, same counts, same witness -- unlike the
+        // quotient-vs-full comparison below, which only shares
+        // observables.
+        const bool red_mt_ok = same_result(red_r, red_mt_r);
+        const bool red_ok = reduced_covers(fast_r, red_r) && red_mt_ok;
         const double red_ratio =
             red_r.schedules_expanded > 0
                 ? static_cast<double>(fast_r.schedules_expanded) /
@@ -482,8 +507,8 @@ int main(int argc, char** argv) {
                 : 0.0;
         reduced_rows.push_back({c.why, fast_r.schedules_expanded,
                                 red_r.states_explored, red_r.por_skips,
-                                red_r.dedup_hits, reduced_ms, fast_ms,
-                                red_ratio, red_ok});
+                                red_r.dedup_hits, reduced_ms, reduced_mt_ms,
+                                fast_ms, red_ratio, red_ok});
 
         const bool agree = same_result(baseline_r, ref_r) &&
                            same_result(baseline_r, fast_r) &&
@@ -519,6 +544,7 @@ int main(int argc, char** argv) {
             .num("speedup_vs_baseline", speedup)
             .boolean("engines_agree", agree)
             .num("reduced_ms", reduced_ms)
+            .num("reduced_mt_ms", reduced_mt_ms)
             .num("canonical_states", red_r.states_explored)
             .num("reduced_expansions", red_r.schedules_expanded)
             .num("por_skips", red_r.por_skips)
@@ -529,12 +555,14 @@ int main(int argc, char** argv) {
     // ------------------------------------------------------------------
     // Reduction engine: quotient sizes and agreement (observables only;
     // counts are SUPPOSED to shrink).
-    std::cout << "\nreduction engine (kReduced vs kFast, 1 thread)\n\n";
+    std::cout << "\nreduction engine (kReduced vs kFast; red-N = " << threads
+              << " threads)\n\n";
     std::cout << std::left << std::setw(26) << "case" << std::right
               << std::setw(10) << "fast exp" << std::setw(10) << "red exp"
               << std::setw(8) << "ratio" << std::setw(10) << "por skip"
               << std::setw(9) << "dedup" << std::setw(10) << "fast ms"
-              << std::setw(9) << "red ms" << std::setw(8) << "agree\n";
+              << std::setw(9) << "red ms" << std::setw(10) << "red-N ms"
+              << std::setw(8) << "agree\n";
     for (const ReducedRow& row : reduced_rows) {
         std::cout << std::left << std::setw(26) << row.why << std::right
                   << std::setw(10) << row.fast_expansions << std::setw(10)
@@ -542,8 +570,8 @@ int main(int argc, char** argv) {
                   << std::setprecision(1) << row.ratio << "x" << std::setw(10)
                   << row.por_skips << std::setw(9) << row.dedup_hits
                   << std::setw(10) << row.fast_ms << std::setw(9)
-                  << row.reduced_ms << std::setw(8)
-                  << (row.covers ? "yes" : "NO") << "\n";
+                  << row.reduced_ms << std::setw(10) << row.reduced_mt_ms
+                  << std::setw(8) << (row.covers ? "yes" : "NO") << "\n";
         std::cout.unsetf(std::ios::fixed);
     }
 

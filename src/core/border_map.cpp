@@ -39,9 +39,14 @@ std::vector<BorderRow> border_map(int n, int threads) {
     require(n >= 2, "border_map: n must be >= 2");
     // Rows f = 1..n-1 are independent work items; each writes only its
     // own slot and the slots come back in row order, so the map is
-    // byte-identical across thread counts.
-    return exec::parallel_map_deterministic(
-            threads, static_cast<std::size_t>(n - 1), [n](std::size_t i) {
+    // byte-identical across thread counts.  Row cost grows with f (the
+    // k-loop does more partitioning work near the border), so rows go
+    // through the work-stealing scheduler at grain 1: a thread stuck
+    // on an expensive high-f row sheds the rest of its share.
+    exec::TaskScheduler sched(threads);
+    return exec::parallel_map_grained(
+            sched, static_cast<std::size_t>(n - 1), /*grain=*/1,
+            [n](std::size_t i, int) {
                 BorderRow row;
                 row.f = static_cast<int>(i) + 1;
                 for (int k = 1; k < n; ++k) {

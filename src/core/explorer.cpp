@@ -8,7 +8,7 @@
 
 #include "core/reduction.hpp"
 #include "exec/parallel_map.hpp"
-#include "exec/thread_pool.hpp"
+#include "exec/task_scheduler.hpp"
 #include "sim/digest.hpp"
 #include "sim/system.hpp"
 
@@ -311,6 +311,39 @@ Digest128 hash_child(const System& sys, int n, ProcessId stepper,
 }
 
 // ---------------------------------------------------------------------
+// Layer-parallel plumbing shared by the layered engines.
+//
+// Each engine owns one work-stealing TaskScheduler for the whole
+// exploration; per-worker scratch is sized to sched.size() and reused
+// across every layer a worker touches (the fork/digest hot path used
+// to re-allocate it per node).  Layers below the sequential threshold
+// run inline; dispatched layers are chunked with the scheduler's auto
+// grain and rebalanced by stealing.  The chosen grain/threshold and
+// the steal count are recorded into the result as observability --
+// they describe the machine and the timing, not the exploration, so
+// they stay out of every report and equivalence comparison.
+
+std::size_t resolve_threshold(const ExploreConfig& cfg,
+                              const exec::TaskScheduler& sched) {
+    return cfg.min_parallel_frontier != 0
+                   ? cfg.min_parallel_frontier
+                   : exec::TaskScheduler::sequential_threshold(sched.size());
+}
+
+void record_parallel_observability(ExploreResult& result,
+                                   const exec::TaskScheduler& sched,
+                                   std::size_t threshold,
+                                   std::size_t max_dispatched) {
+    result.parallel_threshold = threshold;
+    result.parallel_grain =
+            max_dispatched == 0
+                    ? 0
+                    : exec::TaskScheduler::auto_grain(max_dispatched,
+                                                      sched.size());
+    result.parallel_steals = sched.steal_count();
+}
+
+// ---------------------------------------------------------------------
 // Snapshot engine (fast + reference modes).
 //
 // The frontier holds *live* System snapshots; a child is parent->fork()
@@ -431,7 +464,9 @@ ExploreResult explore_snapshot(const Algorithm& algorithm,
     // two runs of the explorer must produce identical reports.
     std::set<Key> visited;
 
-    exec::ThreadPool pool(cfg.threads < 1 ? 1 : cfg.threads);
+    exec::TaskScheduler sched(cfg.threads < 1 ? 1 : cfg.threads);
+    const std::size_t threshold = resolve_threshold(cfg, sched);
+    std::size_t max_dispatched = 0;
 
     std::vector<Node<Key>> layer;
     {
@@ -451,10 +486,15 @@ ExploreResult explore_snapshot(const Algorithm& algorithm,
             result.layer_frontier_sizes.push_back(layer.size());
         // Parallel phase: expand every node of the layer independently
         // (inline below the adaptive threshold -- byte-identical).
-        std::vector<Expansion<Key>> expansions = exec::parallel_map_deterministic(
-                pool, layer.size(),
-                [&](std::size_t i) { return expand_node(layer[i], cfg, make_key); },
-                cfg.min_parallel_frontier);
+        if (sched.size() > 1 && layer.size() >= threshold &&
+            layer.size() > max_dispatched)
+            max_dispatched = layer.size();
+        std::vector<Expansion<Key>> expansions = exec::parallel_map_grained(
+                sched, layer.size(), /*grain=*/0,
+                [&](std::size_t i, int) {
+                    return expand_node(layer[i], cfg, make_key);
+                },
+                threshold);
 
         // Sequential merge, in input order (= the sequential engine's
         // pop order).
@@ -498,6 +538,7 @@ ExploreResult explore_snapshot(const Algorithm& algorithm,
         layer = std::move(next);
     }
     result.states_explored = visited.size();
+    record_parallel_observability(result, sched, threshold, max_dispatched);
     return result;
 }
 
@@ -542,7 +583,10 @@ struct FastNode {
 /// Phase A: classifies the node and ghost-steps every (live process,
 /// delivery mode) candidate.  Reads the node and clones single
 /// behaviors only -- safe to run concurrently on distinct nodes.
-FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg) {
+/// `scratch` is the calling worker's StepInput, reused across every
+/// node that worker expands (it used to be re-constructed per node).
+FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg,
+                          StepInput& scratch) {
     FastExpansion e;
     const System& sys = *node.sys;
     e.decided = decision_set(sys, cfg.n);
@@ -560,7 +604,6 @@ FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg) {
         return e;
     }
     e.children.reserve(static_cast<std::size_t>(3 * cfg.n));
-    StepInput scratch;
     for (ProcessId p = 1; p <= cfg.n; ++p) {
         if (!sys.can_step(p)) continue;
         if (!cfg.plan.is_faulty(p) && sys.decision_of(p) &&
@@ -595,7 +638,13 @@ ExploreResult explore_fast(const Algorithm& algorithm,
     ExploreResult result;
     std::set<Digest128> visited;  // deterministic container on purpose
 
-    exec::ThreadPool pool(cfg.threads < 1 ? 1 : cfg.threads);
+    exec::TaskScheduler sched(cfg.threads < 1 ? 1 : cfg.threads);
+    const std::size_t threshold = resolve_threshold(cfg, sched);
+    std::size_t max_dispatched = 0;
+    // Per-worker StepInput scratch for the ghost-step hot path, reused
+    // across layers; worker w touches only step_scratch[w].
+    std::vector<StepInput> step_scratch(
+            static_cast<std::size_t>(sched.size()));
 
     std::vector<FastNode> layer;
     {
@@ -627,10 +676,16 @@ ExploreResult explore_fast(const Algorithm& algorithm,
         if (cfg.collect_layer_sizes)
             result.layer_frontier_sizes.push_back(layer.size());
         // Phase A (parallel): ghost-expand every node of the layer.
-        std::vector<FastExpansion> expansions = exec::parallel_map_deterministic(
-                pool, layer.size(),
-                [&](std::size_t i) { return expand_fast(layer[i], cfg); },
-                cfg.min_parallel_frontier);
+        if (sched.size() > 1 && layer.size() >= threshold &&
+            layer.size() > max_dispatched)
+            max_dispatched = layer.size();
+        std::vector<FastExpansion> expansions = exec::parallel_map_grained(
+                sched, layer.size(), /*grain=*/0,
+                [&](std::size_t i, int w) {
+                    return expand_fast(layer[i], cfg,
+                                       step_scratch[static_cast<std::size_t>(w)]);
+                },
+                threshold);
 
         // Sequential merge, identical bookkeeping order to the other
         // engines (pop-order max_states check, expansion counting,
@@ -681,9 +736,9 @@ ExploreResult explore_fast(const Algorithm& algorithm,
         // per *state*, not per candidate edge.  fork() only reads the
         // parent, so siblings of the same parent can realize
         // concurrently.
-        std::vector<FastNode> next = exec::parallel_map_deterministic(
-                pool, accepted.size(),
-                [&](std::size_t j) {
+        std::vector<FastNode> next = exec::parallel_map_grained(
+                sched, accepted.size(), /*grain=*/0,
+                [&](std::size_t j, int) {
                     Accepted& a = accepted[j];
                     const FastNode& parent = layer[a.parent];
                     const ProcessId stepper = a.choice.process;
@@ -715,10 +770,11 @@ ExploreResult explore_fast(const Algorithm& algorithm,
 #endif
                     return node;
                 },
-                cfg.min_parallel_frontier);
+                threshold);
         layer = std::move(next);
     }
     result.states_explored = visited.size();
+    record_parallel_observability(result, sched, threshold, max_dispatched);
     return result;
 }
 
@@ -901,14 +957,25 @@ Digest128 hash_child_reduced(const System& sys, int n, ProcessId stepper,
     return h.digest();
 }
 
+/// Per-worker scratch for the reduced engine's ghost/canonicalize hot
+/// path, reused across every node a worker expands (it used to be
+/// re-constructed per node).  Each worker owns exactly one: nothing in
+/// it is shared.
+struct ReducedScratch {
+    StepInput step;
+    RenameScratch rename;
+    std::vector<const Payload*> payloads;
+};
+
 /// Phase A of the reduced engine: classify, pick the persistent set,
 /// ghost-step and canonicalize the surviving candidates.  Reads the
-/// node and clones single behaviors only -- safe to run concurrently
-/// on distinct nodes.
+/// node, the calling worker's scratch and clones single behaviors only
+/// -- safe to run concurrently on distinct nodes.
 ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
                                 const Algorithm& algorithm,
                                 const SymmetryGroup& group,
-                                const AbsorptionContext& abs) {
+                                const AbsorptionContext& abs,
+                                ReducedScratch& scratch) {
     ReducedExpansion e;
     const System& sys = *node.sys;
     e.decided = decision_set(sys, cfg.n);
@@ -962,12 +1029,11 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
         procs.push_back(pm);
     }
 
-    StepInput scratch;
     auto ghost_moves = [&](const ProcMoves& pm) {
         std::vector<GhostStep> out;
         out.reserve(pm.num);
         for (std::size_t m = 0; m < pm.num; ++m)
-            out.push_back(ghost_step(sys, pm.p, pm.prefixes[m], scratch));
+            out.push_back(ghost_step(sys, pm.p, pm.prefixes[m], scratch.step));
         return out;
     };
 
@@ -1025,14 +1091,12 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
         }
     }
 
-    RenameScratch rscratch;  // reused across candidates of this node
-    std::vector<const Payload*> payload_scratch;
     auto emit_child = [&](ProcessId p, std::size_t delivered, GhostStep& g) {
         ReducedChild child;
         fill_arriving(g, p, reduced_msg_hash, child.arriving);
         child.key = hash_child_reduced(sys, cfg.n, p, g, node.marks,
                                        node.mhash, child.arriving, abs,
-                                       payload_scratch);
+                                       scratch.payloads);
         if (group.size() > 1) {
             GhostEffects eff;
             eff.stepper = p;
@@ -1045,7 +1109,7 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
             for (std::size_t gi = 1; gi < group.size(); ++gi) {
                 const Digest128 d = hash_child_renamed(
                         sys, cfg.n, algorithm, eff, group.renaming(gi),
-                        group.inverse(gi), rscratch, abs);
+                        group.inverse(gi), scratch.rename, abs);
                 if (d < child.key) child.key = d;
             }
         }
@@ -1086,7 +1150,13 @@ ExploreResult explore_reduced(const Algorithm& algorithm,
     abs.decided_final =
             cfg.reduction.absorption && algorithm.decided_is_final();
 
-    exec::ThreadPool pool(cfg.threads < 1 ? 1 : cfg.threads);
+    exec::TaskScheduler sched(cfg.threads < 1 ? 1 : cfg.threads);
+    const std::size_t threshold = resolve_threshold(cfg, sched);
+    std::size_t max_dispatched = 0;
+    // Per-worker ghost/rename/payload scratch, reused across layers;
+    // worker w touches only worker_scratch[w].
+    std::vector<ReducedScratch> worker_scratch(
+            static_cast<std::size_t>(sched.size()));
 
     std::vector<FastNode> layer;
     {
@@ -1120,14 +1190,18 @@ ExploreResult explore_reduced(const Algorithm& algorithm,
         if (cfg.collect_layer_sizes)
             result.layer_frontier_sizes.push_back(layer.size());
         // Phase A (parallel): classify, reduce, ghost-step, canonicalize.
+        if (sched.size() > 1 && layer.size() >= threshold &&
+            layer.size() > max_dispatched)
+            max_dispatched = layer.size();
         std::vector<ReducedExpansion> expansions =
-                exec::parallel_map_deterministic(
-                        pool, layer.size(),
-                        [&](std::size_t i) {
-                            return expand_reduced(layer[i], cfg, algorithm,
-                                                  group, abs);
+                exec::parallel_map_grained(
+                        sched, layer.size(), /*grain=*/0,
+                        [&](std::size_t i, int w) {
+                            return expand_reduced(
+                                    layer[i], cfg, algorithm, group, abs,
+                                    worker_scratch[static_cast<std::size_t>(w)]);
                         },
-                        cfg.min_parallel_frontier);
+                        threshold);
 
         // Sequential merge: identical bookkeeping order to the other
         // engines over the reduced candidate stream.
@@ -1176,9 +1250,9 @@ ExploreResult explore_reduced(const Algorithm& algorithm,
         // fast engine; the message-digest cache advances with reduced
         // digests, and the debug cross-check recomputes the canonical
         // key from the live child.
-        std::vector<FastNode> next = exec::parallel_map_deterministic(
-                pool, accepted.size(),
-                [&](std::size_t j) {
+        std::vector<FastNode> next = exec::parallel_map_grained(
+                sched, accepted.size(), /*grain=*/0,
+                [&](std::size_t j, int w) {
                     Accepted& a = accepted[j];
                     const FastNode& parent = layer[a.parent];
                     const ProcessId stepper = a.choice.process;
@@ -1198,18 +1272,23 @@ ExploreResult explore_reduced(const Algorithm& algorithm,
                             ScriptLink{parent.script, std::move(a.choice)});
                     node.depth = parent.depth + 1;
 #ifndef NDEBUG
-                    RenameScratch scratch;
-                    require(canonical_state_key(*node.sys, cfg.n, algorithm,
-                                                group, scratch, abs) == a.key,
+                    require(canonical_state_key(
+                                    *node.sys, cfg.n, algorithm, group,
+                                    worker_scratch[static_cast<std::size_t>(w)]
+                                            .rename,
+                                    abs) == a.key,
                             "explore_reduced: ghost canonical key != "
                             "realized canonical key");
+#else
+                    (void)w;
 #endif
                     return node;
                 },
-                cfg.min_parallel_frontier);
+                threshold);
         layer = std::move(next);
     }
     result.states_explored = visited.size();
+    record_parallel_observability(result, sched, threshold, max_dispatched);
 
     // Orbit-expand the quiescent outcomes: a pruned orbit member's runs
     // are the renamed runs of its explored representative, so its

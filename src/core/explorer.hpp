@@ -30,7 +30,8 @@
 //   * the BFS frontier holds live System snapshots; children are made
 //     by System::fork() + one apply_choice, never by replaying the
 //     whole schedule prefix from the initial configuration;
-//   * frontier layers are expanded in parallel (exec/parallel_map.hpp)
+//   * frontier layers are expanded in parallel on the work-stealing
+//     scheduler (exec/task_scheduler.hpp, via exec/parallel_map.hpp)
 //     and merged sequentially in input order, so N-thread output is
 //     byte-identical to 1-thread output;
 //   * deduplication keys are deterministic 128-bit hashes
@@ -106,10 +107,14 @@ struct ExploreConfig {
     /// (observability; off by default to keep results lean).
     bool collect_layer_sizes = false;
     /// Frontiers smaller than this are expanded inline on the calling
-    /// thread even when threads > 1: per-task handoff overhead dwarfs
+    /// thread even when threads > 1: per-region handoff overhead dwarfs
     /// the work on tiny layers (the sub-millisecond cases in
-    /// BENCH_explorer.json).  Output stays byte-identical.
-    std::size_t min_parallel_frontier = 16;
+    /// BENCH_explorer.json).  0 (the default) derives the threshold
+    /// from the scheduler's grain policy
+    /// (exec::TaskScheduler::sequential_threshold -- fewer than
+    /// kMinGrain items per worker is not worth a dispatch); a nonzero
+    /// value overrides it.  Output stays byte-identical either way.
+    std::size_t min_parallel_frontier = 0;
 };
 
 /// Exploration outcome.
@@ -130,6 +135,19 @@ struct ExploreResult {
     /// ExploreConfig::collect_layer_sizes (layered engines only; the
     /// replay baseline keeps a rolling queue and leaves this empty).
     std::vector<std::size_t> layer_frontier_sizes;
+    /// Scheduler observability (layered engines; the replay baseline
+    /// leaves all three 0).  Excluded from the cross-engine/
+    /// cross-thread equivalence comparisons and from every report:
+    /// grain and threshold depend on the effective worker count (a
+    /// machine property), and steals are timing-dependent by design.
+    /// The grain chosen for the largest parallel-dispatched layer (0
+    /// when every layer ran inline).
+    std::size_t parallel_grain = 0;
+    /// The sequential-fallback threshold in effect (resolved from
+    /// ExploreConfig::min_parallel_frontier).
+    std::size_t parallel_threshold = 0;
+    /// Successful work steals during this exploration.
+    std::uint64_t parallel_steals = 0;
     bool exhaustive = true;  ///< no node was cut off by max_depth/max_states
     bool violation_found = false;
     std::vector<StepChoice> witness;  ///< schedule reaching the violation

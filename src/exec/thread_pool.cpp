@@ -1,139 +1,28 @@
 #include "exec/thread_pool.hpp"
 
-// src/exec/ is the one layer allowed to use threading primitives; the
-// ksa_lint rule `threading-outside-exec` enforces the boundary.
-#include <condition_variable>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
 #include "check/contract.hpp"
 
 namespace ksa::exec {
 
-int hardware_threads() {
-    const unsigned n = std::thread::hardware_concurrency();
-    return n == 0 ? 1 : static_cast<int>(n);
-}
+ThreadPool::ThreadPool(int threads)
+    : sched_(threads), requested_(threads < 1 ? 1 : threads) {}
 
-struct ThreadPool::Impl {
-    // Pool configuration -------------------------------------------------
-    int threads = 1;                   ///< logical parallelism (>= 1)
-    std::vector<std::thread> workers;  ///< threads - 1 OS threads
+ThreadPool::~ThreadPool() = default;
 
-    // Job state, guarded by `mu` ----------------------------------------
-    std::mutex mu;
-    std::condition_variable work_cv;   ///< workers wait for a new job
-    std::condition_variable done_cv;   ///< the caller waits for completion
-    std::uint64_t generation = 0;  ///< bumped per run_indexed // ksa: guarded_by(mu)
-    bool shutting_down = false;    // ksa: guarded_by(mu)
+int ThreadPool::size() const { return requested_; }
 
-    // count/fn/chunk_errors are published by the generation handshake:
-    // written under `mu` BEFORE the generation bump, read by workers
-    // only AFTER they observed the new generation under `mu`, never
-    // written while a job is in flight -- so run_chunk may read them
-    // lock-free.  The handshake, not the mutex, is the hand-off.
-    std::size_t count = 0;                          ///< items of current job
-    const std::function<void(std::size_t)>* fn = nullptr;
-    int chunks_left = 0;  ///< unfinished chunks // ksa: guarded_by(mu)
-    std::vector<std::exception_ptr> chunk_errors;   ///< slot per chunk
-
-    /// Static, index-ordered chunking: chunk c of t covers
-    /// [c*count/t, (c+1)*count/t) -- a pure function of (count, t, c),
-    /// independent of timing, so the work partition is deterministic.
-    // ksa: wait_free -- pure arithmetic on the hot path.
-    static std::size_t chunk_begin(std::size_t count, int t, int c) {
-        return count * static_cast<std::size_t>(c) /
-               static_cast<std::size_t>(t);
-    }
-
-    // ksa: wait_free -- runs between the generation handshake and the
-    // chunks_left decrement; it must never lock or block, or chunks
-    // serialize and the pool degrades to a convoy.
-    void run_chunk(int chunk) noexcept {
-        const std::size_t begin = chunk_begin(count, threads, chunk);
-        const std::size_t end = chunk_begin(count, threads, chunk + 1);
-        try {
-            for (std::size_t i = begin; i < end; ++i) (*fn)(i);
-        } catch (...) {
-            chunk_errors[static_cast<std::size_t>(chunk)] =
-                std::current_exception();
-        }
-    }
-
-    void worker_loop(int chunk) {
-        std::uint64_t seen = 0;
-        while (true) {
-            {
-                std::unique_lock<std::mutex> lock(mu);
-                work_cv.wait(lock, [&] {
-                    return shutting_down || generation != seen;
-                });
-                if (shutting_down) return;
-                seen = generation;
-            }
-            run_chunk(chunk);
-            {
-                std::lock_guard<std::mutex> lock(mu);
-                if (--chunks_left == 0) done_cv.notify_all();
-            }
-        }
-    }
-};
-
-ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
-    impl_->threads = threads < 1 ? 1 : threads;
-    // Worker w runs chunk w; the caller's thread runs the last chunk.
-    for (int w = 0; w + 1 < impl_->threads; ++w)
-        impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
-}
-
-ThreadPool::~ThreadPool() {
-    {
-        std::lock_guard<std::mutex> lock(impl_->mu);
-        impl_->shutting_down = true;
-    }
-    impl_->work_cv.notify_all();
-    for (std::thread& t : impl_->workers) t.join();
-}
-
-int ThreadPool::size() const { return impl_->threads; }
-
-// ksa: guarded_by(mu)
 void ThreadPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
     KSA_REQUIRE(fn != nullptr, "ThreadPool::run_indexed: null function");
     if (count == 0) return;
-    Impl& im = *impl_;
-    if (im.threads == 1) {
-        // Reference path: inline, in index order, first error wins.
-        for (std::size_t i = 0; i < count; ++i) fn(i);
-        return;
-    }
-
-    {
-        std::lock_guard<std::mutex> lock(im.mu);
-        im.count = count;
-        im.fn = &fn;
-        im.chunks_left = im.threads;
-        im.chunk_errors.assign(static_cast<std::size_t>(im.threads), nullptr);
-        ++im.generation;
-    }
-    im.work_cv.notify_all();
-
-    // The caller participates as the last chunk, then waits.
-    im.run_chunk(im.threads - 1);
-    {
-        std::unique_lock<std::mutex> lock(im.mu);
-        if (--im.chunks_left != 0)
-            im.done_cv.wait(lock, [&] { return im.chunks_left == 0; });
-        im.fn = nullptr;
-    }
-
-    // Deterministic error reporting: the lowest chunk's exception.
-    for (const std::exception_ptr& e : im.chunk_errors)
-        if (e) std::rethrow_exception(e);
+    // Legacy chunking: at most `requested_` contiguous chunks, i.e.
+    // grain = ceil(count / requested_).  Going through run_chunked
+    // keeps the legacy surface on the exact same execution core (and
+    // the same per-chunk error slots) as the grained callers.
+    const std::size_t t = static_cast<std::size_t>(requested_);
+    const std::size_t grain = (count + t - 1) / t;
+    sched_.run_chunked(count, grain,
+                       [&fn](std::size_t i, int /*worker*/) { fn(i); });
 }
 
 }  // namespace ksa::exec

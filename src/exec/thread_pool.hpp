@@ -5,42 +5,36 @@
 // contract: reports, sweeps and exploration results must be
 // byte-identical across runs -- and, since this layer exists, across
 // thread counts.  src/exec/ is the ONLY place in src/ where threading
-// primitives may appear (ksa_lint rule `threading-outside-exec`); every
-// other layer expresses parallelism through the order-preserving
-// combinators of parallel_map.hpp, which confine all nondeterminism
-// (OS scheduling) to *when* work happens, never to *what* is produced:
+// primitives may appear (ksa_lint rule `threading-outside-exec`).
 //
-//   * work items must be independent (no shared mutable state);
-//   * items are partitioned into static, index-ordered contiguous
-//     chunks -- the partition depends only on (count, threads), not on
-//     timing;
-//   * each item writes only its own output slot, and the caller
-//     consumes the slots in input order;
-//   * an exception escaping an item cancels nothing but is re-thrown
-//     deterministically: after all items ran, the one with the lowest
-//     index wins.
-//
-// Under this discipline, N-thread output is byte-identical to 1-thread
-// output by construction; tests/test_exec.cpp and the TSan preset hold
-// the implementation to it.
+// The execution core is the work-stealing TaskScheduler
+// (task_scheduler.hpp, which also states the determinism discipline in
+// full).  ThreadPool survives as a thin compatibility shim over it,
+// preserving the original barrier-pool surface -- run_indexed over
+// `size()` static contiguous chunks -- for call sites and analyses
+// written against it: the flow analyzer's sync-point model
+// (doc/analysis.md §3) recognizes run_indexed as a parallel entry
+// point, and existing tests pin its chunking and error semantics.  New
+// parallel code should use TaskScheduler / parallel_map_grained
+// directly and say how fine its grain is.
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 
+#include "exec/task_scheduler.hpp"
+
 namespace ksa::exec {
 
-/// Best-effort hardware concurrency, never less than 1.
-int hardware_threads();  // ksa: thread_safe
-
-/// A fixed-size pool of worker threads executing index ranges.
-/// Construction with `threads <= 1` creates no workers at all; every
-/// run_indexed call then executes inline on the caller's thread, which
-/// is the reference behavior the parallel path must reproduce.
+/// Compatibility shim over TaskScheduler: the legacy fixed-chunk pool
+/// surface.  `size()` reports the REQUESTED parallelism (the legacy
+/// contract callers and tests rely on); the scheduler underneath still
+/// clamps actual workers to the hardware, so an oversized ThreadPool
+/// no longer oversubscribes the machine.
 class ThreadPool {
 public:
-    /// Spawns `threads - 1` workers (the caller's thread is the last
-    /// worker of every run_indexed call, so `threads` CPUs are busy).
+    /// A pool of `threads` logical workers (threads < 1 is treated as
+    /// 1).  The caller's thread participates in every run.
     // ksa: thread_safe -- construction happens-before any worker runs.
     explicit ThreadPool(int threads);
     ~ThreadPool();
@@ -48,24 +42,23 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /// The configured parallelism (>= 1).
+    /// The configured (requested) parallelism (>= 1).
     int size() const;  // ksa: thread_safe -- immutable after construction
 
-    // ksa: guarded_by(mu) -- the job handoff state lives behind
-    // Impl::mu; the definition in thread_pool.cpp is verified to take
-    // the lock (lint rule lock-discipline).
     /// Runs fn(i) for every i in [0, count) exactly once, partitioned
-    /// into size() static contiguous chunks in index order, and blocks
-    /// until every call returned.  fn must be safe to invoke from
-    /// multiple threads on distinct indices.  If calls throw, the
-    /// exception of the lowest chunk index is re-thrown after all
-    /// chunks finished (deterministic error reporting).
+    /// into at most size() static contiguous chunks in index order,
+    /// and blocks until every call returned.  fn must be safe to
+    /// invoke from multiple threads on distinct indices.  If calls
+    /// throw, the exception of the lowest item index is re-thrown
+    /// after all chunks finished (deterministic error reporting).
+    // ksa: thread_safe -- delegates to TaskScheduler::run_chunked,
+    // which owns the locking.
     void run_indexed(std::size_t count,
                      const std::function<void(std::size_t)>& fn);
 
 private:
-    struct Impl;
-    std::unique_ptr<Impl> impl_;
+    TaskScheduler sched_;
+    int requested_;
 };
 
 }  // namespace ksa::exec

@@ -23,6 +23,7 @@
 #include "algo/flooding.hpp"
 #include "algo/initial_clique.hpp"
 #include "core/explorer.hpp"
+#include "exec/task_scheduler.hpp"
 #include "sim/system.hpp"
 
 namespace ksa::core {
@@ -61,11 +62,15 @@ ExploreResult expect_all_engines_agree(const Algorithm& algorithm,
     cfg.mode = ExploreMode::kFast;
     cfg.threads = 1;
     const ExploreResult fast1 = explore_schedules(algorithm, cfg);
-    cfg.threads = 4;
-    const ExploreResult fast4 = explore_schedules(algorithm, cfg);
     expect_equal_results(baseline, reference, label + ": baseline vs reference");
     expect_equal_results(baseline, fast1, label + ": baseline vs fast(1)");
-    expect_equal_results(fast1, fast4, label + ": fast(1) vs fast(4)");
+    for (const int threads : {2, 4, exec::hardware_threads()}) {
+        cfg.threads = threads;
+        const ExploreResult fast_n = explore_schedules(algorithm, cfg);
+        expect_equal_results(fast1, fast_n,
+                             label + ": fast(1) vs fast(" +
+                                     std::to_string(threads) + ")");
+    }
     return baseline;
 }
 
@@ -190,9 +195,10 @@ void expect_observables_equal(const ExploreResult& full,
     EXPECT_EQ(full.quiescent_outcomes, reduced.quiescent_outcomes) << label;
 }
 
-/// Runs `cfg` through kFast and through kReduced (threads 1 and 4),
-/// requires the three observables to match and the reduced runs to be
-/// byte-identical across thread counts, and returns (fast, reduced).
+/// Runs `cfg` through kFast and through kReduced (threads 1, 2, 4 and
+/// the hardware count), requires the three observables to match and
+/// the reduced runs to be byte-identical across thread counts, and
+/// returns (fast, reduced).
 std::pair<ExploreResult, ExploreResult> expect_reduced_agrees(
         const Algorithm& algorithm, ExploreConfig cfg,
         const std::string& label) {
@@ -201,9 +207,13 @@ std::pair<ExploreResult, ExploreResult> expect_reduced_agrees(
     const ExploreResult fast = explore_schedules(algorithm, cfg);
     cfg.mode = ExploreMode::kReduced;
     const ExploreResult red1 = explore_schedules(algorithm, cfg);
-    cfg.threads = 4;
-    const ExploreResult red4 = explore_schedules(algorithm, cfg);
-    expect_equal_results(red1, red4, label + ": reduced(1) vs reduced(4)");
+    for (const int threads : {2, 4, exec::hardware_threads()}) {
+        cfg.threads = threads;
+        const ExploreResult red_n = explore_schedules(algorithm, cfg);
+        expect_equal_results(red1, red_n,
+                             label + ": reduced(1) vs reduced(" +
+                                     std::to_string(threads) + ")");
+    }
     expect_observables_equal(fast, red1, label + ": fast vs reduced");
     EXPECT_LE(red1.states_explored, fast.states_explored) << label;
     return {fast, red1};
