@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "algo/flooding.hpp"
@@ -31,28 +32,66 @@
 // interned message hashing, scratch reuse) are tuned against.  Wall
 // time alone under-reports allocator pressure: a malloc that is cheap
 // in a micro-benchmark fragments and contends at exploration scale.
+//
+// Besides call/byte totals, the shim tracks LIVE and PEAK heap bytes:
+// each allocation is prefixed with a 16-byte header stashing its size,
+// so the matching delete can subtract it.  Peak tracking is what sizes
+// the out-of-core store's memory ceiling (doc/performance.md §6): the
+// BM_ExplorerPeakMemory cases below measure the whole-process heap
+// high-water mark of a spill-forced exploration and cross-check the
+// explorer's own peak_resident_bytes accounting against it.
+//
 // The counters are atomics so multi-threaded cases stay well-defined;
-// the hook lives only in this benchmark binary and costs two relaxed
-// atomic increments per allocation.
+// the hook lives only in this benchmark binary.  Aligned-new overloads
+// are deliberately NOT intercepted: the language pairs them with
+// aligned delete, so no un-prefixed pointer can ever reach the
+// prefix-stripping deletes below.
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_calls{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_bytes{0};
+
+/// Header large enough to preserve max_align_t alignment of the
+/// returned pointer.
+constexpr std::size_t kAllocHeader =
+    alignof(std::max_align_t) > sizeof(std::size_t)
+        ? alignof(std::max_align_t)
+        : sizeof(std::size_t);
 
 void* counted_alloc(std::size_t size) {
     g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
     g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-    throw std::bad_alloc();
+    const std::uint64_t live =
+        g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+    std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !g_peak_bytes.compare_exchange_weak(peak, live,
+                                               std::memory_order_relaxed)) {
+    }
+    void* raw = std::malloc(size + kAllocHeader);
+    if (!raw) throw std::bad_alloc();
+    std::memcpy(raw, &size, sizeof(size));
+    return static_cast<char*>(raw) + kAllocHeader;
+}
+
+void counted_free(void* p) noexcept {
+    if (p == nullptr) return;
+    char* raw = static_cast<char*>(p) - kAllocHeader;
+    std::size_t size = 0;
+    std::memcpy(&size, raw, sizeof(size));
+    g_live_bytes.fetch_sub(size, std::memory_order_relaxed);
+    std::free(raw);
 }
 }  // namespace
 
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
 
 namespace {
 
@@ -203,6 +242,52 @@ BENCHMARK(BM_ExplorerAllocsPerState)
     ->Arg(0)
     ->Arg(1)
     ->ArgName("reduced");
+
+// Whole-process heap high-water mark of a spill-forced exploration,
+// and the cross-check of the explorer's own accounting: the reported
+// peak_resident_bytes (visited tier + delta window) must stay below
+// what the heap actually peaked at.  Arg = frontier RAM budget in KB
+// (0 = never spill), so the case family shows the spill knob trading
+// resident bytes for disk traffic at fixed exploration results.
+void BM_ExplorerPeakMemory(benchmark::State& state) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    core::ExploreConfig cfg;
+    cfg.n = 3;
+    cfg.inputs = distinct_inputs(3);
+    cfg.k = 1;
+    cfg.max_depth = 12;
+    cfg.max_states = 400000;
+    cfg.mode = core::ExploreMode::kFast;
+    cfg.store.frontier_ram_bytes =
+        static_cast<std::size_t>(state.range(0)) * 1024;
+    double peak_mb = 0.0;
+    double reported_mb = 0.0;
+    std::uint64_t spilled = 0;
+    for (auto _ : state) {
+        // Rebase the high-water mark to the current live level so the
+        // measurement covers this exploration alone.
+        g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+        const std::uint64_t before =
+            g_peak_bytes.load(std::memory_order_relaxed);
+        core::ExploreResult r = core::explore_schedules(*algorithm, cfg);
+        const std::uint64_t after =
+            g_peak_bytes.load(std::memory_order_relaxed);
+        peak_mb = static_cast<double>(after - before) / (1024.0 * 1024.0);
+        reported_mb =
+            static_cast<double>(r.peak_resident_bytes) / (1024.0 * 1024.0);
+        spilled = r.spilled_records;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["heap_peak_mb"] = peak_mb;
+    state.counters["store_peak_mb"] = reported_mb;
+    state.counters["spilled"] = static_cast<double>(spilled);
+}
+BENCHMARK(BM_ExplorerPeakMemory)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(4)
+    ->ArgName("frontier_kb");
 
 // The reduced message digest must be allocation-free after tag-intern
 // warm-up: the interner's thread-local front cache absorbs the lookup

@@ -16,7 +16,7 @@
 // baseline is kept in-tree precisely so the comparison stays honest.
 //
 // Usage: bench_model_check [--out FILE] [--threads N] [--quick]
-//                          [--check FILE]
+//                          [--check FILE] [--deep]
 //   --quick caps depths for the CI smoke (label `perf`); the committed
 //   BENCH_explorer.json comes from a full run.
 //   --check re-runs the full-depth cases and compares them against a
@@ -25,6 +25,13 @@
 //   (sub-threshold timings are skipped -- timer noise, not regressions),
 //   and the flagship's >= 2x reduction ratio is re-asserted.  This is
 //   the bench-regression gate ctest runs under the `perf` label.
+//   --deep appends the out-of-core flagship row: an exhaustive n=5
+//   initial-clique exploration past 10^7 canonical states, run under an
+//   enforced 64 MB frontier ceiling so the delta store demonstrably
+//   spills (doc/performance.md §6).  It takes tens of minutes and is
+//   meant for regenerating the committed artifact, not for CI; --check
+//   ignores deep rows (their counts are pinned by the committed entry
+//   itself, their runtime by nobody).
 
 #include <algorithm>
 #include <cstdlib>
@@ -160,6 +167,7 @@ int main(int argc, char** argv) {
     std::string check_path;
     int threads = exec::hardware_threads();
     bool quick = false;
+    bool deep = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out_path = argv[++i];
@@ -169,9 +177,11 @@ int main(int argc, char** argv) {
             quick = true;
         else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
             check_path = argv[++i];
+        else if (std::strcmp(argv[i], "--deep") == 0)
+            deep = true;
         else {
             std::cerr << "usage: bench_model_check [--out FILE] "
-                         "[--threads N] [--quick] [--check FILE]\n";
+                         "[--threads N] [--quick] [--check FILE] [--deep]\n";
             return 2;
         }
     }
@@ -320,6 +330,13 @@ int main(int argc, char** argv) {
                 {"reduced_expansions", red_r.schedules_expanded},
                 {"por_skips", red_r.por_skips},
                 {"dedup_hits", red_r.dedup_hits},
+                // Store-tier counters are part of the determinism
+                // contract (visited_store.hpp): pure functions of the
+                // key stream, thread-count invariant, so they are
+                // pinned exactly like the state counts.
+                {"filter_definite_new", red_r.filter_definite_new},
+                {"filter_false_positives", red_r.filter_false_positives},
+                {"spilled_records", red_r.spilled_records},
             };
             for (const auto& [key, got] : counts) {
                 double want = 0;
@@ -550,7 +567,16 @@ int main(int argc, char** argv) {
             .num("por_skips", red_r.por_skips)
             .num("dedup_hits", red_r.dedup_hits)
             .num("reduction_ratio", red_ratio)
-            .boolean("reduced_agrees", red_ok);
+            .boolean("reduced_agrees", red_ok)
+            // Out-of-core store observability (deterministic tallies;
+            // replay_steps / spill_reads are timing-dependent and
+            // deliberately excluded, like steal counts).
+            .num("store_shards", red_r.store_shards)
+            .num("filter_definite_new", red_r.filter_definite_new)
+            .num("filter_false_positives", red_r.filter_false_positives)
+            .num("spilled_records", red_r.spilled_records)
+            .num("spill_bytes", red_r.spill_bytes)
+            .num("peak_resident_kb", red_r.peak_resident_bytes / 1024);
     }
     // ------------------------------------------------------------------
     // Reduction engine: quotient sizes and agreement (observables only;
@@ -581,6 +607,71 @@ int main(int argc, char** argv) {
                       : "ENGINE DISAGREEMENT -- the snapshot engine is wrong")
               << "\n";
 
+    // ------------------------------------------------------------------
+    // --deep: the out-of-core flagship row.  An n=5 initial-clique
+    // instance whose quotient space passes 10^7 canonical states before
+    // exhausting -- two orders of magnitude past what the in-RAM
+    // frontier could hold -- explored under an enforced 64 MB frontier
+    // ceiling so the run demonstrably spills and re-materializes
+    // (doc/performance.md §6).  Single repetition (it runs for tens of
+    // minutes); the deterministic counts in the committed entry are the
+    // regression anchor, not the wall time.
+    bool deep_ok = true;
+    if (deep && check_path.empty()) {
+        std::cout << "\nout-of-core flagship (--deep): n=5 initial clique, "
+                  << "64 MB frontier ceiling\n";
+        auto algorithm = algo::make_flp_kset(5, 1);
+        core::ExploreConfig cfg;
+        cfg.n = 5;
+        cfg.inputs = distinct_inputs(5);
+        cfg.k = 1;
+        cfg.max_depth = 20;
+        cfg.max_states = 100u * 1000 * 1000;
+        cfg.mode = core::ExploreMode::kReduced;
+        cfg.threads = threads;
+        cfg.store.frontier_ram_bytes = std::size_t(64) << 20;
+        core::ExploreResult r;
+        const double deep_ms = ksa::bench::time_call_ms(
+            [&] { r = core::explore_schedules(*algorithm, cfg); });
+        deep_ok = r.exhaustive && !r.violation_found &&
+                  r.states_explored >= 10u * 1000 * 1000;
+        std::cout << "  canonical states " << r.states_explored
+                  << ", expansions " << r.schedules_expanded << ", "
+                  << (r.exhaustive ? "exhaustive" : "TRUNCATED") << ", "
+                  << (r.violation_found ? "VIOLATION" : "no violation")
+                  << "\n  spilled " << r.spilled_records << " records ("
+                  << r.spill_bytes / (1024 * 1024) << " MB), peak resident "
+                  << r.peak_resident_bytes / (1024 * 1024) << " MB, "
+                  << std::fixed << std::setprecision(0) << deep_ms / 1000.0
+                  << " s\n"
+                  << (deep_ok ? "  deep row ok"
+                              : "  DEEP ROW FAILED ACCEPTANCE")
+                  << "\n";
+        std::cout.unsetf(std::ios::fixed);
+        report.entry("out-of-core, n=5 deep")
+            .str("algorithm", algorithm->name())
+            .num("n", 5)
+            .num("k", 1)
+            .num("dead", 0)
+            .num("max_depth", cfg.max_depth)
+            .num("timing_reps", 1)
+            .num("threads", threads)
+            .boolean("violation", r.violation_found)
+            .boolean("exhaustive", r.exhaustive)
+            .num("canonical_states", r.states_explored)
+            .num("reduced_expansions", r.schedules_expanded)
+            .num("por_skips", r.por_skips)
+            .num("dedup_hits", r.dedup_hits)
+            .num("reduced_ms", deep_ms)
+            .num("store_shards", r.store_shards)
+            .num("filter_definite_new", r.filter_definite_new)
+            .num("filter_false_positives", r.filter_false_positives)
+            .num("frontier_ram_mb", cfg.store.frontier_ram_bytes >> 20)
+            .num("spilled_records", r.spilled_records)
+            .num("spill_bytes", r.spill_bytes)
+            .num("peak_resident_kb", r.peak_resident_bytes / 1024);
+    }
+
     if (!out_path.empty()) report.write(out_path);
-    return all && engines_agree ? 0 : 1;
+    return all && engines_agree && deep_ok ? 0 : 1;
 }

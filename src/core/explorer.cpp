@@ -11,13 +11,16 @@
 #include "exec/task_scheduler.hpp"
 #include "sim/digest.hpp"
 #include "sim/system.hpp"
+#include "store/delta_store.hpp"
+#include "store/rematerialize.hpp"
+#include "store/visited_store.hpp"
 
 namespace ksa::core {
 
 namespace {
 
 // ---------------------------------------------------------------------
-// Shared predicates (identical across all three engines).
+// Shared predicates (identical across all engines).
 
 bool quiescent(const System& sys, const ExploreConfig& cfg) {
     for (ProcessId p = 1; p <= cfg.n; ++p) {
@@ -89,8 +92,8 @@ std::vector<StepChoice> delivery_modes(const System& sys, ProcessId p) {
 //
 // Behavior digests are the expensive part of a key (one string
 // rendering over the whole local state).  A child configuration differs
-// from its parent by exactly one step of one process, so the snapshot
-// engine carries the digest vector alongside each node and re-renders
+// from its parent by exactly one step of one process, so the layered
+// engines carry the digest vector alongside each node and re-render
 // only the stepped process's entry: n-1 of the n renderings the replay
 // baseline pays per candidate disappear.
 
@@ -144,14 +147,12 @@ Digest128 behavior_hash(const Behavior& b) {
     return h.digest();
 }
 
-/// Per-process behavior-state entry of a fast-mode key.  `stepped`
-/// mirrors the baseline's convention of keying an unstepped process on
-/// the empty string (see the state-key comment): an unstepped process
-/// contributes only the flag, a stepped one its fold_state digest.
-struct BehaviorMark {
-    bool stepped = false;
-    Digest128 hash{};
-};
+/// Per-process behavior-state entry and per-node buffered-message
+/// digest cache of a hashed key: shared with the out-of-core store
+/// (src/store/rematerialize.hpp), whose delta-replay path advances the
+/// same caches the in-RAM frontier used to carry per node.
+using store::BehaviorMark;
+using store::MessageHashes;
 
 void fold_mark(StateHasher& h, const BehaviorMark& m) {
     h.u64(m.stepped ? 1 : 0);
@@ -165,8 +166,8 @@ void fold_mark(StateHasher& h, const BehaviorMark& m) {
 /// configurations produce distinct feed sequences.  This version
 /// recomputes every per-message and per-behavior digest from the live
 /// System; it is used for the root key and for the debug cross-check
-/// of ghost keys (an independent path that also validates the cache
-/// bookkeeping).
+/// of the store path's spine caches (an independent recompute that
+/// also validates the cache bookkeeping).
 Digest128 hash_state(const System& sys, int n) {
     StateHasher h;
     for (ProcessId p = 1; p <= n; ++p) {
@@ -188,7 +189,7 @@ Digest128 hash_state(const System& sys, int n) {
 }
 
 // ---------------------------------------------------------------------
-// Ghost stepping (fast mode).
+// Ghost stepping (fast + reduced modes).
 //
 // The profile of the snapshot engine is dominated by materializing and
 // destroying forked Systems for candidate children that deduplication
@@ -199,10 +200,10 @@ Digest128 hash_state(const System& sys, int n) {
 // step's effects patched in -- p's delivered prefix removed from its
 // buffer, the step's surviving sends appended to their destination
 // buffers, p's decision/crash flag/behavior digest updated.  Only
-// children that survive deduplication are realized with a real
-// System::fork() + apply_choice() (at most one per *state*, not one
-// per *edge*).  Debug builds re-hash every realized child and assert
-// the ghost key matches (the executable form of this equivalence).
+// children that survive deduplication are ever realized at all -- and
+// on the store path (src/store/) not even then: an accepted child is a
+// 16-byte delta record, re-forked from its parent's live state only
+// when its own expansion comes up.
 
 /// Effects of one ghost step of `stepper` on a behavior clone.
 struct GhostStep {
@@ -243,19 +244,11 @@ GhostStep ghost_step(const System& sys, ProcessId p, std::size_t delivered,
 }
 
 /// One message the ghost step adds to a buffer, pre-hashed.  Kept in
-/// emission order; the accepted child's per-message digest cache is
-/// extended from this list without re-hashing the payloads.
+/// emission order.
 struct ArrivingSend {
     ProcessId dest = 0;
     Digest128 hash{};
 };
-
-/// Per-node cache of buffered-message digests: `mhash[p-1][i]` is
-/// msg_hash() of the i-th message of p's buffer.  A child's cache is
-/// the parent's with the stepper's delivered prefix erased and the
-/// step's surviving sends appended -- every message is hashed exactly
-/// once in its lifetime.
-using MessageHashes = std::vector<std::vector<Digest128>>;
 
 /// Fills `arriving` with the ghost step's surviving sends in emission
 /// order, digested by `digest_send(stepper, payload)` -- msg_hash for
@@ -273,8 +266,7 @@ void fill_arriving(const GhostStep& g, ProcessId stepper,
 
 /// Hash of the child configuration reached from `sys` by the ghost
 /// step: field-for-field identical to hash_state() of the realized
-/// child (debug builds assert this on every accepted child).
-/// `arriving` must hold the surviving sends in emission order
+/// child.  `arriving` must hold the surviving sends in emission order
 /// (fill_arriving).
 Digest128 hash_child(const System& sys, int n, ProcessId stepper,
                      const GhostStep& g,
@@ -315,13 +307,13 @@ Digest128 hash_child(const System& sys, int n, ProcessId stepper,
 //
 // Each engine owns one work-stealing TaskScheduler for the whole
 // exploration; per-worker scratch is sized to sched.size() and reused
-// across every layer a worker touches (the fork/digest hot path used
-// to re-allocate it per node).  Layers below the sequential threshold
-// run inline; dispatched layers are chunked with the scheduler's auto
-// grain and rebalanced by stealing.  The chosen grain/threshold and
-// the steal count are recorded into the result as observability --
-// they describe the machine and the timing, not the exploration, so
-// they stay out of every report and equivalence comparison.
+// across every layer a worker touches.  Layers (blocks, on the store
+// path) below the sequential threshold run inline; dispatched work is
+// chunked with the scheduler's auto grain and rebalanced by stealing.
+// The chosen grain/threshold and the steal count are recorded into the
+// result as observability -- they describe the machine and the timing,
+// not the exploration, so they stay out of every report and
+// equivalence comparison.
 
 std::size_t resolve_threshold(const ExploreConfig& cfg,
                               const exec::TaskScheduler& sched) {
@@ -344,23 +336,22 @@ void record_parallel_observability(ExploreResult& result,
 }
 
 // ---------------------------------------------------------------------
-// Snapshot engine (fast + reference modes).
+// Snapshot engine (reference mode).
 //
 // The frontier holds *live* System snapshots; a child is parent->fork()
 // plus one apply_choice.  Recording is off: the schedule script kept
-// alongside each node is the record, and skipping the per-step Run
-// bookkeeping (including the digest_after rendering) is a large part of
-// the speedup over the replay baseline.
+// alongside each node is the record.  Deliberately simple and entirely
+// in-RAM: this is the collision-free cross-check the hashed store-path
+// engines are validated against, so it shares none of their machinery.
 //
 // The BFS is layered so that layers can be expanded in parallel:
-// expansion (pure, per-node) happens through
-// exec::parallel_map_deterministic, and all mutation of the shared
-// result/visited state happens in a sequential merge that consumes the
-// expansions in input order.  The merge replays the exact bookkeeping
-// order of the sequential pre-snapshot engine -- pop-time max_states
-// check, expansion counting, first-in-BFS-order witness, child
-// insertion order -- so the output is byte-identical across engines and
-// thread counts.
+// expansion (pure, per-node) happens through parallel_map_grained, and
+// all mutation of the shared result/visited state happens in a
+// sequential merge that consumes the expansions in input order.  The
+// merge replays the exact bookkeeping order of the sequential
+// pre-snapshot engine -- pop-time max_states check, expansion counting,
+// first-in-BFS-order witness, child insertion order -- so the output is
+// byte-identical across engines and thread counts.
 
 /// One link of a shared schedule-prefix chain.  Frontier nodes share
 /// their prefixes structurally instead of copying O(depth) StepChoices
@@ -543,51 +534,241 @@ ExploreResult explore_snapshot(const Algorithm& algorithm,
 }
 
 // ---------------------------------------------------------------------
-// Fast engine: ghost expansion + fork-only-accepted realization.
+// Store-path engines (fast + reduced): the layered ghost-step BFS over
+// the out-of-core store (src/store/, doc/performance.md §6).
 //
-// Same layered BFS and identical merge bookkeeping as explore_snapshot,
-// but Phase A (expansion) produces only ghost keys -- no forks -- and a
-// second parallel Phase B realizes exactly the deduplication survivors.
-// Since the reachable graph typically has several times more edges than
-// vertices, this removes the dominant cost of the snapshot engine
-// (constructing and destroying rejected forked Systems).
+// A frontier node is a 16-byte DeltaRecord -- (parent id, stepper,
+// delivered-prefix length) -- not a live System; node ids are BFS
+// acceptance sequence numbers, so a layer is a contiguous id interval
+// of the append-only DeltaStore and "popping the next layer" is
+// advancing an id range.  Each layer is processed in blocks of
+// StoreOptions::expand_block nodes through three phases:
+//
+//   1. EXPAND (parallel): each worker re-materializes its nodes from
+//      delta records through a per-worker store::Rematerializer --
+//      which keeps a spine of forked Systems along the root path, so
+//      the common case re-forks from the direct parent and replays one
+//      step -- and ghost-steps every (live process, delivery mode)
+//      candidate into a dedup key.  Pure reads of the shared stores.
+//
+//   2. DEDUP (parallel): the block's candidate keys, flattened in
+//      BFS candidate order, go through ShardedVisitedStore::
+//      insert_batch -- one task per shard, each shard owned by exactly
+//      one worker and processing its candidates in ascending global
+//      order, so the verdict vector is byte-identical to sequential
+//      insertion for every thread/shard/block configuration.
+//
+//   3. MERGE (sequential): consumes expansions + verdicts in input
+//      order and replays the exact bookkeeping order of the in-RAM
+//      engines -- pop-order max_states check, expansion counting,
+//      first-in-BFS-order witness (materialized on demand by delta
+//      replay), child append order.  Appends to the DeltaStore happen
+//      only here, which is the entire concurrency protocol: expansion
+//      phases read, the merge phase writes, nothing overlaps.
+//
+// Block boundaries affect CPU and resident memory only, never results:
+// the candidate stream seen by the visited store and the record stream
+// appended to the delta store are byte-identical for every
+// expand_block, and truncation (max_states) cuts both at the same
+// pop-order point the sequential engine would.
 
-/// A candidate child, described without materializing it -- not even
-/// its StepChoice: the (stepper, delivered-prefix-length) pair fully
-/// describes the step, and the choice is built from the parent's
-/// buffer only for the children that survive deduplication.
-struct FastChild {
+/// A candidate child, described without materializing it: the
+/// (stepper, delivered-prefix-length) pair fully describes the step --
+/// exactly the payload of the DeltaRecord appended if the key survives
+/// deduplication.
+struct StoreChild {
     Digest128 key{};
     ProcessId stepper = 0;
-    std::size_t delivered = 0;  ///< length of the delivered buffer prefix
-    Digest128 bhash{};          ///< stepper's behavior hash after the step
-    std::vector<ArrivingSend> arriving;  ///< pre-hashed surviving sends
+    std::uint32_t delivered = 0;  ///< length of the delivered buffer prefix
 };
 
-struct FastExpansion {
+struct StoreExpansion {
     std::set<Value> decided;
     bool is_quiescent = false;
     std::vector<Value> outcome;  ///< filled iff is_quiescent
     bool at_depth = false;
-    std::vector<FastChild> children;
+    std::size_t por_skips = 0;  ///< reduced engine only
+    std::vector<StoreChild> children;
 };
 
-struct FastNode {
-    std::unique_ptr<System> sys;
-    std::vector<BehaviorMark> marks;  ///< cached behavior-state digests
-    MessageHashes mhash;              ///< cached buffered-message digests
-    std::shared_ptr<const ScriptLink> script;
+#ifndef NDEBUG
+/// The executable form of the rematerializer contract: the spine's
+/// incrementally advanced caches equal a fresh recompute from the live
+/// System.  An accepted child's ghost key is a pure function of these
+/// caches, so this is the store-path descendant of the old "ghost key
+/// == realized state hash" assertion of the in-RAM engines.
+void check_node_caches(const store::MaterializedNode& node, int n,
+                       store::Rematerializer::DigestSendFn digest_send) {
+    for (ProcessId q = 1; q <= n; ++q) {
+        const BehaviorMark& m = (*node.marks)[q - 1];
+        require(m.stepped == (node.sys->steps_of(q) > 0),
+                "store path: stale stepped flag in spine cache");
+        if (m.stepped)
+            require(m.hash == behavior_hash(node.sys->behavior_of(q)),
+                    "store path: stale behavior digest in spine cache");
+        const auto& mh = (*node.mhash)[q - 1];
+        const auto& buf = node.sys->buffer(q);
+        require(mh.size() == buf.size(),
+                "store path: message-digest cache length mismatch");
+        for (std::size_t i = 0; i < mh.size(); ++i)
+            require(mh[i] == digest_send(buf[i].from, buf[i].payload),
+                    "store path: stale message digest in spine cache");
+    }
+}
+#endif
+
+/// The shared BFS driver of the store-path engines.  `Worker` carries
+/// the per-worker Rematerializer (`remat`) plus whatever expansion
+/// scratch the engine needs; `expand(node, worker, depth)` classifies
+/// one materialized node and returns its candidate children.
+template <typename Worker, typename ExpandFn>
+void run_store_bfs(const Algorithm& algorithm, const ExploreConfig& cfg,
+                   const Digest128& root_key,
+                   store::Rematerializer::DigestSendFn digest_send,
+                   const ExpandFn& expand, ExploreResult& result) {
+    exec::TaskScheduler sched(cfg.threads < 1 ? 1 : cfg.threads);
+    const std::size_t threshold = resolve_threshold(cfg, sched);
+    std::size_t max_dispatched = 0;
+
+    store::ShardedVisitedStore visited(cfg.store);
+    store::DeltaStore deltas(cfg.store);
+    std::vector<Worker> workers(static_cast<std::size_t>(sched.size()));
+    for (Worker& w : workers)
+        w.remat = std::make_unique<store::Rematerializer>(
+                algorithm, cfg.n, cfg.inputs, cfg.plan, deltas, digest_send);
+
+    visited.insert(root_key);
+    deltas.append(store::DeltaRecord{});  // the root: id 0, no real step
+    // Pop-order truncation bookkeeping.  The in-RAM engines check
+    // `visited.size() > max_states` when popping a node; insert_batch
+    // pre-inserts a whole block's survivors at once, so the equivalent
+    // sequential quantity -- root + children accepted by the merge so
+    // far -- is carried explicitly, and states_explored is reported
+    // from it for the same reason.
+    std::size_t states_accepted = 1;
+
+    const std::size_t block_cap =
+            cfg.store.expand_block == 0 ? 1 : cfg.store.expand_block;
+    std::vector<Digest128> keys;        // flattened candidate keys
+    std::vector<std::uint8_t> verdict;  // 1 = new, in candidate order
+
+    std::uint64_t layer_begin = 0;
+    std::uint64_t layer_end = 1;
     int depth = 0;
+    bool truncated = false;
+    while (layer_begin < layer_end && !truncated) {
+        if (cfg.collect_layer_sizes)
+            result.layer_frontier_sizes.push_back(
+                    static_cast<std::size_t>(layer_end - layer_begin));
+        for (std::uint64_t block = layer_begin;
+             block < layer_end && !truncated; block += block_cap) {
+            const std::size_t count = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(block_cap, layer_end - block));
+            // Phase 1 (parallel): materialize + ghost-expand the block.
+            if (sched.size() > 1 && count >= threshold &&
+                count > max_dispatched)
+                max_dispatched = count;
+            std::vector<StoreExpansion> expansions =
+                    exec::parallel_map_grained(
+                            sched, count, /*grain=*/0,
+                            [&](std::size_t i, int w) {
+                                Worker& wk =
+                                        workers[static_cast<std::size_t>(w)];
+                                const store::MaterializedNode node =
+                                        wk.remat->materialize(block + i);
+#ifndef NDEBUG
+                                check_node_caches(node, cfg.n, digest_send);
+#endif
+                                return expand(node, wk, depth);
+                            },
+                            threshold);
+
+            // Phase 2 (parallel): dedup the block's candidates in one
+            // sharded batch.
+            keys.clear();
+            for (const StoreExpansion& e : expansions)
+                for (const StoreChild& c : e.children) keys.push_back(c.key);
+            visited.insert_batch(sched, keys, verdict);
+
+            // Phase 3 (sequential merge, input order = the sequential
+            // engine's pop order).
+            std::size_t vi = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (states_accepted > cfg.max_states) {
+                    result.exhaustive = false;
+                    truncated = true;
+                    break;
+                }
+                ++result.schedules_expanded;
+                StoreExpansion& e = expansions[i];
+                result.por_skips += e.por_skips;
+                result.reachable_decision_sets.insert(e.decided);
+                if (static_cast<int>(e.decided.size()) > cfg.k &&
+                    !result.violation_found) {
+                    result.violation_found = true;
+                    result.witness = workers[0].remat->script_of(block + i);
+                }
+                if (e.is_quiescent) {
+                    result.quiescent_outcomes.insert(std::move(e.outcome));
+                    continue;
+                }
+                if (e.at_depth) {
+                    result.exhaustive = false;
+                    continue;
+                }
+                for (const StoreChild& c : e.children) {
+                    if (verdict[vi++] != 0) {
+                        ++states_accepted;
+                        deltas.append(store::DeltaRecord{
+                                block + i,
+                                static_cast<std::uint32_t>(c.stepper),
+                                c.delivered});
+                    } else {
+                        ++result.dedup_hits;
+                    }
+                }
+            }
+            const std::size_t resident =
+                    visited.stats().resident_bytes + deltas.resident_bytes();
+            if (resident > result.peak_resident_bytes)
+                result.peak_resident_bytes = resident;
+        }
+        layer_begin = layer_end;
+        layer_end = deltas.size();
+        ++depth;
+    }
+
+    result.states_explored = states_accepted;
+    record_parallel_observability(result, sched, threshold, max_dispatched);
+    const store::VisitedStats vs = visited.stats();
+    result.store_shards = vs.shards;
+    result.filter_definite_new = vs.filter_negatives;
+    result.filter_false_positives = vs.filter_false_positives;
+    result.spilled_records = deltas.spilled_records();
+    result.spill_bytes = deltas.spill_bytes();
+    for (const Worker& w : workers) {
+        result.replay_steps += w.remat->replay_steps();
+        result.spill_reads += w.remat->spill_reads();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast engine: ghost expansion over the store path.
+
+/// Per-worker state of the fast engine: the delta rematerializer plus
+/// ghost-step scratch, reused across every node the worker expands.
+struct FastWorker {
+    std::unique_ptr<store::Rematerializer> remat;
+    StepInput step;
+    std::vector<ArrivingSend> arriving;
 };
 
-/// Phase A: classifies the node and ghost-steps every (live process,
-/// delivery mode) candidate.  Reads the node and clones single
-/// behaviors only -- safe to run concurrently on distinct nodes.
-/// `scratch` is the calling worker's StepInput, reused across every
-/// node that worker expands (it used to be re-constructed per node).
-FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg,
-                          StepInput& scratch) {
-    FastExpansion e;
+/// Classifies one materialized node and ghost-steps every (live
+/// process, delivery mode) candidate.  Reads the node and clones
+/// single behaviors only -- safe to run concurrently on distinct nodes.
+StoreExpansion expand_fast(const store::MaterializedNode& node, int depth,
+                           const ExploreConfig& cfg, FastWorker& wk) {
+    StoreExpansion e;
     const System& sys = *node.sys;
     e.decided = decision_set(sys, cfg.n);
     if (quiescent(sys, cfg)) {
@@ -599,7 +780,7 @@ FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg,
         }
         return e;
     }
-    if (node.depth >= cfg.max_depth) {
+    if (depth >= cfg.max_depth) {
         e.at_depth = true;
         return e;
     }
@@ -619,15 +800,14 @@ FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg,
         if (buf_size >= 1) prefixes[num_prefixes++] = 1;
         if (buf_size > 1) prefixes[num_prefixes++] = buf_size;
         for (std::size_t m = 0; m < num_prefixes; ++m) {
-            GhostStep g = ghost_step(sys, p, prefixes[m], scratch);
-            FastChild child;
-            fill_arriving(g, p, msg_hash, child.arriving);
-            child.key = hash_child(sys, cfg.n, p, g, node.marks,
-                                   node.mhash, child.arriving);
+            GhostStep g = ghost_step(sys, p, prefixes[m], wk.step);
+            fill_arriving(g, p, msg_hash, wk.arriving);
+            StoreChild child;
+            child.key = hash_child(sys, cfg.n, p, g, *node.marks,
+                                   *node.mhash, wk.arriving);
             child.stepper = p;
-            child.delivered = prefixes[m];
-            child.bhash = g.bhash;
-            e.children.push_back(std::move(child));
+            child.delivered = static_cast<std::uint32_t>(prefixes[m]);
+            e.children.push_back(child);
         }
     }
     return e;
@@ -636,150 +816,21 @@ FastExpansion expand_fast(const FastNode& node, const ExploreConfig& cfg,
 ExploreResult explore_fast(const Algorithm& algorithm,
                            const ExploreConfig& cfg) {
     ExploreResult result;
-    std::set<Digest128> visited;  // deterministic container on purpose
-
-    exec::TaskScheduler sched(cfg.threads < 1 ? 1 : cfg.threads);
-    const std::size_t threshold = resolve_threshold(cfg, sched);
-    std::size_t max_dispatched = 0;
-    // Per-worker StepInput scratch for the ghost-step hot path, reused
-    // across layers; worker w touches only step_scratch[w].
-    std::vector<StepInput> step_scratch(
-            static_cast<std::size_t>(sched.size()));
-
-    std::vector<FastNode> layer;
+    Digest128 root_key;
     {
-        auto root =
-                std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
-        root->set_recording(false);
-        FastNode node;
-        node.marks.assign(static_cast<std::size_t>(cfg.n), BehaviorMark{});
-        node.mhash.assign(static_cast<std::size_t>(cfg.n), {});
-        for (ProcessId p = 1; p <= cfg.n; ++p)
-            for (const Message& m : root->buffer(p))
-                node.mhash[p - 1].push_back(msg_hash(m.from, m.payload));
-        visited.insert(hash_state(*root, cfg.n));
-        node.sys = std::move(root);
-        layer.push_back(std::move(node));
+        System root(algorithm, cfg.n, cfg.inputs, cfg.plan);
+        root_key = hash_state(root, cfg.n);
     }
-
-    /// A deduplication survivor waiting for Phase B realization.
-    struct Accepted {
-        std::size_t parent;  ///< index into the current layer
-        StepChoice choice;
-        Digest128 bhash{};
-        std::vector<ArrivingSend> arriving;
-        Digest128 key{};
-    };
-
-    bool truncated = false;
-    while (!layer.empty() && !truncated) {
-        if (cfg.collect_layer_sizes)
-            result.layer_frontier_sizes.push_back(layer.size());
-        // Phase A (parallel): ghost-expand every node of the layer.
-        if (sched.size() > 1 && layer.size() >= threshold &&
-            layer.size() > max_dispatched)
-            max_dispatched = layer.size();
-        std::vector<FastExpansion> expansions = exec::parallel_map_grained(
-                sched, layer.size(), /*grain=*/0,
-                [&](std::size_t i, int w) {
-                    return expand_fast(layer[i], cfg,
-                                       step_scratch[static_cast<std::size_t>(w)]);
-                },
-                threshold);
-
-        // Sequential merge, identical bookkeeping order to the other
-        // engines (pop-order max_states check, expansion counting,
-        // first-in-BFS-order witness, child insertion order).
-        std::vector<Accepted> accepted;
-        accepted.reserve(layer.size());
-        for (std::size_t i = 0; i < layer.size(); ++i) {
-            if (visited.size() > cfg.max_states) {
-                result.exhaustive = false;
-                truncated = true;
-                break;
-            }
-            ++result.schedules_expanded;
-            FastExpansion& e = expansions[i];
-            result.reachable_decision_sets.insert(e.decided);
-            if (static_cast<int>(e.decided.size()) > cfg.k &&
-                !result.violation_found) {
-                result.violation_found = true;
-                result.witness = materialize_script(layer[i].script.get());
-            }
-            if (e.is_quiescent) {
-                result.quiescent_outcomes.insert(std::move(e.outcome));
-                continue;
-            }
-            if (e.at_depth) {
-                result.exhaustive = false;
-                continue;
-            }
-            for (FastChild& c : e.children) {
-                if (visited.insert(c.key).second) {
-                    // Materialize the StepChoice (delivered prefix ->
-                    // message ids) only for survivors.
-                    StepChoice choice;
-                    choice.process = c.stepper;
-                    const auto& buf = layer[i].sys->buffer(c.stepper);
-                    choice.deliver.reserve(c.delivered);
-                    for (std::size_t m = 0; m < c.delivered; ++m)
-                        choice.deliver.push_back(buf[m].id);
-                    accepted.push_back(Accepted{i, std::move(choice), c.bhash,
-                                                std::move(c.arriving), c.key});
-                } else {
-                    ++result.dedup_hits;
-                }
-            }
-        }
-
-        // Phase B (parallel): realize only the survivors -- one fork
-        // per *state*, not per candidate edge.  fork() only reads the
-        // parent, so siblings of the same parent can realize
-        // concurrently.
-        std::vector<FastNode> next = exec::parallel_map_grained(
-                sched, accepted.size(), /*grain=*/0,
-                [&](std::size_t j, int) {
-                    Accepted& a = accepted[j];
-                    const FastNode& parent = layer[a.parent];
-                    const ProcessId stepper = a.choice.process;
-                    const std::size_t delivered = a.choice.deliver.size();
-                    FastNode node;
-                    node.sys = parent.sys->fork(false);
-                    node.sys->apply_choice(a.choice);
-                    node.marks = parent.marks;
-                    node.marks[stepper - 1] = BehaviorMark{true, a.bhash};
-                    // Advance the message-digest cache exactly the way
-                    // apply_choice advanced the buffers: delivered
-                    // prefix out, surviving sends in, emission order.
-                    node.mhash = parent.mhash;
-                    auto& sm = node.mhash[stepper - 1];
-                    sm.erase(sm.begin(),
-                             sm.begin() + static_cast<std::ptrdiff_t>(delivered));
-                    for (const ArrivingSend& s : a.arriving)
-                        node.mhash[s.dest - 1].push_back(s.hash);
-                    node.script = std::make_shared<const ScriptLink>(
-                            ScriptLink{parent.script, std::move(a.choice)});
-                    node.depth = parent.depth + 1;
-#ifndef NDEBUG
-                    // The executable form of the ghost-step contract:
-                    // the realized child re-hashes (from the live
-                    // System, through an independent code path) to the
-                    // ghost key.
-                    require(hash_state(*node.sys, cfg.n) == a.key,
-                            "explore_fast: ghost key != realized state hash");
-#endif
-                    return node;
-                },
-                threshold);
-        layer = std::move(next);
-    }
-    result.states_explored = visited.size();
-    record_parallel_observability(result, sched, threshold, max_dispatched);
+    run_store_bfs<FastWorker>(
+            algorithm, cfg, root_key, &msg_hash,
+            [&cfg](const store::MaterializedNode& node, FastWorker& wk,
+                   int depth) { return expand_fast(node, depth, cfg, wk); },
+            result);
     return result;
 }
 
 // ---------------------------------------------------------------------
-// Reduced engine (ExploreMode::kReduced): the fast engine's layered
+// Reduced engine (ExploreMode::kReduced): the fast engine's store-path
 // ghost-step BFS with the reduction layer (core/reduction.hpp) on top.
 // doc/performance.md carries the full soundness argument; in brief:
 //
@@ -816,42 +867,6 @@ ExploreResult explore_fast(const Algorithm& algorithm,
 // space: states_explored / schedules_expanded shrink, while
 // violation_found, reachable_decision_sets and quiescent_outcomes are
 // preserved (exactly so on exhaustive explorations).
-
-struct ReducedChild {
-    Digest128 key{};            ///< canonical (min over G) digest
-    ProcessId stepper = 0;
-    std::size_t delivered = 0;  ///< length of the delivered buffer prefix
-    Digest128 bhash{};          ///< stepper's fold_state digest after the step
-    std::vector<ArrivingSend> arriving;  ///< reduced_msg_hash digests
-};
-
-struct ReducedExpansion {
-    std::set<Value> decided;
-    bool is_quiescent = false;
-    std::vector<Value> outcome;  ///< filled iff is_quiescent
-    bool at_depth = false;
-    std::size_t por_skips = 0;
-    std::vector<ReducedChild> children;
-};
-
-/// Canonical key of a live System: minimum over the group of the
-/// renamed full-state digests (identity via reduced_hash_state), with
-/// the absorption quotient applied on every path.  Used for the root
-/// key and the debug cross-check of realized children.
-Digest128 canonical_state_key(const System& sys, int n,
-                              const Algorithm& algorithm,
-                              const SymmetryGroup& group,
-                              RenameScratch& scratch,
-                              const AbsorptionContext& abs) {
-    Digest128 key = reduced_hash_state(sys, n, abs);
-    for (std::size_t g = 1; g < group.size(); ++g) {
-        const Digest128 d = hash_state_renamed(sys, n, algorithm,
-                                               group.renaming(g),
-                                               group.inverse(g), scratch, abs);
-        if (d < key) key = d;
-    }
-    return key;
-}
 
 /// Quotient-aware quiescence: a process that has decided under a
 /// decisions-are-final algorithm is absorbed -- its undrained buffer
@@ -957,26 +972,28 @@ Digest128 hash_child_reduced(const System& sys, int n, ProcessId stepper,
     return h.digest();
 }
 
-/// Per-worker scratch for the reduced engine's ghost/canonicalize hot
-/// path, reused across every node a worker expands (it used to be
-/// re-constructed per node).  Each worker owns exactly one: nothing in
-/// it is shared.
-struct ReducedScratch {
+/// Per-worker state of the reduced engine: the delta rematerializer
+/// plus ghost/rename/payload scratch, reused across every node a
+/// worker expands.  Each worker owns exactly one: nothing is shared.
+struct ReducedWorker {
+    std::unique_ptr<store::Rematerializer> remat;
     StepInput step;
     RenameScratch rename;
     std::vector<const Payload*> payloads;
+    std::vector<ArrivingSend> arriving;
 };
 
-/// Phase A of the reduced engine: classify, pick the persistent set,
-/// ghost-step and canonicalize the surviving candidates.  Reads the
-/// node, the calling worker's scratch and clones single behaviors only
-/// -- safe to run concurrently on distinct nodes.
-ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
-                                const Algorithm& algorithm,
-                                const SymmetryGroup& group,
-                                const AbsorptionContext& abs,
-                                ReducedScratch& scratch) {
-    ReducedExpansion e;
+/// Classify, pick the persistent set, ghost-step and canonicalize the
+/// surviving candidates of one materialized node.  Reads the node, the
+/// calling worker's scratch and clones single behaviors only -- safe
+/// to run concurrently on distinct nodes.
+StoreExpansion expand_reduced(const store::MaterializedNode& node, int depth,
+                              const ExploreConfig& cfg,
+                              const Algorithm& algorithm,
+                              const SymmetryGroup& group,
+                              const AbsorptionContext& abs,
+                              ReducedWorker& wk) {
+    StoreExpansion e;
     const System& sys = *node.sys;
     e.decided = decision_set(sys, cfg.n);
     if (quiescent_reduced(sys, cfg, abs)) {
@@ -988,7 +1005,7 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
         }
         return e;
     }
-    if (node.depth >= cfg.max_depth) {
+    if (depth >= cfg.max_depth) {
         e.at_depth = true;
         return e;
     }
@@ -1033,7 +1050,7 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
         std::vector<GhostStep> out;
         out.reserve(pm.num);
         for (std::size_t m = 0; m < pm.num; ++m)
-            out.push_back(ghost_step(sys, pm.p, pm.prefixes[m], scratch.step));
+            out.push_back(ghost_step(sys, pm.p, pm.prefixes[m], wk.step));
         return out;
     };
 
@@ -1092,11 +1109,11 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
     }
 
     auto emit_child = [&](ProcessId p, std::size_t delivered, GhostStep& g) {
-        ReducedChild child;
-        fill_arriving(g, p, reduced_msg_hash, child.arriving);
-        child.key = hash_child_reduced(sys, cfg.n, p, g, node.marks,
-                                       node.mhash, child.arriving, abs,
-                                       scratch.payloads);
+        fill_arriving(g, p, reduced_msg_hash, wk.arriving);
+        StoreChild child;
+        child.key = hash_child_reduced(sys, cfg.n, p, g, *node.marks,
+                                       *node.mhash, wk.arriving, abs,
+                                       wk.payloads);
         if (group.size() > 1) {
             GhostEffects eff;
             eff.stepper = p;
@@ -1109,14 +1126,13 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
             for (std::size_t gi = 1; gi < group.size(); ++gi) {
                 const Digest128 d = hash_child_renamed(
                         sys, cfg.n, algorithm, eff, group.renaming(gi),
-                        group.inverse(gi), scratch.rename, abs);
+                        group.inverse(gi), wk.rename, abs);
                 if (d < child.key) child.key = d;
             }
         }
         child.stepper = p;
-        child.delivered = delivered;
-        child.bhash = g.bhash;
-        e.children.push_back(std::move(child));
+        child.delivered = static_cast<std::uint32_t>(delivered);
+        e.children.push_back(child);
     };
 
     if (ample != nullptr) {
@@ -1137,7 +1153,6 @@ ReducedExpansion expand_reduced(const FastNode& node, const ExploreConfig& cfg,
 ExploreResult explore_reduced(const Algorithm& algorithm,
                               const ExploreConfig& cfg) {
     ExploreResult result;
-    std::set<Digest128> visited;  // deterministic container on purpose
 
     const SymmetryGroup group =
             cfg.reduction.symmetry
@@ -1150,145 +1165,21 @@ ExploreResult explore_reduced(const Algorithm& algorithm,
     abs.decided_final =
             cfg.reduction.absorption && algorithm.decided_is_final();
 
-    exec::TaskScheduler sched(cfg.threads < 1 ? 1 : cfg.threads);
-    const std::size_t threshold = resolve_threshold(cfg, sched);
-    std::size_t max_dispatched = 0;
-    // Per-worker ghost/rename/payload scratch, reused across layers;
-    // worker w touches only worker_scratch[w].
-    std::vector<ReducedScratch> worker_scratch(
-            static_cast<std::size_t>(sched.size()));
-
-    std::vector<FastNode> layer;
+    Digest128 root_key;
     {
-        auto root =
-                std::make_unique<System>(algorithm, cfg.n, cfg.inputs, cfg.plan);
-        root->set_recording(false);
-        FastNode node;
-        node.marks.assign(static_cast<std::size_t>(cfg.n), BehaviorMark{});
-        node.mhash.assign(static_cast<std::size_t>(cfg.n), {});
-        for (ProcessId p = 1; p <= cfg.n; ++p)
-            for (const Message& m : root->buffer(p))
-                node.mhash[p - 1].push_back(reduced_msg_hash(m.from, m.payload));
+        System root(algorithm, cfg.n, cfg.inputs, cfg.plan);
         RenameScratch scratch;
-        visited.insert(canonical_state_key(*root, cfg.n, algorithm, group,
-                                           scratch, abs));
-        node.sys = std::move(root);
-        layer.push_back(std::move(node));
+        root_key = canonical_state_key(root, cfg.n, algorithm, group,
+                                       scratch, abs);
     }
-
-    /// A deduplication survivor waiting for Phase B realization.
-    struct Accepted {
-        std::size_t parent;  ///< index into the current layer
-        StepChoice choice;
-        Digest128 bhash{};
-        std::vector<ArrivingSend> arriving;
-        Digest128 key{};
-    };
-
-    bool truncated = false;
-    while (!layer.empty() && !truncated) {
-        if (cfg.collect_layer_sizes)
-            result.layer_frontier_sizes.push_back(layer.size());
-        // Phase A (parallel): classify, reduce, ghost-step, canonicalize.
-        if (sched.size() > 1 && layer.size() >= threshold &&
-            layer.size() > max_dispatched)
-            max_dispatched = layer.size();
-        std::vector<ReducedExpansion> expansions =
-                exec::parallel_map_grained(
-                        sched, layer.size(), /*grain=*/0,
-                        [&](std::size_t i, int w) {
-                            return expand_reduced(
-                                    layer[i], cfg, algorithm, group, abs,
-                                    worker_scratch[static_cast<std::size_t>(w)]);
-                        },
-                        threshold);
-
-        // Sequential merge: identical bookkeeping order to the other
-        // engines over the reduced candidate stream.
-        std::vector<Accepted> accepted;
-        accepted.reserve(layer.size());
-        for (std::size_t i = 0; i < layer.size(); ++i) {
-            if (visited.size() > cfg.max_states) {
-                result.exhaustive = false;
-                truncated = true;
-                break;
-            }
-            ++result.schedules_expanded;
-            ReducedExpansion& e = expansions[i];
-            result.por_skips += e.por_skips;
-            result.reachable_decision_sets.insert(e.decided);
-            if (static_cast<int>(e.decided.size()) > cfg.k &&
-                !result.violation_found) {
-                result.violation_found = true;
-                result.witness = materialize_script(layer[i].script.get());
-            }
-            if (e.is_quiescent) {
-                result.quiescent_outcomes.insert(std::move(e.outcome));
-                continue;
-            }
-            if (e.at_depth) {
-                result.exhaustive = false;
-                continue;
-            }
-            for (ReducedChild& c : e.children) {
-                if (visited.insert(c.key).second) {
-                    StepChoice choice;
-                    choice.process = c.stepper;
-                    const auto& buf = layer[i].sys->buffer(c.stepper);
-                    choice.deliver.reserve(c.delivered);
-                    for (std::size_t m = 0; m < c.delivered; ++m)
-                        choice.deliver.push_back(buf[m].id);
-                    accepted.push_back(Accepted{i, std::move(choice), c.bhash,
-                                                std::move(c.arriving), c.key});
-                } else {
-                    ++result.dedup_hits;
-                }
-            }
-        }
-
-        // Phase B (parallel): realize the survivors exactly like the
-        // fast engine; the message-digest cache advances with reduced
-        // digests, and the debug cross-check recomputes the canonical
-        // key from the live child.
-        std::vector<FastNode> next = exec::parallel_map_grained(
-                sched, accepted.size(), /*grain=*/0,
-                [&](std::size_t j, int w) {
-                    Accepted& a = accepted[j];
-                    const FastNode& parent = layer[a.parent];
-                    const ProcessId stepper = a.choice.process;
-                    const std::size_t delivered = a.choice.deliver.size();
-                    FastNode node;
-                    node.sys = parent.sys->fork(false);
-                    node.sys->apply_choice(a.choice);
-                    node.marks = parent.marks;
-                    node.marks[stepper - 1] = BehaviorMark{true, a.bhash};
-                    node.mhash = parent.mhash;
-                    auto& sm = node.mhash[stepper - 1];
-                    sm.erase(sm.begin(),
-                             sm.begin() + static_cast<std::ptrdiff_t>(delivered));
-                    for (const ArrivingSend& s : a.arriving)
-                        node.mhash[s.dest - 1].push_back(s.hash);
-                    node.script = std::make_shared<const ScriptLink>(
-                            ScriptLink{parent.script, std::move(a.choice)});
-                    node.depth = parent.depth + 1;
-#ifndef NDEBUG
-                    require(canonical_state_key(
-                                    *node.sys, cfg.n, algorithm, group,
-                                    worker_scratch[static_cast<std::size_t>(w)]
-                                            .rename,
-                                    abs) == a.key,
-                            "explore_reduced: ghost canonical key != "
-                            "realized canonical key");
-#else
-                    (void)w;
-#endif
-                    return node;
-                },
-                threshold);
-        layer = std::move(next);
-    }
-    result.states_explored = visited.size();
-    record_parallel_observability(result, sched, threshold, max_dispatched);
+    run_store_bfs<ReducedWorker>(
+            algorithm, cfg, root_key, &reduced_msg_hash,
+            [&](const store::MaterializedNode& node, ReducedWorker& wk,
+                int depth) {
+                return expand_reduced(node, depth, cfg, algorithm, group,
+                                      abs, wk);
+            },
+            result);
 
     // Orbit-expand the quiescent outcomes: a pruned orbit member's runs
     // are the renamed runs of its explored representative, so its

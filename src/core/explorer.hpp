@@ -50,6 +50,7 @@
 #include "sim/failure_plan.hpp"
 #include "sim/run.hpp"
 #include "sim/scheduler.hpp"
+#include "store/store_options.hpp"
 
 namespace ksa::core {
 
@@ -115,6 +116,14 @@ struct ExploreConfig {
     /// kMinGrain items per worker is not worth a dispatch); a nonzero
     /// value overrides it.  Output stays byte-identical either way.
     std::size_t min_parallel_frontier = 0;
+    /// Sizing of the out-of-core store behind the layered engines
+    /// (kFast/kReduced): visited-set sharding, the probabilistic dedup
+    /// tier, the delta-frontier spill budget and the expansion block
+    /// size.  Every knob trades CPU or resident memory only -- results
+    /// are byte-identical for every setting (the equivalence suite
+    /// sweeps them).  kReference/kReplayBaseline ignore this: they are
+    /// the deliberately simple in-RAM cross-checks.
+    store::StoreOptions store;
 };
 
 /// Exploration outcome.
@@ -148,6 +157,34 @@ struct ExploreResult {
     std::size_t parallel_threshold = 0;
     /// Successful work steals during this exploration.
     std::uint64_t parallel_steals = 0;
+    /// Out-of-core store observability (kFast/kReduced only; zero in
+    /// the in-RAM cross-check modes).  The tier counters and spill
+    /// tallies are DETERMINISTIC -- pure functions of the key/record
+    /// streams, which are byte-identical across thread counts -- so
+    /// the equivalence suite pins them; replay_steps and spill_reads
+    /// depend on which worker materialized which node (spine cache
+    /// locality), so like parallel_steals they are excluded from every
+    /// comparison.
+    /// Visited-store shard count in effect (2^StoreOptions::shard_bits).
+    std::size_t store_shards = 0;
+    /// Dedup probes the probabilistic tier answered "definitely new"
+    /// without touching the exact table.
+    std::uint64_t filter_definite_new = 0;
+    /// Dedup probes the filter passed through but the exact table
+    /// rejected as absent -- the filter's false positives (observed
+    /// FPR = fp / (fp + definite_new)).
+    std::uint64_t filter_false_positives = 0;
+    /// Frontier delta records spilled to disk / their byte volume.
+    std::uint64_t spilled_records = 0;
+    std::uint64_t spill_bytes = 0;
+    /// Delta-chain steps replayed by re-materialization (spine cache
+    /// misses; timing-dependent).
+    std::uint64_t replay_steps = 0;
+    /// Spilled-record reads during re-materialization (timing-dependent).
+    std::uint64_t spill_reads = 0;
+    /// Peak bytes resident in the store-owned structures (visited
+    /// shards + delta window), sampled per expansion block.
+    std::size_t peak_resident_bytes = 0;
     bool exhaustive = true;  ///< no node was cut off by max_depth/max_states
     bool violation_found = false;
     std::vector<StepChoice> witness;  ///< schedule reaching the violation

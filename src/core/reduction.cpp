@@ -401,4 +401,19 @@ Digest128 hash_child_renamed(const System& sys, int n,
     return h.digest();
 }
 
+Digest128 canonical_state_key(const System& sys, int n,
+                              const Algorithm& algorithm,
+                              const SymmetryGroup& group,
+                              RenameScratch& scratch,
+                              const AbsorptionContext& abs) {
+    Digest128 key = reduced_hash_state(sys, n, abs);
+    for (std::size_t g = 1; g < group.size(); ++g) {
+        const Digest128 d = hash_state_renamed(sys, n, algorithm,
+                                               group.renaming(g),
+                                               group.inverse(g), scratch, abs);
+        if (d < key) key = d;
+    }
+    return key;
+}
+
 }  // namespace ksa::core

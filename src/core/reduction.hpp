@@ -311,4 +311,14 @@ Digest128 hash_child_renamed(const System& sys, int n,
                              RenameScratch& scratch,
                              const AbsorptionContext& abs);
 
+/// Canonical key of a live System: minimum over the group of the
+/// renamed full-state digests (identity via reduced_hash_state), with
+/// the absorption quotient applied on every path.  The reduced
+/// engine's root key and the debug cross-check of materialized nodes.
+Digest128 canonical_state_key(const System& sys, int n,
+                              const Algorithm& algorithm,
+                              const SymmetryGroup& group,
+                              RenameScratch& scratch,
+                              const AbsorptionContext& abs);
+
 }  // namespace ksa::core

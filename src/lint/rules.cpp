@@ -59,6 +59,14 @@ bool in_library_code_outside_reduction(const fs::path& file) {
     return path_contains_dir(file, "src");
 }
 
+bool in_library_code_outside_store(const fs::path& file) {
+    // src/store/ owns the frontier containers: it is the one layer
+    // that enforces the RAM ceiling and the spill discipline, so
+    // frontier-typed containers anywhere else in src/ re-introduce the
+    // unbounded per-state resident growth the store exists to remove.
+    return path_contains_dir(file, "src") && !path_contains_dir(file, "store");
+}
+
 bool outside_bench_and_exec(const fs::path& file) {
     // Wall clocks belong to measurement (bench/) and to the exec
     // layer's pool plumbing; everywhere else a timestamp read is a
@@ -114,6 +122,16 @@ const std::vector<RuleInfo>& rule_table() {
          "is warm-up-stateful global state) -- hash the tag bytes directly "
          "(sim/digest.hpp) or, for a justified exception, annotate with "
          "ksa-lint: allow(interning-outside-reduction)",
+         true},
+        {"frontier-growth-outside-store", RuleKind::kLine, Severity::kError,
+         "src/ except src/store",
+         "frontier-typed container (vector/deque of DeltaRecord or "
+         "frontier nodes) outside src/store/; such containers grow with "
+         "the explored state count and bypass the store's RAM ceiling "
+         "and spill discipline (doc/performance.md §6) -- route the "
+         "records through store::DeltaStore or, for a bounded scratch "
+         "buffer, annotate with "
+         "ksa-lint: allow(frontier-growth-outside-store)",
          true},
         // -- analyzer additions (ksa_analyze only).
         {"pointer-keyed-container", RuleKind::kLine, Severity::kError, "src/",
@@ -215,6 +233,13 @@ const std::vector<LineRule>& line_rules() {
         {info("interning-outside-reduction"),
          std::regex(R"(\b(TagInterner|intern_tag)\b)"),
          &in_library_code_outside_reduction},
+        {info("frontier-growth-outside-store"),
+         // A vector/deque whose ELEMENT type is a frontier node type.
+         // Passing records by value or holding one (`DeltaRecord rec`)
+         // is fine; amassing them is the store's job.
+         std::regex(
+             R"(std::(vector|deque)\s*<\s*(ksa::)?(store::)?(DeltaRecord|FrontierNode|FastNode)\b)"),
+         &in_library_code_outside_store},
         {info("pointer-keyed-container"),
          // First template argument of a map/set family instance is a
          // pointer type: `std::map<Foo*`, `std::set<const Bar *`, ...

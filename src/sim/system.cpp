@@ -278,6 +278,18 @@ void System::note_byzantine(ProcessId sender, int corruptions,
     run_.plan.note_byzantine(sender, corruptions, equivocations);
 }
 
+StepChoice System::prefix_choice(ProcessId p, std::size_t count) const {
+    check_pid(p, "System::prefix_choice");
+    const std::deque<Message>& buf = buffer(p);
+    KSA_REQUIRE(count <= buf.size(),
+                "System::prefix_choice: prefix longer than buffer");
+    StepChoice choice;
+    choice.process = p;
+    choice.deliver.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) choice.deliver.push_back(buf[m].id);
+    return choice;
+}
+
 void System::apply_choice(const StepChoice& choice) {
     KSA_REQUIRE(!finished_, "System::apply_choice: run already finalized");
     const ProcessId p = choice.process;

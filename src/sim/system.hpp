@@ -139,6 +139,14 @@ public:
     /// id not in the buffer, plan exhausted, conflicting fault).
     void apply_choice(const StepChoice& choice);
 
+    /// The StepChoice that delivers the first `count` buffered messages
+    /// of `p`.  The explorer's delivery modes are always buffer
+    /// prefixes, so the out-of-core store (src/store/) records only the
+    /// prefix LENGTH per node and rebuilds the concrete choice --
+    /// message ids included -- from the live parent buffer when a node
+    /// is re-forked from its delta record.
+    StepChoice prefix_choice(ProcessId p, std::size_t count) const;
+
     /// Records the scheduler label into the run metadata (System::execute
     /// does this automatically; step-wise drivers replaying a recorded
     /// run set it from Run::scheduler to keep replays byte-identical).

@@ -1,0 +1,50 @@
+#pragma once
+// Switchboard for the out-of-core exploration store (src/store/).
+//
+// Mirrors core/reduction_options.hpp: an ordinary public header the
+// explorer config embeds, so callers (benches, tests, tools) can size
+// the store without including the store internals.  Every knob here
+// trades CPU or resident memory for the other -- NONE of them may
+// change any exploration result.  The equivalence suite runs the same
+// exploration across shard counts, spill budgets and cache sizes and
+// requires byte-identical ExploreResults.
+
+#include <cstddef>
+#include <string>
+
+namespace ksa::store {
+
+/// Sizing knobs for the sharded visited store, the delta/spill frontier
+/// and the re-materialization caches.  Defaults are tuned so that the
+/// toy-scale explorations of the test suite never touch disk and carry
+/// negligible constant overhead, while a 10^7-state run stays inside a
+/// few hundred MB of resident memory.
+struct StoreOptions {
+    /// log2 of the visited-store shard count.  A shard is the unit of
+    /// exclusive ownership during a parallel dedup batch (one task per
+    /// shard -- no locks, no atomics, deterministic per-shard insertion
+    /// order), so more shards = more dedup parallelism and smaller
+    /// rehash pauses.  Results are identical for every value.
+    int shard_bits = 4;
+    /// Bloom-filter budget of the probabilistic tier, in bits per
+    /// stored key (~10 bits/key = ~1% false-positive rate at design
+    /// load).  0 disables the filter tier entirely (every probe goes
+    /// to the exact table; counters then read 0).
+    int filter_bits_per_key = 10;
+    /// Resident-byte budget of the delta frontier window.  Once the
+    /// in-RAM tail of the append-only delta store exceeds this, cold
+    /// records spill to disk and are re-read on demand during
+    /// re-materialization.  0 = never spill.
+    std::size_t frontier_ram_bytes = std::size_t(64) << 20;
+    /// Frontier nodes expanded per parallel block.  Bounds the
+    /// transient expansion buffers (candidate keys, verdicts) of one
+    /// BFS layer regardless of layer width; block boundaries do not
+    /// affect results because blocks are merged strictly in order.
+    std::size_t expand_block = 8192;
+    /// Directory for spill files; "" = std::filesystem::temp_directory_path().
+    /// The file is created lazily on first spill and removed on
+    /// destruction, so explorations that fit in RAM never touch disk.
+    std::string spill_dir;
+};
+
+}  // namespace ksa::store

@@ -1,0 +1,149 @@
+#pragma once
+// Two-tier digest-sharded visited store (doc/performance.md §6).
+//
+// The explorer's visited set used to be one std::set<Digest128>: ~50+
+// bytes and several cache misses per state, one global structure every
+// insertion serializes through.  This store splits the key space into
+// 2^s shards by digest prefix; each shard is a bloom filter (the
+// probabilistic tier -- answers "definitely new" without touching the
+// exact structure) in front of an open-addressing table of raw
+// Digest128 keys (~16 bytes per slot, one probe line in the common
+// case).
+//
+// DETERMINISM.  A parallel dedup batch partitions the candidate keys
+// by shard and hands each shard's sub-sequence -- in ascending global
+// candidate order -- to exactly one task.  A shard is therefore owned
+// exclusively for the duration of the batch: no locks, no atomics, and
+// each shard observes its candidates in the same order the sequential
+// merge would have inserted them.  Keys of different shards never
+// interact (they can never be equal), so the batch's verdict vector is
+// byte-identical to sequential insertion for every thread count, every
+// shard count and every block size.  The filter tier is deterministic
+// too (pure functions of the key stream), so the tier-hit counters are
+// themselves reproducible and are surfaced in ExploreResult.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/digest.hpp"
+#include "store/store_options.hpp"
+
+namespace ksa::exec {
+class TaskScheduler;
+}  // namespace ksa::exec
+
+namespace ksa::store {
+
+/// Per-shard blocked bloom filter over Digest128 keys.  Probe indices
+/// are derived from the two 64-bit lanes by double hashing -- the key
+/// IS the hash (StateHasher output), so no re-hashing happens here.
+/// Grows by rebuild from the exact table when the shard outgrows the
+/// designed bits-per-key budget (see ExactShard::maybe_grow_filter).
+class BloomFilter {
+  public:
+    /// `bits` is rounded up to a power of two (minimum 64).
+    explicit BloomFilter(std::size_t bits = 64);
+
+    void insert(const Digest128& key);
+    bool maybe_contains(const Digest128& key) const;
+    std::size_t bit_capacity() const { return mask_ + 1; }
+    std::size_t resident_bytes() const { return words_.capacity() * 8; }
+
+  private:
+    static constexpr int kProbes = 6;
+    std::vector<std::uint64_t> words_;
+    std::uint64_t mask_ = 0;  ///< bit_capacity - 1
+};
+
+/// One shard: bloom tier + exact open-addressing tier + tier counters.
+/// Not thread-safe by design -- the batch protocol above guarantees
+/// exclusive ownership; sequential callers own every shard trivially.
+class VisitedShard {
+  public:
+    explicit VisitedShard(int filter_bits_per_key);
+
+    /// Inserts `key` unless present; returns true iff it was new.
+    bool insert(const Digest128& key);
+    bool contains(const Digest128& key) const;
+
+    std::size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+    std::uint64_t filter_negatives() const { return filter_negatives_; }
+    std::uint64_t filter_false_positives() const { return filter_fp_; }
+    std::size_t resident_bytes() const {
+        return slots_.capacity() * sizeof(Digest128) + filter_.resident_bytes();
+    }
+
+  private:
+    void grow();
+    bool exact_contains(const Digest128& key) const;
+    /// Exact-tier insert of a key known to be absent.
+    void exact_insert_new(const Digest128& key);
+
+    BloomFilter filter_;
+    int filter_bits_per_key_;
+    /// Open-addressing table, power-of-two capacity, linear probing on
+    /// the low lane (shards key on the HIGH lane's prefix, so the low
+    /// lane is an independent, well-mixed index).  The all-zero digest
+    /// doubles as the empty-slot sentinel; a real all-zero key is
+    /// tracked by has_zero_.
+    std::vector<Digest128> slots_;
+    std::size_t size_ = 0;  ///< non-zero keys stored
+    bool has_zero_ = false;
+    std::uint64_t filter_negatives_ = 0;
+    std::uint64_t filter_fp_ = 0;
+};
+
+/// Aggregated tier counters of a store (all deterministic; see the
+/// determinism note at the top of the file).
+struct VisitedStats {
+    std::size_t shards = 0;
+    std::size_t size = 0;
+    /// Probes the filter tier answered "definitely new" -- the hot path
+    /// that never touched the exact table.
+    std::uint64_t filter_negatives = 0;
+    /// Probes the filter tier passed through but the exact table
+    /// rejected: the filter's false positives (rate = fp / (fp + neg)).
+    std::uint64_t filter_false_positives = 0;
+    std::size_t resident_bytes = 0;
+};
+
+/// The sharded two-tier store.  Sequential insert() for roots and
+/// simple callers; insert_batch() is the explorer's parallel dedup
+/// phase.
+class ShardedVisitedStore {
+  public:
+    explicit ShardedVisitedStore(const StoreOptions& opt);
+
+    /// Sequential insert; returns true iff `key` was new.
+    bool insert(const Digest128& key);
+    bool contains(const Digest128& key) const;
+
+    /// Parallel deduplication of one candidate batch: after the call,
+    /// verdict[i] == 1 iff keys[i] was new (and is now stored), with
+    /// within-batch duplicates resolved exactly as ascending-index
+    /// sequential insertion would.  One task per shard on `sched`
+    /// (work affinity: a shard never splits across workers).  Verdicts
+    /// and counter updates are byte-identical for every thread count.
+    void insert_batch(exec::TaskScheduler& sched,
+                      const std::vector<Digest128>& keys,
+                      std::vector<std::uint8_t>& verdict);
+
+    std::size_t size() const;
+    VisitedStats stats() const;
+
+  private:
+    std::size_t shard_of(const Digest128& key) const {
+        // Top bits of the high lane: independent of both the exact
+        // tier's probe index (low lane) and the bloom probes.
+        return static_cast<std::size_t>(key.hi >> (64 - shard_bits_));
+    }
+
+    int shard_bits_;
+    std::vector<VisitedShard> shards_;
+    /// Batch scratch: per-shard candidate index lists, reused across
+    /// batches (capacity persists; contents are rebuilt per call).
+    std::vector<std::vector<std::uint32_t>> batch_index_;
+};
+
+}  // namespace ksa::store

@@ -1,0 +1,22 @@
+#pragma once
+// PLANTED VIOLATION (frontier-growth-outside-store): a std::vector of
+// DeltaRecord in src/core/ -- a frontier container outside the store
+// layer grows with the explored state count and bypasses the RAM
+// ceiling and spill discipline.  Flagged on line 11; the deque on
+// line 14 is the same violation through the other container.
+#include <deque>
+#include <vector>
+
+namespace fixture {
+std::vector<store::DeltaRecord> bad_frontier;
+
+// The deque spelling must be caught too.
+std::deque<DeltaRecord> also_bad;
+
+// Holding ONE record by value is fine; only amassing them is flagged.
+inline int depth_of(DeltaRecord rec) { return static_cast<int>(rec.parent); }
+
+// A bounded scratch buffer with the sanctioned annotation: not flagged.
+// ksa-lint: allow(frontier-growth-outside-store)
+std::vector<DeltaRecord> block_scratch;
+}  // namespace fixture

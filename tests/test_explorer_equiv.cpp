@@ -396,5 +396,120 @@ TEST(ReducedEquivalence, RunToRunDeterminism) {
     expect_equal_results(a, b, "reduced(4) run-to-run");
 }
 
+// ---------------------------------------------------------------------
+// Store configuration sweeps (src/store/).
+//
+// The out-of-core store promises that NONE of its sizing knobs -- shard
+// count, bloom budget, spill budget, expansion block size -- changes
+// any exploration result, and that for a FIXED store configuration the
+// deterministic store counters (tier hits, spill tallies) are
+// themselves byte-identical across thread counts.  (replay_steps and
+// spill_reads are excluded: they depend on work distribution, like
+// steal counts.)
+
+/// expect_equal_results plus the deterministic store counters; valid
+/// only when both runs used the same StoreOptions.
+void expect_equal_with_store_counters(const ExploreResult& a,
+                                      const ExploreResult& b,
+                                      const std::string& label) {
+    expect_equal_results(a, b, label);
+    EXPECT_EQ(a.dedup_hits, b.dedup_hits) << label;
+    EXPECT_EQ(a.store_shards, b.store_shards) << label;
+    EXPECT_EQ(a.filter_definite_new, b.filter_definite_new) << label;
+    EXPECT_EQ(a.filter_false_positives, b.filter_false_positives) << label;
+    EXPECT_EQ(a.spilled_records, b.spilled_records) << label;
+    EXPECT_EQ(a.spill_bytes, b.spill_bytes) << label;
+}
+
+/// Store configurations that must all yield the same result: defaults,
+/// a single unsharded table without a filter tier, maximal sharding
+/// with a spill-everything budget, and a degenerate one-node block.
+std::vector<store::StoreOptions> store_sweep() {
+    std::vector<store::StoreOptions> sweep(4);
+    sweep[1].shard_bits = 0;
+    sweep[1].filter_bits_per_key = 0;
+    sweep[2].shard_bits = 8;
+    sweep[2].frontier_ram_bytes = 1024;  // 64-record window: spills hard
+    sweep[3].expand_block = 1;
+    sweep[3].shard_bits = 1;
+    sweep[3].frontier_ram_bytes = 2048;
+    return sweep;
+}
+
+TEST(StoreEquivalence, EveryStoreConfigYieldsTheSameResult) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    for (const auto mode : {ExploreMode::kFast, ExploreMode::kReduced}) {
+        ExploreConfig cfg = base_config(3, 1, 12);
+        cfg.mode = mode;
+        const ExploreResult baseline = explore_schedules(*algorithm, cfg);
+        int i = 0;
+        for (const store::StoreOptions& opt : store_sweep()) {
+            cfg.store = opt;
+            const ExploreResult r = explore_schedules(*algorithm, cfg);
+            expect_equal_results(baseline, r,
+                                 "store config " + std::to_string(i++));
+        }
+    }
+}
+
+TEST(StoreEquivalence, CountersAreThreadCountInvariant) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    for (const auto mode : {ExploreMode::kFast, ExploreMode::kReduced}) {
+        int i = 0;
+        for (const store::StoreOptions& opt : store_sweep()) {
+            ExploreConfig cfg = base_config(3, 1, 11);
+            cfg.mode = mode;
+            cfg.store = opt;
+            cfg.threads = 1;
+            const ExploreResult one = explore_schedules(*algorithm, cfg);
+            for (const int threads : {2, exec::hardware_threads()}) {
+                cfg.threads = threads;
+                const ExploreResult many = explore_schedules(*algorithm, cfg);
+                expect_equal_with_store_counters(
+                        one, many,
+                        "store config " + std::to_string(i) + " threads " +
+                                std::to_string(threads));
+            }
+            ++i;
+        }
+    }
+}
+
+TEST(StoreEquivalence, TruncationCutsIdenticallyUnderSpill) {
+    // The sharpest determinism case and the spill path combined: which
+    // states fall inside max_states must not depend on the spill
+    // budget, the block size or the thread count.
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 14);
+    cfg.max_states = 500;
+    const ExploreResult baseline = explore_schedules(*algorithm, cfg);
+    EXPECT_FALSE(baseline.exhaustive);
+    cfg.store.frontier_ram_bytes = 1024;
+    cfg.store.expand_block = 7;
+    cfg.store.shard_bits = 2;
+    for (const int threads : {1, 4}) {
+        cfg.threads = threads;
+        const ExploreResult r = explore_schedules(*algorithm, cfg);
+        expect_equal_results(baseline, r,
+                             "spilled truncation, threads " +
+                                     std::to_string(threads));
+    }
+}
+
+TEST(StoreEquivalence, CrashPlansSurviveRematerialization) {
+    // Rematerialization replays delta chains on forked Systems; crash
+    // plans (mid-run crashes with omissions) must survive the re-fork
+    // byte-identically even when the chain crosses the spill file.
+    auto algorithm = algo::make_flp_kset(3, 1);
+    ExploreConfig cfg = base_config(3, 1, 12);
+    cfg.plan.set_crash(1, CrashSpec{2, {3}});
+    const ExploreResult baseline = explore_schedules(*algorithm, cfg);
+    cfg.store.frontier_ram_bytes = 1024;
+    cfg.store.expand_block = 5;
+    const ExploreResult spilled = explore_schedules(*algorithm, cfg);
+    EXPECT_GT(spilled.spilled_records, 0u);
+    expect_equal_results(baseline, spilled, "crash plan under spill");
+}
+
 }  // namespace
 }  // namespace ksa::core

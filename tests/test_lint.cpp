@@ -211,6 +211,30 @@ TEST(LineRules, PointerKeyedContainer) {
                     .empty());
 }
 
+TEST(LineRules, FrontierGrowthScopedToStore) {
+    const std::string code =
+        "std::vector<store::DeltaRecord> frontier;\n"
+        "std::deque<DeltaRecord> layer_queue;\n"
+        "DeltaRecord one;\n"  // a single record by value: fine
+        "std::vector<int> counts;\n";
+    const std::vector<Finding> f = lines_of("src/core/a.cpp", code);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0].rule, "frontier-growth-outside-store");
+    EXPECT_EQ(f[0].line, 1u);
+    EXPECT_EQ(f[1].rule, "frontier-growth-outside-store");
+    EXPECT_EQ(f[1].line, 2u);
+    // The store layer itself owns the frontier containers.
+    EXPECT_TRUE(lines_of("src/store/delta_store.cpp", code).empty());
+    // Classic-set rule: plain ksa_lint enforces it too.
+    EXPECT_EQ(lines_of("src/core/a.cpp", code, /*legacy_only=*/true).size(),
+              2u);
+    // The sanctioned bounded-scratch annotation suppresses it.
+    EXPECT_TRUE(lines_of("src/core/a.cpp",
+                         "// ksa-lint: allow(frontier-growth-outside-store)\n"
+                         "std::vector<DeltaRecord> block_scratch;\n")
+                    .empty());
+}
+
 TEST(LineRules, WallClockScopedToBenchAndExec) {
     const std::string code =
         "auto t = std::chrono::steady_clock::now();\n";
@@ -497,6 +521,17 @@ TEST(Fixtures, PointerKeyedContainer) {
     EXPECT_EQ(r.findings[0].rule, "pointer-keyed-container");
     EXPECT_EQ(r.findings[0].file, "src/core/ptr_key.hpp");
     EXPECT_EQ(r.findings[0].line, 10u);
+}
+
+TEST(Fixtures, FrontierGrowth) {
+    const AnalysisResult r = analyze_fixture("frontier_growth");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const Finding& f : r.findings) {
+        EXPECT_EQ(f.rule, "frontier-growth-outside-store");
+        EXPECT_EQ(f.file, "src/core/frontier_growth.hpp");
+    }
+    EXPECT_EQ(r.findings[0].line, 11u);
+    EXPECT_EQ(r.findings[1].line, 14u);
 }
 
 TEST(Fixtures, FloatInDigest) {
@@ -841,7 +876,10 @@ TEST(Rules, JsonListingMatchesTable) {
         EXPECT_EQ(arr[i].find("name")->as_string(), all_rules()[i].name);
         if (arr[i].find("legacy")->as_bool()) ++legacy;
     }
-    EXPECT_EQ(legacy, 6u) << "the classic ksa_lint set is fixed";
+    // The ported original set (6 rules) plus frontier-growth-outside-
+    // store, added alongside the out-of-core store so plain ksa_lint
+    // polices frontier containers too.
+    EXPECT_EQ(legacy, 7u) << "the classic ksa_lint set grew or shrank";
 }
 
 TEST(Rules, DocTableMatchesRuleTable) {

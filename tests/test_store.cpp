@@ -1,0 +1,475 @@
+// Tests for the out-of-core exploration store (src/store/): the bloom
+// tier's no-false-negative guarantee, exact-tier equivalence against a
+// std::set reference, batch-dedup determinism across thread and shard
+// counts, the KSASPILL-1 delta spill round-trip, delta re-fork
+// (Rematerializer) equivalence against direct fork/apply_choice replay,
+// System::fork() round-trips under live Byzantine fault injection, and
+// end-to-end exploration byte-identity under forced spill.
+//
+// doc/performance.md §6 describes the store; the determinism argument
+// tested here is the one stated at the top of store/visited_store.hpp:
+// shard ownership plus ascending-index per-shard insertion order makes
+// every batch verdict byte-identical to sequential insertion.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algo/flooding.hpp"
+#include "algo/initial_clique.hpp"
+#include "core/explorer.hpp"
+#include "exec/task_scheduler.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/digest.hpp"
+#include "sim/message.hpp"
+#include "sim/system.hpp"
+#include "store/delta_store.hpp"
+#include "store/rematerialize.hpp"
+#include "store/visited_store.hpp"
+
+namespace ksa::store {
+namespace {
+
+/// Deterministic pseudo-random key stream: key(i) is the digest of i,
+/// key_dup(i, m) collides on purpose every m-th index so batches carry
+/// within-batch duplicates.
+Digest128 key_of(std::uint64_t i) {
+    StateHasher h;
+    h.u64(i);
+    h.u64(i * 0x9e3779b97f4a7c15ull);
+    return h.digest();
+}
+
+// ------------------------------------------------------------ bloom
+
+TEST(BloomFilter, NeverForgetsAnInsertedKey) {
+    BloomFilter filter(4096);
+    for (std::uint64_t i = 0; i < 2000; ++i) filter.insert(key_of(i));
+    for (std::uint64_t i = 0; i < 2000; ++i)
+        EXPECT_TRUE(filter.maybe_contains(key_of(i))) << "key " << i;
+}
+
+TEST(BloomFilter, RejectsMostAbsentKeysAtDesignLoad) {
+    // ~10 bits/key: the false-positive rate must be well under 10%
+    // (design target ~1%; the margin keeps the test robust).
+    const std::size_t kKeys = 1000;
+    BloomFilter filter(kKeys * 10);
+    for (std::uint64_t i = 0; i < kKeys; ++i) filter.insert(key_of(i));
+    std::size_t fp = 0;
+    for (std::uint64_t i = kKeys; i < 2 * kKeys; ++i)
+        if (filter.maybe_contains(key_of(i))) ++fp;
+    EXPECT_LT(fp, kKeys / 10) << "false-positive rate out of control";
+}
+
+// ----------------------------------------------- exact-tier equivalence
+
+TEST(ShardedVisitedStore, MatchesSetReferenceSequentially) {
+    for (const int shard_bits : {0, 3}) {
+        for (const int filter_bits : {0, 10}) {
+            StoreOptions opt;
+            opt.shard_bits = shard_bits;
+            opt.filter_bits_per_key = filter_bits;
+            ShardedVisitedStore store(opt);
+            std::set<Digest128> reference;
+            // Every 7th key repeats an earlier one; key 0 exercises the
+            // all-zero sentinel path.
+            for (std::uint64_t i = 0; i < 5000; ++i) {
+                const Digest128 key =
+                        i % 7 == 0 ? (i % 14 == 0 ? Digest128{} : key_of(i / 7))
+                                   : key_of(i);
+                EXPECT_EQ(store.insert(key), reference.insert(key).second)
+                        << "insert " << i << " shard_bits=" << shard_bits
+                        << " filter=" << filter_bits;
+            }
+            EXPECT_EQ(store.size(), reference.size());
+            for (std::uint64_t i = 0; i < 6000; ++i) {
+                const Digest128 key = key_of(i);
+                EXPECT_EQ(store.contains(key), reference.count(key) != 0)
+                        << "contains " << i;
+            }
+            EXPECT_TRUE(store.contains(Digest128{}));
+        }
+    }
+}
+
+TEST(ShardedVisitedStore, FilterCountersPartitionTheInsertions) {
+    StoreOptions opt;
+    opt.shard_bits = 2;
+    opt.filter_bits_per_key = 10;
+    ShardedVisitedStore store(opt);
+    std::size_t new_keys = 0;
+    for (std::uint64_t i = 0; i < 3000; ++i)
+        if (store.insert(key_of(i % 2000))) ++new_keys;
+    EXPECT_EQ(new_keys, 2000u);
+    const VisitedStats st = store.stats();
+    EXPECT_EQ(st.size, 2000u);
+    EXPECT_EQ(st.shards, 4u);
+    // Every genuinely new non-zero key went through exactly one of the
+    // two filter paths: "definitely new" or "false positive".
+    EXPECT_EQ(st.filter_negatives + st.filter_false_positives, 2000u);
+    // At 10 bits/key the negatives dominate overwhelmingly.
+    EXPECT_GT(st.filter_negatives, st.filter_false_positives * 10);
+    EXPECT_GT(st.resident_bytes, 2000u * sizeof(Digest128));
+}
+
+// ------------------------------------------------- batch determinism
+
+TEST(ShardedVisitedStore, BatchVerdictsMatchSequentialInsertion) {
+    // Three batches with cross-batch and within-batch duplicates, run
+    // through every (threads, shard_bits) combination: all verdicts
+    // must equal the sequential std::set reference, byte for byte.
+    std::vector<std::vector<Digest128>> batches(3);
+    for (std::uint64_t b = 0; b < 3; ++b)
+        for (std::uint64_t i = 0; i < 700; ++i)
+            // Stride 5 duplicates inside a batch, stride 3 across
+            // batches (batch b repeats keys of batch b-1).
+            batches[b].push_back(
+                    i % 5 == 0 ? key_of(i / 5)
+                               : key_of(400 * (b - (i % 3 == 0 ? 1 : 0)) + i));
+
+    std::vector<std::vector<std::uint8_t>> expected;
+    {
+        std::set<Digest128> reference;
+        for (const auto& batch : batches) {
+            std::vector<std::uint8_t> v;
+            for (const Digest128& key : batch)
+                v.push_back(reference.insert(key).second ? 1 : 0);
+            expected.push_back(std::move(v));
+        }
+    }
+
+    for (const int threads : {1, 2, 4}) {
+        for (const int shard_bits : {0, 2, 6}) {
+            exec::TaskScheduler sched(threads, /*oversubscribe=*/true);
+            StoreOptions opt;
+            opt.shard_bits = shard_bits;
+            ShardedVisitedStore store(opt);
+            std::vector<std::uint8_t> verdict;
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                store.insert_batch(sched, batches[b], verdict);
+                EXPECT_EQ(verdict, expected[b])
+                        << "batch " << b << " threads=" << threads
+                        << " shard_bits=" << shard_bits;
+            }
+            EXPECT_EQ(store.size(), [&] {
+                std::set<Digest128> all;
+                for (const auto& batch : batches)
+                    all.insert(batch.begin(), batch.end());
+                return all.size();
+            }());
+        }
+    }
+}
+
+// ------------------------------------------------------- delta spill
+
+TEST(DeltaStore, SpillRoundTripPreservesEveryRecord) {
+    StoreOptions opt;
+    opt.frontier_ram_bytes = 64;  // 4-record window: spill constantly
+    DeltaStore deltas(opt);
+    const std::uint64_t kCount = 1000;
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+        DeltaRecord rec;
+        rec.parent = i * 3;
+        rec.stepper = static_cast<std::uint32_t>(i % 7 + 1);
+        rec.delivered = static_cast<std::uint32_t>(i % 5);
+        EXPECT_EQ(deltas.append(rec), i);
+    }
+    EXPECT_EQ(deltas.size(), kCount);
+    EXPECT_GT(deltas.spilled_records(), 0u);
+    EXPECT_EQ(deltas.spill_bytes(), deltas.spilled_records() * 16);
+    EXPECT_TRUE(std::filesystem::exists(deltas.spill_path()));
+
+    // Two independent readers, interleaved access orders (forward and
+    // backward), spanning both the spilled prefix and the RAM window.
+    DeltaStore::Reader fwd(deltas);
+    DeltaStore::Reader bwd(deltas);
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+        for (const std::uint64_t id : {i, kCount - 1 - i}) {
+            const DeltaRecord rec = (id == i ? fwd : bwd).get(id);
+            EXPECT_EQ(rec.parent, id * 3) << id;
+            EXPECT_EQ(rec.stepper, id % 7 + 1) << id;
+            EXPECT_EQ(rec.delivered, id % 5) << id;
+        }
+    }
+    EXPECT_GT(fwd.spill_reads(), 0u);
+}
+
+TEST(DeltaStore, SpillFileIsRemovedOnDestruction) {
+    std::string path;
+    {
+        StoreOptions opt;
+        opt.frontier_ram_bytes = 64;
+        DeltaStore deltas(opt);
+        for (std::uint64_t i = 0; i < 100; ++i) deltas.append(DeltaRecord{});
+        path = deltas.spill_path();
+        ASSERT_FALSE(path.empty());
+        ASSERT_TRUE(std::filesystem::exists(path));
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(DeltaStore, UnboundedBudgetNeverTouchesDisk) {
+    StoreOptions opt;
+    opt.frontier_ram_bytes = 0;  // never spill
+    DeltaStore deltas(opt);
+    for (std::uint64_t i = 0; i < 10000; ++i) deltas.append(DeltaRecord{i});
+    EXPECT_EQ(deltas.spilled_records(), 0u);
+    EXPECT_TRUE(deltas.spill_path().empty());
+    DeltaStore::Reader reader(deltas);
+    EXPECT_EQ(reader.get(9999).parent, 9999u);
+    EXPECT_EQ(reader.spill_reads(), 0u);
+}
+
+// ---------------------------------------------------- rematerializer
+
+Digest128 test_msg_hash(ProcessId from, const Payload& payload) {
+    StateHasher h;
+    h.u64(static_cast<std::uint64_t>(from));
+    payload.fold(h);
+    return h.digest();
+}
+
+/// Asserts that `sys` is byte-identical (as far as the public API can
+/// see) to the System produced by replaying `script` on a fresh root.
+void expect_matches_direct_replay(const Algorithm& algorithm, int n,
+                                  const std::vector<Value>& inputs,
+                                  const FailurePlan& plan, const System& sys,
+                                  const std::vector<StepChoice>& script,
+                                  const std::string& label) {
+    System direct(algorithm, n, inputs, plan);
+    direct.set_recording(false);
+    for (const StepChoice& choice : script) direct.apply_choice(choice);
+    for (ProcessId p = 1; p <= n; ++p) {
+        EXPECT_EQ(sys.last_digest(p), direct.last_digest(p))
+                << label << " digest of " << p;
+        EXPECT_EQ(sys.steps_of(p), direct.steps_of(p)) << label;
+        EXPECT_EQ(sys.crashed(p), direct.crashed(p)) << label;
+        EXPECT_EQ(sys.decision_of(p), direct.decision_of(p)) << label;
+        const auto& a = sys.buffer(p);
+        const auto& b = direct.buffer(p);
+        ASSERT_EQ(a.size(), b.size()) << label << " buffer of " << p;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].id, b[i].id) << label;  // ids too: fork copies
+            EXPECT_EQ(a[i].from, b[i].from) << label;
+            EXPECT_TRUE(a[i].payload == b[i].payload) << label;
+        }
+    }
+}
+
+TEST(Rematerializer, MaterializesTheExactRecordedStates) {
+    // Build a small delta tree by hand over flooding(n=3):
+    //   0 root
+    //   1 = 0 after p1 steps delivering nothing
+    //   2 = 0 after p2 steps delivering nothing
+    //   3 = 1 after p2 steps delivering its full buffer
+    //   4 = 3 after p3 steps delivering 1 message
+    //   5 = 2 after p2 steps delivering nothing (sibling branch)
+    algo::FloodingKSet algorithm(2);
+    const int n = 3;
+    const std::vector<Value> inputs = distinct_inputs(n);
+    const FailurePlan plan;
+    StoreOptions opt;
+    opt.frontier_ram_bytes = 64;  // 4-record window: the chain spills
+    DeltaStore deltas(opt);
+    deltas.append(DeltaRecord{});         // 0: root
+    deltas.append(DeltaRecord{0, 1, 0});  // 1
+    deltas.append(DeltaRecord{0, 2, 0});  // 2
+    deltas.append(DeltaRecord{1, 2, 1});  // 3: delivers p1's broadcast
+    deltas.append(DeltaRecord{3, 3, 1});  // 4
+    deltas.append(DeltaRecord{2, 2, 0});  // 5
+
+    Rematerializer remat(algorithm, n, inputs, plan, deltas, &test_msg_hash);
+    // Materialize in a deliberately non-monotonic order: spine reuse,
+    // spine rebuild and the root path are all exercised.
+    for (const std::uint64_t id : {1u, 3u, 4u, 2u, 5u, 4u, 0u, 3u}) {
+        const MaterializedNode node = remat.materialize(id);
+        ASSERT_NE(node.sys, nullptr);
+        const std::vector<StepChoice> script = remat.script_of(id);
+        expect_matches_direct_replay(algorithm, n, inputs, plan, *node.sys,
+                                     script,
+                                     "node " + std::to_string(id));
+        // The mhash cache must mirror the live buffers exactly.
+        ASSERT_EQ(node.mhash->size(), static_cast<std::size_t>(n));
+        for (ProcessId p = 1; p <= n; ++p) {
+            const auto& buf = node.sys->buffer(p);
+            ASSERT_EQ((*node.mhash)[p - 1].size(), buf.size());
+            for (std::size_t i = 0; i < buf.size(); ++i)
+                EXPECT_EQ((*node.mhash)[p - 1][i],
+                          test_msg_hash(buf[i].from, buf[i].payload));
+            EXPECT_EQ((*node.marks)[p - 1].stepped,
+                      node.sys->steps_of(p) > 0);
+        }
+    }
+}
+
+TEST(Rematerializer, ScriptOfRootIsEmpty) {
+    algo::FloodingKSet algorithm(2);
+    StoreOptions opt;
+    DeltaStore deltas(opt);
+    deltas.append(DeltaRecord{});
+    Rematerializer remat(algorithm, 3, distinct_inputs(3), FailurePlan{},
+                         deltas, &test_msg_hash);
+    EXPECT_TRUE(remat.script_of(0).empty());
+    const MaterializedNode root = remat.materialize(0);
+    for (ProcessId p = 1; p <= 3; ++p) EXPECT_EQ(root.sys->steps_of(p), 0);
+}
+
+// ------------------------------------- fork + fault-injection round-trip
+
+/// The delta re-fork machinery leans on System::fork() copying EVERY
+/// piece of state a later step can observe -- including the effective
+/// FailurePlan extensions and forged-id bookkeeping that Byzantine
+/// fault actions mutate.  This drives an n=5 run with corruption and
+/// equivocation faults, forks mid-run, and requires the fork and the
+/// original to stay bit-identical under the same continuation.
+TEST(SystemFork, ByzantineFaultRoundTripAtN5) {
+    auto algorithm = algo::make_flp_kset(5, 1);
+    const int n = 5;
+    const std::vector<Value> inputs = distinct_inputs(n);
+    System sys(*algorithm, n, inputs, FailurePlan{});
+    sys.set_recording(false);
+
+    // Everyone takes a first step: five broadcasts in flight.
+    for (ProcessId p = 1; p <= n; ++p) {
+        StepChoice c;
+        c.process = p;
+        sys.apply_choice(c);
+    }
+    ASSERT_GE(sys.buffer(2).size(), 2u);
+
+    // Step with a corruption fault: p1's message to p2 is forged.
+    {
+        const Message& victim = sys.buffer(2).front();
+        StepChoice c;
+        c.process = 2;
+        FaultAction a;
+        a.kind = FaultAction::Kind::kCorruptMessage;
+        a.message = victim.id;
+        a.corrupt_seed = 41;
+        c.faults.push_back(a);
+        c.deliver.push_back(corrupted_message_id(victim.id));
+        sys.apply_choice(c);
+    }
+
+    // Fork, then apply an equivocation fault plus identical follow-up
+    // steps to BOTH systems.
+    std::unique_ptr<System> forked = sys.fork(/*verify_digests=*/true);
+    auto equivocate_then_step = [n](System& s) {
+        const Message& anchor = s.buffer(3).front();
+        StepChoice c;
+        c.process = 3;
+        FaultAction a;
+        a.kind = FaultAction::Kind::kEquivocate;
+        a.message = anchor.id;
+        a.corrupt_seed = 97;
+        c.faults.push_back(a);
+        c.deliver.push_back(equivocated_message_id(anchor.id, 3));
+        s.apply_choice(c);
+        for (ProcessId p = 1; p <= n; ++p) {
+            StepChoice follow;
+            follow.process = p;
+            follow.deliver_all = true;
+            s.apply_choice(follow);
+        }
+    };
+    equivocate_then_step(sys);
+    equivocate_then_step(*forked);
+
+    for (ProcessId p = 1; p <= n; ++p) {
+        EXPECT_EQ(sys.last_digest(p), forked->last_digest(p)) << p;
+        EXPECT_EQ(sys.steps_of(p), forked->steps_of(p)) << p;
+        EXPECT_EQ(sys.decision_of(p), forked->decision_of(p)) << p;
+        const auto& a = sys.buffer(p);
+        const auto& b = forked->buffer(p);
+        ASSERT_EQ(a.size(), b.size()) << p;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].id, b[i].id);
+            EXPECT_TRUE(a[i].payload == b[i].payload);
+        }
+    }
+    // Both recorded the same realized Byzantine senders (p1 corrupted,
+    // p-of-anchor equivocated; the others stayed clean).
+    for (ProcessId p = 1; p <= n; ++p)
+        EXPECT_EQ(sys.plan().is_byzantine(p), forked->plan().is_byzantine(p))
+                << p;
+}
+
+// ------------------------------------------ end-to-end forced spill
+
+void expect_identical_results(const core::ExploreResult& a,
+                              const core::ExploreResult& b,
+                              const std::string& label) {
+    EXPECT_EQ(a.states_explored, b.states_explored) << label;
+    EXPECT_EQ(a.schedules_expanded, b.schedules_expanded) << label;
+    EXPECT_EQ(a.exhaustive, b.exhaustive) << label;
+    EXPECT_EQ(a.violation_found, b.violation_found) << label;
+    EXPECT_EQ(a.dedup_hits, b.dedup_hits) << label;
+    EXPECT_EQ(a.quiescent_outcomes, b.quiescent_outcomes) << label;
+    EXPECT_EQ(a.reachable_decision_sets, b.reachable_decision_sets) << label;
+    ASSERT_EQ(a.witness.size(), b.witness.size()) << label;
+    for (std::size_t i = 0; i < a.witness.size(); ++i) {
+        EXPECT_EQ(a.witness[i].process, b.witness[i].process) << label;
+        EXPECT_EQ(a.witness[i].deliver, b.witness[i].deliver) << label;
+    }
+}
+
+TEST(StoreExploration, ForcedSpillIsByteIdenticalToInRam) {
+    auto algorithm = algo::make_flp_kset(3, 1);
+    core::ExploreConfig cfg;
+    cfg.n = 3;
+    cfg.inputs = distinct_inputs(3);
+    cfg.k = 1;
+    cfg.max_depth = 12;
+    cfg.max_states = 400000;
+    for (const auto mode :
+         {core::ExploreMode::kFast, core::ExploreMode::kReduced}) {
+        cfg.mode = mode;
+        cfg.store = StoreOptions{};  // defaults: never spills at this scale
+        const core::ExploreResult in_ram =
+                core::explore_schedules(*algorithm, cfg);
+        EXPECT_EQ(in_ram.spilled_records, 0u);
+
+        cfg.store.frontier_ram_bytes = 1024;  // 64-record window
+        cfg.store.expand_block = 3;
+        cfg.store.shard_bits = 1;
+        const core::ExploreResult spilled =
+                core::explore_schedules(*algorithm, cfg);
+        EXPECT_GT(spilled.spilled_records, 0u);
+        EXPECT_GT(spilled.spill_reads, 0u);
+        expect_identical_results(
+                in_ram, spilled,
+                mode == core::ExploreMode::kFast ? "fast" : "reduced");
+    }
+}
+
+TEST(StoreExploration, PeakResidentBytesIsBounded) {
+    // The observability contract of the memory ceiling: with a tiny
+    // frontier budget the delta window must stay near the budget, so
+    // peak_resident_bytes is dominated by the visited tier, not the
+    // frontier.
+    auto algorithm = algo::make_flp_kset(3, 1);
+    core::ExploreConfig cfg;
+    cfg.n = 3;
+    cfg.inputs = distinct_inputs(3);
+    cfg.k = 1;
+    cfg.max_depth = 10;
+    cfg.max_states = 400000;
+    cfg.store.frontier_ram_bytes = 1024;
+    const core::ExploreResult r = core::explore_schedules(*algorithm, cfg);
+    EXPECT_GT(r.peak_resident_bytes, 0u);
+    EXPECT_GT(r.states_explored, 1000u);
+    // Frontier share of the peak: at most the budget plus one block of
+    // growth slack (vector doubling), far below an unspilled frontier
+    // (16 bytes * states would exceed 100 KB alone).
+    EXPECT_LT(r.peak_resident_bytes,
+              r.states_explored * sizeof(DeltaRecord) +
+                      r.states_explored * sizeof(Digest128) * 4);
+}
+
+}  // namespace
+}  // namespace ksa::store
